@@ -1,0 +1,186 @@
+use std::fmt;
+
+/// Orientation of a routing channel segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelOrientation {
+    /// Runs east–west along the top edge of a tile row.
+    Horizontal,
+    /// Runs north–south along the right edge of a tile column.
+    Vertical,
+}
+
+/// Identifies one unit-length routing channel segment.
+///
+/// Following the VPR `chanx`/`chany` convention:
+///
+/// * `Horizontal { x, y }` runs along the **top** edge of tile `(x, y)` and
+///   exists for `x in 1..width-1`, `y in 0..height-1`;
+/// * `Vertical { x, y }` runs along the **right** edge of tile `(x, y)` and
+///   exists for `x in 0..width-1`, `y in 1..height-1`.
+///
+/// Each segment bundles [`channel_width`](crate::Arch::channel_width) wires;
+/// its *utilisation* is `occupancy / channel_width` — exactly the quantity
+/// the paper's heat map colourises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelId {
+    /// Horizontal segment above tile `(x, y)`.
+    Horizontal {
+        /// Tile x coordinate.
+        x: usize,
+        /// Tile y coordinate.
+        y: usize,
+    },
+    /// Vertical segment right of tile `(x, y)`.
+    Vertical {
+        /// Tile x coordinate.
+        x: usize,
+        /// Tile y coordinate.
+        y: usize,
+    },
+}
+
+impl ChannelId {
+    /// The segment's orientation.
+    pub fn orientation(&self) -> ChannelOrientation {
+        match self {
+            ChannelId::Horizontal { .. } => ChannelOrientation::Horizontal,
+            ChannelId::Vertical { .. } => ChannelOrientation::Vertical,
+        }
+    }
+
+    /// Midpoint of the segment in continuous tile coordinates (for
+    /// rasterisation and for distance-based routing heuristics).
+    pub fn midpoint(&self) -> (f32, f32) {
+        match *self {
+            ChannelId::Horizontal { x, y } => (x as f32 + 0.5, y as f32 + 1.0),
+            ChannelId::Vertical { x, y } => (x as f32 + 1.0, y as f32 + 0.5),
+        }
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelId::Horizontal { x, y } => write!(f, "chanx({x},{y})"),
+            ChannelId::Vertical { x, y } => write!(f, "chany({x},{y})"),
+        }
+    }
+}
+
+/// Iterator over all channel segments of a grid, horizontal first; created
+/// by [`Arch::channels`](crate::Arch::channels).
+#[derive(Debug, Clone)]
+pub struct ChannelIter {
+    width: usize,
+    height: usize,
+    pos: usize,
+}
+
+impl ChannelIter {
+    pub(crate) fn new(width: usize, height: usize) -> Self {
+        ChannelIter {
+            width,
+            height,
+            pos: 0,
+        }
+    }
+
+    fn horiz_count(&self) -> usize {
+        (self.width - 2) * (self.height - 1)
+    }
+
+    fn total(&self) -> usize {
+        self.horiz_count() + (self.width - 1) * (self.height - 2)
+    }
+}
+
+impl Iterator for ChannelIter {
+    type Item = ChannelId;
+
+    fn next(&mut self) -> Option<ChannelId> {
+        if self.pos >= self.total() {
+            return None;
+        }
+        let i = self.pos;
+        self.pos += 1;
+        let hc = self.horiz_count();
+        Some(if i < hc {
+            let row = i / (self.width - 2);
+            let col = i % (self.width - 2);
+            ChannelId::Horizontal {
+                x: col + 1,
+                y: row,
+            }
+        } else {
+            let j = i - hc;
+            let row = j / (self.width - 1);
+            let col = j % (self.width - 1);
+            ChannelId::Vertical {
+                x: col,
+                y: row + 1,
+            }
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.total() - self.pos;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for ChannelIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_yields_exact_count() {
+        let it = ChannelIter::new(10, 10);
+        let expected = 8 * 9 + 9 * 8;
+        assert_eq!(it.len(), expected);
+        assert_eq!(it.count(), expected);
+    }
+
+    #[test]
+    fn horizontal_segments_come_first_and_in_bounds() {
+        let (w, h) = (6, 5);
+        let mut seen_vertical = false;
+        for ch in ChannelIter::new(w, h) {
+            match ch {
+                ChannelId::Horizontal { x, y } => {
+                    assert!(!seen_vertical, "horizontal after vertical");
+                    assert!((1..w - 1).contains(&x));
+                    assert!(y < h - 1);
+                }
+                ChannelId::Vertical { x, y } => {
+                    seen_vertical = true;
+                    assert!(x < w - 1);
+                    assert!((1..h - 1).contains(&y));
+                }
+            }
+        }
+        assert!(seen_vertical);
+    }
+
+    #[test]
+    fn midpoints_sit_between_tiles() {
+        assert_eq!(
+            ChannelId::Horizontal { x: 2, y: 3 }.midpoint(),
+            (2.5, 4.0)
+        );
+        assert_eq!(ChannelId::Vertical { x: 2, y: 3 }.midpoint(), (3.0, 3.5));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            ChannelId::Horizontal { x: 1, y: 0 }.to_string(),
+            "chanx(1,0)"
+        );
+        assert_eq!(
+            ChannelId::Vertical { x: 0, y: 1 }.to_string(),
+            "chany(0,1)"
+        );
+    }
+}

@@ -1,0 +1,81 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or querying an [`Arch`](crate::Arch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchError {
+    /// The requested interior dimensions are too small to form a grid
+    /// (at least one interior tile is required in each direction).
+    GridTooSmall {
+        /// Requested interior width in tiles.
+        width: usize,
+        /// Requested interior height in tiles.
+        height: usize,
+    },
+    /// Channel width must be non-zero; a zero-width channel cannot carry nets.
+    ZeroChannelWidth,
+    /// I/O pad capacity must be non-zero.
+    ZeroIoCapacity,
+    /// A special-column height does not divide into the interior height,
+    /// or is zero.
+    BadBlockHeight {
+        /// Offending block height in tiles.
+        height: usize,
+    },
+    /// A coordinate lies outside the grid.
+    OutOfBounds {
+        /// Queried x coordinate.
+        x: usize,
+        /// Queried y coordinate.
+        y: usize,
+        /// Grid width in tiles.
+        width: usize,
+        /// Grid height in tiles.
+        height: usize,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::GridTooSmall { width, height } => {
+                write!(f, "interior grid {width}x{height} is too small")
+            }
+            ArchError::ZeroChannelWidth => write!(f, "channel width must be non-zero"),
+            ArchError::ZeroIoCapacity => write!(f, "io capacity must be non-zero"),
+            ArchError::BadBlockHeight { height } => {
+                write!(f, "block height {height} is invalid for this grid")
+            }
+            ArchError::OutOfBounds {
+                x,
+                y,
+                width,
+                height,
+            } => write!(f, "tile ({x}, {y}) outside {width}x{height} grid"),
+        }
+    }
+}
+
+impl Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = ArchError::GridTooSmall {
+            width: 0,
+            height: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.starts_with("interior grid"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArchError>();
+    }
+}

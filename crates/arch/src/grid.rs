@@ -1,0 +1,632 @@
+use crate::channel::{ChannelId, ChannelIter};
+use crate::error::ArchError;
+use crate::site::{Site, SiteId, SiteKind};
+
+/// What occupies a full interior column of the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnKind {
+    /// Column of 1×1 CLB sites.
+    Clb,
+    /// Column of block-RAM sites (each `mem_height` tiles tall).
+    Memory,
+    /// Column of multiplier sites (each `mult_height` tiles tall).
+    Multiplier,
+}
+
+/// The kind of tile at a grid coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TileKind {
+    /// One of the four unusable corner tiles.
+    Corner,
+    /// A perimeter I/O pad tile (holds [`Arch::io_capacity`] ports).
+    Io,
+    /// An interior CLB tile.
+    Clb,
+    /// An interior memory tile (part of a possibly-taller memory site).
+    Memory,
+    /// An interior multiplier tile (part of a possibly-taller site).
+    Multiplier,
+}
+
+/// Immutable description of the FPGA fabric: grid geometry, column pattern,
+/// I/O capacity and routing channel width.
+///
+/// Construct with [`Arch::builder`]. The grid is `width() × height()` tiles
+/// where the outermost ring is I/O (corners unusable) and the interior
+/// follows a repeating column pattern of CLB / memory / multiplier columns,
+/// mirroring the VTR flagship architecture drawn in Figure 2 of the paper.
+///
+/// # Example
+///
+/// ```
+/// use pop_arch::{Arch, SiteKind};
+///
+/// let arch = Arch::builder().interior(8, 8).build()?;
+/// let clbs = arch
+///     .sites()
+///     .iter()
+///     .filter(|s| s.kind == SiteKind::Clb)
+///     .count();
+/// assert_eq!(clbs, arch.clb_capacity());
+/// # Ok::<(), pop_arch::ArchError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arch {
+    width: usize,
+    height: usize,
+    channel_width: usize,
+    io_capacity: usize,
+    mem_period: Option<usize>,
+    mem_offset: usize,
+    mem_height: usize,
+    mult_period: Option<usize>,
+    mult_offset: usize,
+    mult_height: usize,
+    sites: Vec<Site>,
+    /// Capacity per site kind, in the order io / clb / memory / multiplier.
+    capacity: [usize; 4],
+}
+
+/// Builder for [`Arch`]; see [`Arch::builder`].
+#[derive(Debug, Clone)]
+pub struct ArchBuilder {
+    interior_w: usize,
+    interior_h: usize,
+    channel_width: usize,
+    io_capacity: usize,
+    mem_period: Option<usize>,
+    mem_offset: usize,
+    mem_height: usize,
+    mult_period: Option<usize>,
+    mult_offset: usize,
+    mult_height: usize,
+}
+
+impl Default for ArchBuilder {
+    fn default() -> Self {
+        ArchBuilder {
+            interior_w: 8,
+            interior_h: 8,
+            channel_width: 16,
+            io_capacity: 8,
+            mem_period: Some(8),
+            mem_offset: 2,
+            mem_height: 4,
+            mult_period: Some(8),
+            mult_offset: 6,
+            mult_height: 2,
+        }
+    }
+}
+
+impl ArchBuilder {
+    /// Sets the interior (non-I/O) grid dimensions in tiles.
+    pub fn interior(&mut self, w: usize, h: usize) -> &mut Self {
+        self.interior_w = w;
+        self.interior_h = h;
+        self
+    }
+
+    /// Sets the routing channel width factor `W` (wires per channel segment).
+    pub fn channel_width(&mut self, w: usize) -> &mut Self {
+        self.channel_width = w;
+        self
+    }
+
+    /// Sets how many I/O ports share one perimeter pad tile (paper: 8).
+    pub fn io_capacity(&mut self, cap: usize) -> &mut Self {
+        self.io_capacity = cap;
+        self
+    }
+
+    /// Places a memory column at every `period`-th interior column starting
+    /// at `offset` (1-based interior index); `None` disables memory columns.
+    pub fn memory_columns(&mut self, period: Option<usize>, offset: usize) -> &mut Self {
+        self.mem_period = period;
+        self.mem_offset = offset;
+        self
+    }
+
+    /// Places a multiplier column at every `period`-th interior column
+    /// starting at `offset`; `None` disables multiplier columns.
+    pub fn multiplier_columns(&mut self, period: Option<usize>, offset: usize) -> &mut Self {
+        self.mult_period = period;
+        self.mult_offset = offset;
+        self
+    }
+
+    /// Sets the height in tiles of one memory site.
+    pub fn memory_height(&mut self, h: usize) -> &mut Self {
+        self.mem_height = h;
+        self
+    }
+
+    /// Sets the height in tiles of one multiplier site.
+    pub fn multiplier_height(&mut self, h: usize) -> &mut Self {
+        self.mult_height = h;
+        self
+    }
+
+    /// Builds the [`Arch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::GridTooSmall`] for degenerate interiors,
+    /// [`ArchError::ZeroChannelWidth`] / [`ArchError::ZeroIoCapacity`] for
+    /// zero parameters and [`ArchError::BadBlockHeight`] when a special
+    /// block height is zero or exceeds the interior height.
+    pub fn build(&self) -> Result<Arch, ArchError> {
+        if self.interior_w < 1 || self.interior_h < 1 {
+            return Err(ArchError::GridTooSmall {
+                width: self.interior_w,
+                height: self.interior_h,
+            });
+        }
+        if self.channel_width == 0 {
+            return Err(ArchError::ZeroChannelWidth);
+        }
+        if self.io_capacity == 0 {
+            return Err(ArchError::ZeroIoCapacity);
+        }
+        for h in [self.mem_height, self.mult_height] {
+            if h == 0 || h > self.interior_h {
+                return Err(ArchError::BadBlockHeight { height: h });
+            }
+        }
+
+        let mut arch = Arch {
+            width: self.interior_w + 2,
+            height: self.interior_h + 2,
+            channel_width: self.channel_width,
+            io_capacity: self.io_capacity,
+            mem_period: self.mem_period,
+            mem_offset: self.mem_offset,
+            mem_height: self.mem_height,
+            mult_period: self.mult_period,
+            mult_offset: self.mult_offset,
+            mult_height: self.mult_height,
+            sites: Vec::new(),
+            capacity: [0; 4],
+        };
+        arch.enumerate_sites();
+        Ok(arch)
+    }
+}
+
+impl Arch {
+    /// Starts building an architecture with VTR-flagship-like defaults
+    /// (8×8 interior, channel width 16, 8 I/O ports per pad, a memory column
+    /// and a multiplier column per 8 interior columns).
+    pub fn builder() -> ArchBuilder {
+        ArchBuilder::default()
+    }
+
+    /// The small fabric drawn in the paper's Figure 2: an 8×8 interior
+    /// surrounded by I/O pads with eight ports each, CLBs in interior
+    /// columns 1, 3, 4, 5, 7 and 8, one memory column and one multiplier
+    /// column.
+    ///
+    /// ```
+    /// use pop_arch::{Arch, ColumnKind};
+    ///
+    /// let arch = Arch::paper_example();
+    /// assert_eq!(arch.column_kind(2), Some(ColumnKind::Memory));
+    /// assert_eq!(arch.column_kind(6), Some(ColumnKind::Multiplier));
+    /// assert_eq!(arch.io_capacity(), 8);
+    /// ```
+    pub fn paper_example() -> Arch {
+        Arch::builder()
+            .interior(8, 8)
+            .io_capacity(8)
+            .channel_width(34) // "routing succeeded with a channel width factor of 34"
+            .build()
+            .expect("the Figure 2 fabric is always valid")
+    }
+
+    /// Builds the smallest architecture (with the default column pattern)
+    /// whose capacities fit the given block counts with `slack` headroom
+    /// (e.g. `1.2` for 20 % spare sites, mirroring VPR's auto-sizing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder errors; counts that cannot fit any grid up to
+    /// 512×512 interior yield [`ArchError::GridTooSmall`].
+    pub fn auto_size(
+        clbs: usize,
+        ios: usize,
+        mems: usize,
+        mults: usize,
+        channel_width: usize,
+        slack: f64,
+    ) -> Result<Arch, ArchError> {
+        let need = |cap: usize, n: usize| cap as f64 >= (n as f64 * slack).ceil();
+        for side in 4..=512 {
+            let mut b = Arch::builder();
+            b.interior(side, side).channel_width(channel_width);
+            if mems == 0 {
+                b.memory_columns(None, 2);
+            }
+            if mults == 0 {
+                b.multiplier_columns(None, 6);
+            }
+            let arch = b.build()?;
+            if need(arch.clb_capacity(), clbs)
+                && need(arch.io_capacity_total(), ios)
+                && need(arch.memory_capacity(), mems)
+                && need(arch.multiplier_capacity(), mults)
+            {
+                return Ok(arch);
+            }
+        }
+        Err(ArchError::GridTooSmall {
+            width: 512,
+            height: 512,
+        })
+    }
+
+    /// Total grid width in tiles (interior + 2 I/O columns).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total grid height in tiles (interior + 2 I/O rows).
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Routing channel width factor `W`.
+    #[inline]
+    pub fn channel_width(&self) -> usize {
+        self.channel_width
+    }
+
+    /// I/O ports per perimeter pad tile.
+    #[inline]
+    pub fn io_capacity(&self) -> usize {
+        self.io_capacity
+    }
+
+    /// The kind of interior column `x` (grid coordinate), if `x` is interior.
+    pub fn column_kind(&self, x: usize) -> Option<ColumnKind> {
+        if x == 0 || x >= self.width - 1 {
+            return None;
+        }
+        let interior_idx = x; // interior columns are 1-based in grid coords
+        if let Some(p) = self.mem_period {
+            if p > 0 && interior_idx % p == self.mem_offset % p {
+                return Some(ColumnKind::Memory);
+            }
+        }
+        if let Some(p) = self.mult_period {
+            if p > 0 && interior_idx % p == self.mult_offset % p {
+                return Some(ColumnKind::Multiplier);
+            }
+        }
+        Some(ColumnKind::Clb)
+    }
+
+    /// The kind of tile at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is outside the grid; use [`Arch::tile_kind_checked`]
+    /// for fallible lookup.
+    pub fn tile_kind(&self, x: usize, y: usize) -> TileKind {
+        self.tile_kind_checked(x, y)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible version of [`Arch::tile_kind`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::OutOfBounds`] when the coordinate is outside the
+    /// grid.
+    pub fn tile_kind_checked(&self, x: usize, y: usize) -> Result<TileKind, ArchError> {
+        if x >= self.width || y >= self.height {
+            return Err(ArchError::OutOfBounds {
+                x,
+                y,
+                width: self.width,
+                height: self.height,
+            });
+        }
+        let on_x_edge = x == 0 || x == self.width - 1;
+        let on_y_edge = y == 0 || y == self.height - 1;
+        Ok(match (on_x_edge, on_y_edge) {
+            (true, true) => TileKind::Corner,
+            (true, false) | (false, true) => TileKind::Io,
+            (false, false) => match self.column_kind(x).expect("interior column") {
+                ColumnKind::Clb => TileKind::Clb,
+                ColumnKind::Memory => TileKind::Memory,
+                ColumnKind::Multiplier => TileKind::Multiplier,
+            },
+        })
+    }
+
+    /// All placement sites in deterministic order (I/O ring clockwise from
+    /// the west edge, then interior columns left-to-right bottom-to-top).
+    /// [`SiteId`]s index into this slice.
+    #[inline]
+    pub fn sites(&self) -> &[Site] {
+        &self.sites
+    }
+
+    /// Looks up a site by id.
+    #[inline]
+    pub fn site(&self, id: SiteId) -> &Site {
+        &self.sites[id.index()]
+    }
+
+    /// Number of CLB sites.
+    pub fn clb_capacity(&self) -> usize {
+        self.capacity[1]
+    }
+
+    /// Number of I/O ports over the whole perimeter.
+    pub fn io_capacity_total(&self) -> usize {
+        self.capacity[0]
+    }
+
+    /// Number of memory sites.
+    pub fn memory_capacity(&self) -> usize {
+        self.capacity[2]
+    }
+
+    /// Number of multiplier sites.
+    pub fn multiplier_capacity(&self) -> usize {
+        self.capacity[3]
+    }
+
+    /// Capacity for a given site kind.
+    pub fn capacity(&self, kind: SiteKind) -> usize {
+        match kind {
+            SiteKind::Io => self.capacity[0],
+            SiteKind::Clb => self.capacity[1],
+            SiteKind::Memory => self.capacity[2],
+            SiteKind::Multiplier => self.capacity[3],
+        }
+    }
+
+    /// Iterates over every routing channel segment of the fabric.
+    ///
+    /// Horizontal segments `(x, y)` run along the top edge of tile `(x, y)`
+    /// for `x in 1..width-1, y in 0..height-1`; vertical segments run along
+    /// the right edge of tile `(x, y)` for `x in 0..width-1, y in 1..height-1`
+    /// (the VPR `chanx`/`chany` convention).
+    pub fn channels(&self) -> ChannelIter {
+        ChannelIter::new(self.width, self.height)
+    }
+
+    /// Number of channel segments (size of the congestion map).
+    pub fn channel_count(&self) -> usize {
+        let horiz = (self.width - 2) * (self.height - 1);
+        let vert = (self.width - 1) * (self.height - 2);
+        horiz + vert
+    }
+
+    /// Dense index of a channel segment in `0..channel_count()`, used by the
+    /// router's occupancy vectors and the congestion map.
+    pub fn channel_index(&self, id: ChannelId) -> usize {
+        match id {
+            ChannelId::Horizontal { x, y } => {
+                debug_assert!((1..self.width - 1).contains(&x) && y < self.height - 1);
+                (y * (self.width - 2)) + (x - 1)
+            }
+            ChannelId::Vertical { x, y } => {
+                let horiz = (self.width - 2) * (self.height - 1);
+                debug_assert!(x < self.width - 1 && (1..self.height - 1).contains(&y));
+                horiz + (y - 1) * (self.width - 1) + x
+            }
+        }
+    }
+
+    fn enumerate_sites(&mut self) {
+        let mut sites = Vec::new();
+        let mut cap = [0usize; 4];
+        let push = |sites: &mut Vec<Site>,
+                        kind: SiteKind,
+                        x: usize,
+                        y: usize,
+                        subtile: usize,
+                        height: usize| {
+            let id = SiteId(sites.len() as u32);
+            sites.push(Site {
+                id,
+                kind,
+                x,
+                y,
+                subtile,
+                height,
+            });
+        };
+
+        // I/O ring: west, north, east, south edges (corners excluded).
+        let (w, h) = (self.width, self.height);
+        let mut io_tiles = Vec::new();
+        for y in 1..h - 1 {
+            io_tiles.push((0, y));
+        }
+        for x in 1..w - 1 {
+            io_tiles.push((x, h - 1));
+        }
+        for y in (1..h - 1).rev() {
+            io_tiles.push((w - 1, y));
+        }
+        for x in (1..w - 1).rev() {
+            io_tiles.push((x, 0));
+        }
+        for (x, y) in io_tiles {
+            for port in 0..self.io_capacity {
+                push(&mut sites, SiteKind::Io, x, y, port, 1);
+                cap[0] += 1;
+            }
+        }
+
+        // Interior columns.
+        for x in 1..w - 1 {
+            match self.column_kind(x).expect("interior") {
+                ColumnKind::Clb => {
+                    for y in 1..h - 1 {
+                        push(&mut sites, SiteKind::Clb, x, y, 0, 1);
+                        cap[1] += 1;
+                    }
+                }
+                ColumnKind::Memory => {
+                    let mut y = 1;
+                    while y + self.mem_height < h {
+                        push(&mut sites, SiteKind::Memory, x, y, 0, self.mem_height);
+                        cap[2] += 1;
+                        y += self.mem_height;
+                    }
+                }
+                ColumnKind::Multiplier => {
+                    let mut y = 1;
+                    while y + self.mult_height < h {
+                        push(
+                            &mut sites,
+                            SiteKind::Multiplier,
+                            x,
+                            y,
+                            0,
+                            self.mult_height,
+                        );
+                        cap[3] += 1;
+                        y += self.mult_height;
+                    }
+                }
+            }
+        }
+
+        self.sites = sites;
+        self.capacity = cap;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Arch {
+        Arch::builder().interior(8, 8).build().unwrap()
+    }
+
+    #[test]
+    fn default_grid_dimensions() {
+        let a = small();
+        assert_eq!(a.width(), 10);
+        assert_eq!(a.height(), 10);
+    }
+
+    #[test]
+    fn corners_and_edges() {
+        let a = small();
+        assert_eq!(a.tile_kind(0, 0), TileKind::Corner);
+        assert_eq!(a.tile_kind(9, 9), TileKind::Corner);
+        assert_eq!(a.tile_kind(0, 5), TileKind::Io);
+        assert_eq!(a.tile_kind(5, 0), TileKind::Io);
+        assert_eq!(a.tile_kind(9, 3), TileKind::Io);
+    }
+
+    #[test]
+    fn column_pattern_matches_paper_figure() {
+        // Default: memory at interior column 2, multiplier at interior
+        // column 6 (grid x = 2 and 6), everything else CLB.
+        let a = small();
+        assert_eq!(a.column_kind(2), Some(ColumnKind::Memory));
+        assert_eq!(a.column_kind(6), Some(ColumnKind::Multiplier));
+        for x in [1, 3, 4, 5, 7, 8] {
+            assert_eq!(a.column_kind(x), Some(ColumnKind::Clb), "col {x}");
+        }
+        assert_eq!(a.column_kind(0), None);
+        assert_eq!(a.column_kind(9), None);
+    }
+
+    #[test]
+    fn capacities_are_consistent_with_sites() {
+        let a = small();
+        let count = |k: SiteKind| a.sites().iter().filter(|s| s.kind == k).count();
+        assert_eq!(a.clb_capacity(), count(SiteKind::Clb));
+        assert_eq!(a.io_capacity_total(), count(SiteKind::Io));
+        assert_eq!(a.memory_capacity(), count(SiteKind::Memory));
+        assert_eq!(a.multiplier_capacity(), count(SiteKind::Multiplier));
+        // 6 CLB columns x 8 rows.
+        assert_eq!(a.clb_capacity(), 48);
+        // 8 IO tiles per edge x 4 edges x 8 ports.
+        assert_eq!(a.io_capacity_total(), 8 * 4 * 8);
+        // one memory column, height 4 => 2 sites.
+        assert_eq!(a.memory_capacity(), 2);
+        // one multiplier column, height 2 => 4 sites.
+        assert_eq!(a.multiplier_capacity(), 4);
+    }
+
+    #[test]
+    fn site_ids_are_dense_and_ordered() {
+        let a = small();
+        for (i, s) in a.sites().iter().enumerate() {
+            assert_eq!(s.id.index(), i);
+            assert_eq!(a.site(s.id), s);
+        }
+    }
+
+    #[test]
+    fn channel_indices_are_a_bijection() {
+        let a = small();
+        let mut seen = vec![false; a.channel_count()];
+        for ch in a.channels() {
+            let idx = a.channel_index(ch);
+            assert!(idx < a.channel_count(), "{ch:?} -> {idx}");
+            assert!(!seen[idx], "duplicate index {idx} for {ch:?}");
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all indices covered");
+    }
+
+    #[test]
+    fn auto_size_fits_counts() {
+        let a = Arch::auto_size(100, 30, 2, 2, 16, 1.2).unwrap();
+        assert!(a.clb_capacity() as f64 >= 120.0);
+        assert!(a.io_capacity_total() >= 36);
+        assert!(a.memory_capacity() >= 2);
+        assert!(a.multiplier_capacity() >= 2);
+    }
+
+    #[test]
+    fn auto_size_without_special_blocks() {
+        let a = Arch::auto_size(10, 4, 0, 0, 8, 1.2).unwrap();
+        assert_eq!(a.memory_capacity(), 0);
+        assert_eq!(a.multiplier_capacity(), 0);
+        assert!(a.clb_capacity() >= 12);
+    }
+
+    #[test]
+    fn builder_rejects_bad_params() {
+        assert!(matches!(
+            Arch::builder().interior(0, 5).build(),
+            Err(ArchError::GridTooSmall { .. })
+        ));
+        assert!(matches!(
+            Arch::builder().channel_width(0).build(),
+            Err(ArchError::ZeroChannelWidth)
+        ));
+        assert!(matches!(
+            Arch::builder().io_capacity(0).build(),
+            Err(ArchError::ZeroIoCapacity)
+        ));
+        assert!(matches!(
+            Arch::builder().memory_height(0).build(),
+            Err(ArchError::BadBlockHeight { .. })
+        ));
+    }
+
+    #[test]
+    fn tile_kind_checked_out_of_bounds() {
+        let a = small();
+        assert!(matches!(
+            a.tile_kind_checked(100, 0),
+            Err(ArchError::OutOfBounds { .. })
+        ));
+    }
+}

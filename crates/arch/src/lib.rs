@@ -1,0 +1,45 @@
+//! FPGA architecture model for the *Painting on Placement* reproduction.
+//!
+//! The DAC'19 paper targets a fixed, VTR-flagship-style FPGA architecture:
+//! a rectangular grid of tiles with
+//!
+//! * **I/O pads** on each of the four sides (each pad tile holds several
+//!   I/O ports — eight in the paper),
+//! * interior columns of **CLB** sites,
+//! * dedicated **memory** and **multiplier** columns (the yellow column and
+//!   the pink bars of the paper's Figure 2), and
+//! * **routing channels** between adjacent tiles whose width (the *channel
+//!   width factor*, e.g. "routing succeeded with a channel width factor of
+//!   34") bounds how many nets may cross a given channel segment.
+//!
+//! This crate models exactly that geometry. It knows nothing about netlists,
+//! placement or routing — those live in [`pop-netlist`], [`pop-place`] and
+//! [`pop-route`]; it only answers geometric questions: what kind of tile sits
+//! at `(x, y)`, which placement sites exist, which channel segments exist and
+//! how they are indexed.
+//!
+//! # Example
+//!
+//! ```
+//! use pop_arch::{Arch, TileKind};
+//!
+//! let arch = Arch::builder().interior(10, 10).channel_width(12).build()?;
+//! assert_eq!(arch.width(), 12);                    // 10 interior + 2 IO ring
+//! assert_eq!(arch.tile_kind(0, 0), TileKind::Corner);
+//! assert!(arch.clb_capacity() > 0);
+//! # Ok::<(), pop_arch::ArchError>(())
+//! ```
+//!
+//! [`pop-netlist`]: ../pop_netlist/index.html
+//! [`pop-place`]: ../pop_place/index.html
+//! [`pop-route`]: ../pop_route/index.html
+
+mod channel;
+mod error;
+mod grid;
+mod site;
+
+pub use channel::{ChannelId, ChannelIter, ChannelOrientation};
+pub use error::ArchError;
+pub use grid::{Arch, ArchBuilder, ColumnKind, TileKind};
+pub use site::{Site, SiteId, SiteKind};

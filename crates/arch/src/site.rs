@@ -1,0 +1,130 @@
+use std::fmt;
+
+/// The functional kind of a placement site (and, mirrored in
+/// [`pop-netlist`](../pop_netlist/index.html), of a block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SiteKind {
+    /// One port of a perimeter I/O pad.
+    Io,
+    /// A cluster-based logic block (CLB) position.
+    Clb,
+    /// A block-RAM (memory) position, possibly several tiles tall.
+    Memory,
+    /// A multiplier (DSP) position, possibly several tiles tall.
+    Multiplier,
+}
+
+impl fmt::Display for SiteKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SiteKind::Io => "io",
+            SiteKind::Clb => "clb",
+            SiteKind::Memory => "memory",
+            SiteKind::Multiplier => "multiplier",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Dense index of a [`Site`] within one [`Arch`](crate::Arch).
+///
+/// Site ids are assigned contiguously from zero in the deterministic order
+/// produced by [`Arch::sites`](crate::Arch::sites), so they can index a
+/// `Vec`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// Returns the id as a `usize` for direct slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A concrete location a netlist block can be placed at.
+///
+/// `x`/`y` address the site's anchor tile (bottom tile for multi-tile-tall
+/// sites). For I/O sites, `subtile` distinguishes the up-to-`io_capacity`
+/// ports sharing one pad tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Site {
+    /// Dense site index.
+    pub id: SiteId,
+    /// Functional kind; only blocks of the matching kind may be placed here.
+    pub kind: SiteKind,
+    /// Anchor tile x coordinate.
+    pub x: usize,
+    /// Anchor tile y coordinate.
+    pub y: usize,
+    /// Port index within an I/O pad tile (0 for non-I/O sites).
+    pub subtile: usize,
+    /// Number of tiles the site spans vertically (1 for I/O and CLB).
+    pub height: usize,
+}
+
+impl Site {
+    /// Centre of the site in tile coordinates (used by the rasteriser and by
+    /// wirelength estimation).
+    pub fn center(&self) -> (f32, f32) {
+        (
+            self.x as f32 + 0.5,
+            self.y as f32 + self.height as f32 * 0.5,
+        )
+    }
+
+    /// Whether the site covers tile `(x, y)`.
+    pub fn covers(&self, x: usize, y: usize) -> bool {
+        x == self.x && y >= self.y && y < self.y + self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_center_of_unit_site() {
+        let s = Site {
+            id: SiteId(0),
+            kind: SiteKind::Clb,
+            x: 3,
+            y: 4,
+            subtile: 0,
+            height: 1,
+        };
+        assert_eq!(s.center(), (3.5, 4.5));
+        assert!(s.covers(3, 4));
+        assert!(!s.covers(3, 5));
+        assert!(!s.covers(4, 4));
+    }
+
+    #[test]
+    fn tall_site_covers_span() {
+        let s = Site {
+            id: SiteId(1),
+            kind: SiteKind::Memory,
+            x: 2,
+            y: 1,
+            subtile: 0,
+            height: 4,
+        };
+        for y in 1..5 {
+            assert!(s.covers(2, y));
+        }
+        assert!(!s.covers(2, 5));
+        assert_eq!(s.center(), (2.5, 3.0));
+    }
+
+    #[test]
+    fn site_kind_display() {
+        assert_eq!(SiteKind::Multiplier.to_string(), "multiplier");
+        assert_eq!(SiteId(7).to_string(), "s7");
+    }
+}

@@ -1,0 +1,66 @@
+//! Criterion bench: cost of the design choices DESIGN.md calls out —
+//! skip-connection modes (§5.3), grayscale vs RGB inputs (§5.2) and the
+//! RUDY analytical baseline vs one generator forward pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pop_arch::Arch;
+use pop_core::{ExperimentConfig, Pix2Pix, SkipMode};
+use pop_netlist::{generate, presets};
+use pop_nn::Tensor;
+use pop_place::{place, PlaceOptions};
+use pop_route::rudy_estimate;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(20);
+
+    // Skip-connection modes: inference cost per variant.
+    let base = ExperimentConfig::test();
+    for (label, skip) in [
+        ("all_skips", SkipMode::All),
+        ("single_skip", SkipMode::Single),
+        ("no_skips", SkipMode::None),
+    ] {
+        let cfg = ExperimentConfig { skip, ..base.clone() };
+        let mut model = Pix2Pix::new(&cfg, 1).expect("model");
+        let x = Tensor::randn(
+            [1, cfg.input_channels(), cfg.resolution, cfg.resolution],
+            0.0,
+            0.5,
+            2,
+        );
+        group.bench_function(format!("forecast_{label}"), |b| {
+            b.iter(|| model.forecast(&x))
+        });
+    }
+
+    // Grayscale vs RGB input channels.
+    let gray = ExperimentConfig {
+        grayscale_input: true,
+        ..base.clone()
+    };
+    let mut gray_model = Pix2Pix::new(&gray, 1).expect("model");
+    let gx = Tensor::randn(
+        [1, gray.input_channels(), gray.resolution, gray.resolution],
+        0.0,
+        0.5,
+        3,
+    );
+    group.bench_function("forecast_grayscale_input", |b| {
+        b.iter(|| gray_model.forecast(&gx))
+    });
+
+    // The RUDY analytical baseline on the same placement inputs.
+    let netlist = generate(&presets::by_name("diffeq1").unwrap().scaled(0.02));
+    let (cl, io, me, mu) = netlist.site_demand();
+    let arch = Arch::auto_size(cl, io, me, mu, 16, 1.3).unwrap();
+    let placement = place(&arch, &netlist, &PlaceOptions::default()).unwrap();
+    group.bench_function("rudy_estimate", |b| {
+        b.iter(|| rudy_estimate(&arch, &netlist, &placement, 1.0))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

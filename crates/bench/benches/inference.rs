@@ -1,0 +1,37 @@
+//! Criterion bench: heat-map forecast latency — the numerator of the
+//! paper's speedup metric ("inference takes about 0.09 second per image"
+//! on the authors' GPU; this measures our CPU substrate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pop_core::{ExperimentConfig, Pix2Pix};
+use pop_nn::Tensor;
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference");
+    group.sample_size(20);
+
+    for (label, config) in [
+        ("test_scale", ExperimentConfig::test()),
+        ("quick_scale", ExperimentConfig::quick()),
+    ] {
+        let mut model = Pix2Pix::new(&config, 1).expect("valid config");
+        let x = Tensor::randn(
+            [1, config.input_channels(), config.resolution, config.resolution],
+            0.0,
+            0.5,
+            2,
+        );
+        group.bench_function(format!("forecast_{label}"), |b| {
+            b.iter(|| model.forecast(&x))
+        });
+        group.bench_function(format!("train_step_{label}"), |b| {
+            let y = Tensor::randn([1, 3, config.resolution, config.resolution], 0.0, 0.5, 3);
+            b.iter(|| model.train_step(&x, &y))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

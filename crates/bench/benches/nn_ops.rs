@@ -1,0 +1,49 @@
+//! Criterion bench: neural-network layer kernels (the substrate replacing
+//! TensorFlow).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pop_nn::{BatchNorm2d, Conv2d, ConvTranspose2d, Layer, Tensor};
+
+fn bench_nn_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_ops");
+    group.sample_size(20);
+
+    let x = Tensor::randn([1, 16, 32, 32], 0.0, 1.0, 1);
+    let mut conv = Conv2d::new(16, 32, 4, 2, 1, 2);
+    group.bench_function("conv2d_fwd_16x32x32", |b| {
+        b.iter(|| conv.forward(&x, true))
+    });
+    let y = conv.forward(&x, true);
+    group.bench_function("conv2d_fwd_bwd_16x32x32", |b| {
+        b.iter(|| {
+            let _ = conv.forward(&x, true);
+            conv.backward(&y)
+        })
+    });
+
+    let xt = Tensor::randn([1, 32, 16, 16], 0.0, 1.0, 3);
+    let mut deconv = ConvTranspose2d::new(32, 16, 4, 2, 1, 4);
+    group.bench_function("deconv_fwd_32x16x16", |b| {
+        b.iter(|| deconv.forward(&xt, true))
+    });
+
+    let mut bn = BatchNorm2d::new(16);
+    group.bench_function("batchnorm_fwd_16x32x32", |b| {
+        b.iter(|| bn.forward(&x, true))
+    });
+
+    group.bench_function("matmul_64x256x256", |b| {
+        let a = vec![0.5f32; 64 * 256];
+        let bm = vec![0.25f32; 256 * 256];
+        b.iter(|| {
+            let mut out = vec![0.0f32; 64 * 256];
+            pop_nn::linalg::matmul_nn(&a, &bm, &mut out, 64, 256, 256);
+            out
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_nn_ops);
+criterion_main!(benches);

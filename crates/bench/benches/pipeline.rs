@@ -1,0 +1,55 @@
+//! Criterion bench: one end-to-end dataset pair (place → route → rasterise
+//! → tensors), the unit of the paper's data-generation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pop_core::features::{assemble_input, assemble_target};
+use pop_core::{dataset::design_fabric, ExperimentConfig};
+use pop_netlist::presets;
+use pop_place::{place, PlaceOptions};
+use pop_raster::{render_congestion, render_connectivity, render_placement};
+use pop_route::{route_on_graph, RouteGraph, RouteOptions};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let config = ExperimentConfig::test();
+    let spec = presets::by_name("diffeq1").unwrap();
+    let (arch, netlist, _) = design_fabric(&spec, &config).expect("fabric");
+    let graph = RouteGraph::new(&arch);
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    group.bench_function("one_pair_end_to_end", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let opts = PlaceOptions {
+                seed,
+                inner_num: 0.05,
+                ..Default::default()
+            };
+            let placement = place(&arch, &netlist, &opts).unwrap();
+            let routing =
+                route_on_graph(&arch, &graph, &netlist, &placement, &RouteOptions::default())
+                    .unwrap();
+            let img_place = render_placement(&arch, &netlist, &placement, config.resolution);
+            let img_connect =
+                render_connectivity(&arch, &netlist, &placement, config.resolution);
+            let img_route = render_congestion(
+                &arch,
+                &netlist,
+                &placement,
+                routing.congestion(),
+                config.resolution,
+            );
+            (
+                assemble_input(&img_place, &img_connect, &config),
+                assemble_target(&img_route),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: simulated-annealing placement throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pop_arch::Arch;
+use pop_netlist::{generate, presets};
+use pop_place::{place, Annealer, PlaceOptions};
+
+fn setup() -> (Arch, pop_netlist::Netlist) {
+    let netlist = generate(&presets::by_name("diffeq1").unwrap().scaled(0.02));
+    let (c, i, m, x) = netlist.site_demand();
+    let arch = Arch::auto_size(c, i, m, x, 12, 1.3).unwrap();
+    (arch, netlist)
+}
+
+fn bench_placer(c: &mut Criterion) {
+    let (arch, netlist) = setup();
+    let mut group = c.benchmark_group("placer");
+    group.sample_size(10);
+
+    group.bench_function("full_anneal_diffeq1_x0.02", |b| {
+        b.iter(|| place(&arch, &netlist, &PlaceOptions::default()).unwrap())
+    });
+
+    group.bench_function("anneal_1000_moves", |b| {
+        b.iter_batched(
+            || Annealer::new(&arch, &netlist, &PlaceOptions::default()).unwrap(),
+            |mut annealer| annealer.step(1000),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_placer);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench: image rendering throughput (the paper's "image
+//! generator implemented based on VPR").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pop_arch::Arch;
+use pop_netlist::{generate, presets};
+use pop_place::{place, PlaceOptions};
+use pop_raster::{
+    grayscale, render_congestion, render_connectivity, render_floorplan, render_placement,
+};
+use pop_route::{route, RouteOptions};
+
+fn bench_raster(c: &mut Criterion) {
+    let netlist = generate(&presets::by_name("diffeq1").unwrap().scaled(0.02));
+    let (cl, io, me, mu) = netlist.site_demand();
+    let arch = Arch::auto_size(cl, io, me, mu, 16, 1.3).unwrap();
+    let placement = place(&arch, &netlist, &PlaceOptions::default()).unwrap();
+    let routing = route(&arch, &netlist, &placement, &RouteOptions::default()).unwrap();
+    let place_img = render_placement(&arch, &netlist, &placement, 64);
+
+    let mut group = c.benchmark_group("raster");
+    group.sample_size(20);
+
+    for side in [64usize, 256] {
+        group.bench_function(format!("floorplan_{side}"), |b| {
+            b.iter(|| render_floorplan(&arch, side))
+        });
+        group.bench_function(format!("placement_{side}"), |b| {
+            b.iter(|| render_placement(&arch, &netlist, &placement, side))
+        });
+        group.bench_function(format!("connectivity_{side}"), |b| {
+            b.iter(|| render_connectivity(&arch, &netlist, &placement, side))
+        });
+        group.bench_function(format!("congestion_{side}"), |b| {
+            b.iter(|| render_congestion(&arch, &netlist, &placement, routing.congestion(), side))
+        });
+    }
+    group.bench_function("grayscale_64", |b| b.iter(|| grayscale(&place_img)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_raster);
+criterion_main!(benches);

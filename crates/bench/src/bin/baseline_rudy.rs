@@ -1,0 +1,65 @@
+//! Baseline comparison: RUDY analytical congestion estimation vs the cGAN,
+//! under the paper's metrics (per-pixel accuracy, Top10).
+//!
+//! The paper positions learned forecasting against analytical/feature-based
+//! estimators (§1's related work); this bench quantifies the gap on our
+//! substrate. If `bench_results/table2.csv` exists (run the `table2` bench
+//! first), the cGAN's numbers are printed alongside for direct comparison.
+
+use pop_bench::{all_datasets, config_from_env, out_dir, pct};
+use pop_core::baseline::evaluate_rudy_against;
+use pop_netlist::presets;
+
+fn main() {
+    let config = config_from_env();
+    let datasets = all_datasets(&config);
+
+    // cGAN results from a prior table2 run, if present.
+    let table2 = std::fs::read_to_string(out_dir().join("table2.csv")).ok();
+    let cgan_row = |design: &str| -> Option<(f32, f32)> {
+        let csv = table2.as_ref()?;
+        for line in csv.lines().skip(1) {
+            let cols: Vec<&str> = line.split(',').collect();
+            if cols.first() == Some(&design) {
+                // design,luts,ffs,nets,pairs,acc1,acc2,top10
+                let acc2 = cols.get(6)?.parse().ok()?;
+                let top10 = cols.get(7)?.parse().ok()?;
+                return Some((acc2, top10));
+            }
+        }
+        None
+    };
+
+    println!("\nBaseline: RUDY analytical estimate vs cGAN (same metrics, same data)");
+    println!(
+        "{:<10} {:>10} {:>10} | {:>10} {:>10}",
+        "design", "RUDY acc", "RUDY t10", "cGAN acc2", "cGAN t10"
+    );
+    let mut csv = String::from("design,rudy_acc,rudy_top10,calibration\n");
+    for ds in &datasets {
+        let spec = presets::by_name(&ds.name).expect("preset");
+        let report = evaluate_rudy_against(ds, &spec, &config).expect("baseline eval");
+        let (cg_acc, cg_t10) = cgan_row(&ds.name)
+            .map(|(a, t)| (pct(a), pct(t)))
+            .unwrap_or_else(|| ("-".into(), "-".into()));
+        println!(
+            "{:<10} {:>10} {:>10} | {:>10} {:>10}",
+            ds.name,
+            pct(report.per_pixel_accuracy),
+            pct(report.top10),
+            cg_acc,
+            cg_t10
+        );
+        csv.push_str(&format!(
+            "{},{},{},{}\n",
+            ds.name, report.per_pixel_accuracy, report.top10, report.calibration
+        ));
+    }
+    std::fs::write(out_dir().join("baseline_rudy.csv"), csv).expect("write csv");
+    println!("\nreading the table: RUDY's per-pixel accuracy benefits from rendering");
+    println!("through the exact ground-truth pipeline (tiles and background are");
+    println!("pixel-perfect by construction) — but its Top10, the metric that decides");
+    println!("which placement to ship, trails the cGAN on most designs: analytical");
+    println!("smearing barely discriminates *between placements* of the same design,");
+    println!("which is precisely the capability the paper's forecaster adds.");
+}

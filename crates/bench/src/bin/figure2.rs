@@ -1,0 +1,79 @@
+//! Regenerates **Figure 2**, the motivating example: (a) `img_floor`,
+//! (b) `img_place`, (d) `img_route` (the routing heat map used as ground
+//! truth) and (e) the pixel difference `img_route − img_place`, plus the
+//! Figure 4 connectivity images of two different placements.
+
+use pop_bench::{config_from_env, out_dir};
+use pop_core::dataset::design_fabric;
+use pop_netlist::presets;
+use pop_place::{place, PlaceOptions};
+use pop_raster::{
+    render_congestion, render_connectivity, render_floorplan, render_placement, render_routing,
+    Image,
+};
+use pop_route::{route, RouteOptions};
+
+fn main() {
+    let config = config_from_env();
+    let spec = presets::by_name("diffeq1").expect("preset");
+    let (arch, netlist, width) = design_fabric(&spec, &config).expect("fabric");
+    let dir = out_dir().join("figure2");
+    std::fs::create_dir_all(&dir).expect("figure2 dir");
+    let side = config.resolution.max(128); // keep the showcase images legible
+
+    let placement = place(&arch, &netlist, &PlaceOptions::default()).expect("placement");
+    let routing = route(&arch, &netlist, &placement, &RouteOptions::default()).expect("routing");
+
+    let img_floor = render_floorplan(&arch, side);
+    let img_place = render_placement(&arch, &netlist, &placement, side);
+    let img_wires = render_routing(&arch, &netlist, &placement, routing.routes(), side);
+    let img_route = render_congestion(&arch, &netlist, &placement, routing.congestion(), side);
+
+    // (e): exact per-pixel difference, visualised as |route − place|.
+    let mut diff = Image::zeros(side, side, 3);
+    for (o, (a, b)) in diff
+        .data_mut()
+        .iter_mut()
+        .zip(img_route.data().iter().zip(img_place.data()))
+    {
+        *o = (a - b).abs();
+    }
+
+    img_floor.write_pnm(dir.join("a_img_floor.ppm")).expect("write");
+    img_place.write_pnm(dir.join("b_img_place.ppm")).expect("write");
+    img_wires.write_pnm(dir.join("c_routing_result.ppm")).expect("write");
+    img_route.write_pnm(dir.join("d_img_route.ppm")).expect("write");
+    diff.write_pnm(dir.join("e_difference.ppm")).expect("write");
+
+    // Figure 4: connectivity images of two different placements.
+    let placement2 = place(
+        &arch,
+        &netlist,
+        &PlaceOptions {
+            seed: 42,
+            ..Default::default()
+        },
+    )
+    .expect("placement 2");
+    render_connectivity(&arch, &netlist, &placement, side)
+        .write_pnm(dir.join("fig4_connectivity_a.pgm"))
+        .expect("write");
+    render_connectivity(&arch, &netlist, &placement2, side)
+        .write_pnm(dir.join("fig4_connectivity_b.pgm"))
+        .expect("write");
+
+    println!("\nFigure 2 — motivating example (diffeq1 at scale {})", config.design_scale);
+    println!(
+        "grid {}x{} tiles, channel width factor {} ({}), peak utilisation {:.2}",
+        arch.width(),
+        arch.height(),
+        width,
+        if routing.success {
+            "routing succeeded"
+        } else {
+            "overuse remains"
+        },
+        routing.congestion().max_utilization()
+    );
+    println!("images written to {}", dir.display());
+}

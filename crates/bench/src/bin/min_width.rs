@@ -1,0 +1,49 @@
+//! Regenerates the Figure 2 caption statistic — "Routing succeeded with a
+//! channel width factor of 34" — for every design: the binary-searched
+//! minimum channel width of a default placement, and the calibrated width
+//! (minimum × margin) the dataset fabric actually uses.
+
+use pop_bench::{config_from_env, out_dir};
+use pop_core::dataset::design_fabric;
+use pop_netlist::{generate, presets};
+use pop_place::{place, PlaceOptions};
+use pop_route::{min_channel_width, RouteOptions};
+use pop_arch::Arch;
+
+fn main() {
+    let config = config_from_env();
+    println!("\nChannel width factors (scale {})", config.design_scale);
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>10}",
+        "design", "grid", "min W", "used W", "wirelen"
+    );
+    let mut csv = String::from("design,grid,min_width,used_width,wirelength\n");
+    for spec in presets::all() {
+        let scaled = spec.scaled(config.design_scale);
+        let netlist = generate(&scaled);
+        let (c, i, m, x) = netlist.site_demand();
+        let probe = Arch::auto_size(c, i, m, x, 8, 1.3).expect("arch");
+        let placement = place(&probe, &netlist, &PlaceOptions::default()).expect("placement");
+        let (min_w, result) =
+            min_channel_width(&probe, &netlist, &placement, &RouteOptions::default())
+                .expect("width search");
+        let (_, _, used_w) = design_fabric(&spec, &config).expect("fabric");
+        let grid = format!("{}x{}", probe.width(), probe.height());
+        println!(
+            "{:<10} {:>8} {:>8} {:>8} {:>10}",
+            spec.name,
+            grid,
+            min_w,
+            used_w,
+            result.wirelength()
+        );
+        csv.push_str(&format!(
+            "{},{grid},{min_w},{used_w},{}\n",
+            spec.name,
+            result.wirelength()
+        ));
+    }
+    std::fs::write(out_dir().join("min_width.csv"), csv).expect("write csv");
+    println!("\n(the paper's diffeq1-class example routes at W=34 full-scale; scaled");
+    println!(" instances concentrate traffic, so widths are design- and scale-specific)");
+}

@@ -1,0 +1,72 @@
+//! Regenerates **§5.2** (colour scheme vs grayscale): trains one model on
+//! RGB `img_place` inputs and one on grayscale-converted inputs, then
+//! compares per-pixel accuracy, training time and inference time.
+//!
+//! Paper claims: grayscale drops average accuracy by 3–5 %, saves ~20 %
+//! training time and ~50 % inference time (fewer input channels), and the
+//! inference images come out "brighter" than the ground truth.
+
+use pop_bench::{config_from_env, out_dir, pct};
+use pop_core::dataset::build_or_load;
+use pop_core::{metrics, ExperimentConfig, Pix2Pix};
+use pop_netlist::presets;
+use std::time::Instant;
+
+fn run(config: &ExperimentConfig, label: &str) -> (f32, f64, f64) {
+    let spec = presets::by_name("raygentop").expect("preset");
+    let ds = build_or_load(&spec, config, Some(&pop_bench::cache_dir())).expect("dataset");
+    let split = ds.pairs.len() * 3 / 4;
+    let (train, test) = ds.pairs.split_at(split.max(1));
+
+    let mut model = Pix2Pix::new(config, config.seed).expect("valid config");
+    let t0 = Instant::now();
+    let _ = model.train(train, config.epochs);
+    let train_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let acc = metrics::evaluate_accuracy(&mut model, test, config.tolerance);
+    let infer_secs = t1.elapsed().as_secs_f64() / test.len().max(1) as f64;
+    eprintln!("[sec52] {label}: trained {train_secs:.1}s, infer {infer_secs:.4}s/img");
+    (acc, train_secs, infer_secs)
+}
+
+fn main() {
+    let rgb_config = config_from_env();
+    let gray_config = ExperimentConfig {
+        grayscale_input: true,
+        ..rgb_config.clone()
+    };
+
+    println!("\n§5.2 — colour scheme vs grayscale input (design: raygentop)");
+    let (acc_rgb, t_rgb, i_rgb) = run(&rgb_config, "rgb");
+    let (acc_gray, t_gray, i_gray) = run(&gray_config, "grayscale");
+
+    println!(
+        "{:<11} {:>9} {:>12} {:>14}",
+        "input", "pixelAcc", "train (s)", "infer (s/img)"
+    );
+    println!(
+        "{:<11} {:>9} {:>12.1} {:>14.4}",
+        "rgb",
+        pct(acc_rgb),
+        t_rgb,
+        i_rgb
+    );
+    println!(
+        "{:<11} {:>9} {:>12.1} {:>14.4}",
+        "grayscale",
+        pct(acc_gray),
+        t_gray,
+        i_gray
+    );
+    println!(
+        "\naccuracy delta: {:+.1} pts (paper: −3..−5 pts) | train time: {:+.0}% (paper ≈ −20%) | inference: {:+.0}% (paper ≈ −50%)",
+        (acc_gray - acc_rgb) * 100.0,
+        (t_gray / t_rgb - 1.0) * 100.0,
+        (i_gray / i_rgb - 1.0) * 100.0
+    );
+    let mut csv = String::from("input,acc,train_secs,infer_secs\n");
+    csv.push_str(&format!("rgb,{acc_rgb},{t_rgb},{i_rgb}\n"));
+    csv.push_str(&format!("grayscale,{acc_gray},{t_gray},{i_gray}\n"));
+    std::fs::write(out_dir().join("sec52.csv"), csv).expect("write csv");
+}

@@ -1,0 +1,58 @@
+//! Regenerates the **§5.1 speedup** claim: "the speedup is measured using
+//! the magnitude of routing runtime divided by inference time" (the paper
+//! reports ~0.09 s inference against minutes of routing).
+//!
+//! Routing times come from the dataset metadata (measured while building
+//! the ground truth); inference time is measured here on the same machine,
+//! so the ratio is apples-to-apples.
+
+use pop_bench::{all_datasets, config_from_env, out_dir};
+use pop_core::Pix2Pix;
+use std::time::Instant;
+
+fn main() {
+    let config = config_from_env();
+    let datasets = all_datasets(&config);
+    let mut model = Pix2Pix::new(&config, config.seed).expect("valid config");
+
+    println!("\n§5.1 speedup — routing runtime vs forecast inference");
+    println!(
+        "{:<10} {:>14} {:>14} {:>16} {:>9}",
+        "design", "route (ms)", "place (ms)", "inference (ms)", "speedup"
+    );
+    let mut csv = String::from("design,route_ms,place_ms,inference_ms,speedup\n");
+    for ds in &datasets {
+        let route_ms: f64 = ds
+            .pairs
+            .iter()
+            .map(|p| p.meta.route_micros as f64 / 1000.0)
+            .sum::<f64>()
+            / ds.pairs.len() as f64;
+        let place_ms: f64 = ds
+            .pairs
+            .iter()
+            .map(|p| p.meta.place_micros as f64 / 1000.0)
+            .sum::<f64>()
+            / ds.pairs.len() as f64;
+
+        // Mean inference latency over a handful of pairs.
+        let n = ds.pairs.len().min(8);
+        let t0 = Instant::now();
+        for p in ds.pairs.iter().take(n) {
+            let _ = model.forecast(&p.x);
+        }
+        let infer_ms = t0.elapsed().as_secs_f64() * 1000.0 / n as f64;
+        let speedup = route_ms / infer_ms;
+        println!(
+            "{:<10} {:>14.2} {:>14.2} {:>16.2} {:>8.1}x",
+            ds.name, route_ms, place_ms, infer_ms, speedup
+        );
+        csv.push_str(&format!(
+            "{},{route_ms},{place_ms},{infer_ms},{speedup}\n",
+            ds.name
+        ));
+    }
+    std::fs::write(out_dir().join("speedup.csv"), csv).expect("write csv");
+    println!("\npaper shape: inference is orders of magnitude faster than routing,");
+    println!("and the gap widens with design size (routing scales, inference doesn't).");
+}

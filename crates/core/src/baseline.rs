@@ -1,0 +1,138 @@
+//! The pre-ML baseline: RUDY analytical congestion estimation, evaluated
+//! with the same metrics as the cGAN (per-pixel accuracy on the rendered
+//! heat map, Top10 placement retrieval).
+//!
+//! The paper's premise is that learned forecasting beats analytical
+//! estimation at the *detail* level while needing the same inputs. This
+//! module quantifies that: [`evaluate_rudy_against`] replays the exact
+//! placement sweep of a generated dataset, computes RUDY estimates, and
+//! scores them against the dataset's routed ground truth.
+
+use crate::config::ExperimentConfig;
+use crate::dataset::{design_fabric, DesignDataset};
+use crate::error::CoreError;
+use crate::features::tensor_to_image;
+use pop_netlist::SyntheticSpec;
+use pop_place::{place, sweep::SweepSpec};
+use pop_raster::metrics::per_pixel_accuracy;
+use pop_raster::{render_congestion, Image};
+use pop_route::{rudy_estimate, CongestionMap};
+
+/// Baseline quality numbers, directly comparable to a Table 2 row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineReport {
+    /// Mean per-pixel accuracy of the RUDY heat maps vs the routed truth.
+    pub per_pixel_accuracy: f32,
+    /// Top10 overlap of the RUDY placement ranking vs the routed ranking.
+    pub top10: f32,
+    /// Calibration factor applied to the raw RUDY densities.
+    pub calibration: f32,
+}
+
+/// Renders a RUDY estimate as a heat-map image (same encoding as the
+/// ground truth, so image metrics apply unchanged).
+pub fn rudy_forecast_image(
+    arch: &pop_arch::Arch,
+    netlist: &pop_netlist::Netlist,
+    placement: &pop_place::Placement,
+    calibration: f32,
+    side: usize,
+) -> (Image, CongestionMap) {
+    let est = rudy_estimate(arch, netlist, placement, calibration);
+    let img = render_congestion(arch, netlist, placement, &est, side);
+    (img, est)
+}
+
+/// Scores RUDY against a generated dataset's ground truth.
+///
+/// The dataset's placement sweep is replayed (it is deterministic in the
+/// config seed), RUDY is calibrated on the *first* placement by matching
+/// mean congestion — the one freebie any practitioner would grant an
+/// analytical model — and every placement is then scored blind.
+///
+/// # Errors
+///
+/// Propagates substrate failures; returns [`CoreError::Pipeline`] when the
+/// replayed sweep disagrees with the dataset (config mismatch).
+pub fn evaluate_rudy_against(
+    ds: &DesignDataset,
+    spec: &SyntheticSpec,
+    config: &ExperimentConfig,
+) -> Result<BaselineReport, CoreError> {
+    let (arch, netlist, _) = design_fabric(spec, config)?;
+    let sweep = SweepSpec {
+        base_seed: config.seed,
+        ..SweepSpec::quick()
+    };
+    let options = sweep.take(ds.pairs.len());
+
+    let mut calibration = 1.0f32;
+    let mut acc_sum = 0.0f64;
+    let mut pred_scores = Vec::with_capacity(ds.pairs.len());
+    let mut true_scores = Vec::with_capacity(ds.pairs.len());
+    for (i, (popts, pair)) in options.iter().zip(&ds.pairs).enumerate() {
+        if popts.seed != pair.meta.place_seed {
+            return Err(CoreError::Pipeline(format!(
+                "sweep replay mismatch at pair {i}: seed {} vs {}",
+                popts.seed, pair.meta.place_seed
+            )));
+        }
+        let placement = place(&arch, &netlist, popts)?;
+        let raw = rudy_estimate(&arch, &netlist, &placement, 1.0);
+        if i == 0 {
+            // Mean-matching calibration on the first placement.
+            let raw_mean = raw.mean_utilization();
+            if raw_mean > f32::EPSILON {
+                calibration = pair.meta.true_mean_congestion / raw_mean;
+            }
+        }
+        let est = rudy_estimate(&arch, &netlist, &placement, calibration);
+        let img = render_congestion(&arch, &netlist, &placement, &est, config.resolution);
+        let truth_img = tensor_to_image(&pair.y);
+        acc_sum += per_pixel_accuracy(&img, &truth_img, config.tolerance)
+            .map_err(|e| CoreError::Pipeline(e.to_string()))? as f64;
+        pred_scores.push(est.mean_utilization());
+        true_scores.push(pair.meta.true_mean_congestion);
+    }
+    Ok(BaselineReport {
+        per_pixel_accuracy: (acc_sum / ds.pairs.len().max(1) as f64) as f32,
+        top10: crate::metrics::top_k_overlap(&pred_scores, &true_scores, 10),
+        calibration,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::build_design_dataset;
+    use pop_netlist::presets;
+
+    #[test]
+    fn baseline_scores_are_valid() {
+        let config = ExperimentConfig {
+            pairs_per_design: 4,
+            ..ExperimentConfig::test()
+        };
+        let spec = presets::by_name("diffeq1").unwrap();
+        let ds = build_design_dataset(&spec, &config).unwrap();
+        let report = evaluate_rudy_against(&ds, &spec, &config).unwrap();
+        assert!((0.0..=1.0).contains(&report.per_pixel_accuracy));
+        assert!((0.0..=1.0).contains(&report.top10));
+        assert!(report.calibration > 0.0);
+    }
+
+    #[test]
+    fn replay_mismatch_is_detected() {
+        let config = ExperimentConfig {
+            pairs_per_design: 2,
+            ..ExperimentConfig::test()
+        };
+        let spec = presets::by_name("diffeq2").unwrap();
+        let mut ds = build_design_dataset(&spec, &config).unwrap();
+        ds.pairs[0].meta.place_seed = 999; // corrupt provenance
+        assert!(matches!(
+            evaluate_rudy_against(&ds, &spec, &config),
+            Err(CoreError::Pipeline(_))
+        ));
+    }
+}

@@ -1,0 +1,546 @@
+//! Dataset generation: the paper's §5 "Datasets" paragraph as code.
+//!
+//! For each design: scale the preset, generate the netlist, auto-size the
+//! fabric, **calibrate the channel width** (binary-search the minimum width
+//! on a probe placement, then add the VTR-style margin — this is how "the
+//! ground truth images are collected with … default VPR settings" ends up
+//! with a fixed, routable fabric per design), then sweep the placement
+//! options, route every placement, rasterise `img_place`/`img_connect`/
+//! `img_route` and assemble tensors.
+//!
+//! Generated datasets can be cached on disk ([`save_dataset`] /
+//! [`load_dataset`]) in a little-endian binary format keyed by a config
+//! fingerprint, because routing hundreds of placements dominates experiment
+//! wall-time.
+
+use crate::config::ExperimentConfig;
+use crate::error::CoreError;
+use crate::features::{assemble_input, assemble_target};
+use pop_arch::Arch;
+use pop_netlist::{generate, Netlist, SyntheticSpec};
+use pop_nn::Tensor;
+use pop_place::{place, sweep::SweepSpec};
+use pop_raster::{render_congestion, render_connectivity, render_placement};
+use pop_route::{min_channel_width, route_on_graph, RouteGraph, RouteOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Provenance and ground-truth scalars of one training pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairMeta {
+    /// Design name.
+    pub design: String,
+    /// Index within the design's placement sweep.
+    pub index: usize,
+    /// Placement seed that produced this pair.
+    pub place_seed: u64,
+    /// Mean channel utilisation of the ground-truth routing.
+    pub true_mean_congestion: f32,
+    /// Peak channel utilisation of the ground-truth routing.
+    pub true_max_congestion: f32,
+    /// Wall-clock microseconds spent routing (the denominator of the
+    /// paper's speedup metric).
+    pub route_micros: u64,
+    /// Wall-clock microseconds spent placing.
+    pub place_micros: u64,
+}
+
+impl PairMeta {
+    /// Meta for synthetic test pairs.
+    pub fn synthetic(seed: u64) -> Self {
+        PairMeta {
+            design: "synthetic".into(),
+            index: seed as usize,
+            place_seed: seed,
+            true_mean_congestion: 0.0,
+            true_max_congestion: 0.0,
+            route_micros: 0,
+            place_micros: 0,
+        }
+    }
+}
+
+/// One training example: input features `x`, target heat map `y`, and
+/// provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pair {
+    /// Generator input (`stack(img_place, λ·img_connect)` in `[-1, 1]`).
+    pub x: Tensor,
+    /// Ground-truth heat map in `[-1, 1]`.
+    pub y: Tensor,
+    /// Provenance and ground-truth scalars.
+    pub meta: PairMeta,
+}
+
+/// All pairs generated for one design, plus the fabric they share.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignDataset {
+    /// Design name (Table 2 row).
+    pub name: String,
+    /// Training pairs, in sweep order.
+    pub pairs: Vec<Pair>,
+    /// Calibrated channel width of the fabric.
+    pub channel_width: usize,
+    /// Fabric grid width in tiles.
+    pub grid_width: usize,
+    /// Fabric grid height in tiles.
+    pub grid_height: usize,
+}
+
+/// Rebuilds the architecture and netlist a dataset was generated on (the
+/// fabric is a deterministic function of spec + config).
+///
+/// # Errors
+///
+/// Propagates substrate errors.
+pub fn design_fabric(
+    spec: &SyntheticSpec,
+    config: &ExperimentConfig,
+) -> Result<(Arch, Netlist, usize), CoreError> {
+    let scaled = spec.scaled(config.design_scale);
+    let netlist = generate(&scaled);
+    let (clbs, ios, mems, mults) = netlist.site_demand();
+    let probe_arch = Arch::auto_size(clbs, ios, mems, mults, 8, 1.3)?;
+    let probe_placement = place(&probe_arch, &netlist, &Default::default())?;
+    let (min_w, _) = min_channel_width(
+        &probe_arch,
+        &netlist,
+        &probe_placement,
+        &RouteOptions::default(),
+    )?;
+    let width = ((min_w as f64 * config.channel_width_margin).ceil() as usize).max(4);
+    let arch = Arch::auto_size(clbs, ios, mems, mults, width, 1.3)?;
+    Ok((arch, netlist, width))
+}
+
+/// Generates the dataset for one design preset under `config`
+/// (`config.pairs_per_design` placements from the option sweep, each routed
+/// and rasterised).
+///
+/// # Errors
+///
+/// Propagates placement/routing failures as [`CoreError::Pipeline`].
+pub fn build_design_dataset(
+    spec: &SyntheticSpec,
+    config: &ExperimentConfig,
+) -> Result<DesignDataset, CoreError> {
+    config.validate()?;
+    let (arch, netlist, channel_width) = design_fabric(spec, config)?;
+    let graph = RouteGraph::new(&arch);
+    let route_opts = RouteOptions::default();
+    let sweep = SweepSpec {
+        base_seed: config.seed,
+        ..SweepSpec::quick()
+    };
+    let mut pairs = Vec::with_capacity(config.pairs_per_design);
+    for (index, popts) in sweep.take(config.pairs_per_design).into_iter().enumerate() {
+        let t0 = Instant::now();
+        let placement = place(&arch, &netlist, &popts)?;
+        let place_micros = t0.elapsed().as_micros() as u64;
+
+        let t1 = Instant::now();
+        let routing = route_on_graph(&arch, &graph, &netlist, &placement, &route_opts)?;
+        let route_micros = t1.elapsed().as_micros() as u64;
+
+        let img_place = render_placement(&arch, &netlist, &placement, config.resolution);
+        let img_connect = render_connectivity(&arch, &netlist, &placement, config.resolution);
+        let img_route = render_congestion(
+            &arch,
+            &netlist,
+            &placement,
+            routing.congestion(),
+            config.resolution,
+        );
+        let x = assemble_input(&img_place, &img_connect, config);
+        let y = assemble_target(&img_route);
+        pairs.push(Pair {
+            x,
+            y,
+            meta: PairMeta {
+                design: spec.name.clone(),
+                index,
+                place_seed: popts.seed,
+                true_mean_congestion: routing.congestion().mean_utilization(),
+                true_max_congestion: routing.congestion().max_utilization(),
+                route_micros,
+                place_micros,
+            },
+        });
+    }
+    Ok(DesignDataset {
+        name: spec.name.clone(),
+        pairs,
+        channel_width,
+        grid_width: arch.width(),
+        grid_height: arch.height(),
+    })
+}
+
+/// pix2pix-style flip augmentation: returns the originals followed by
+/// horizontally- and vertically-mirrored copies of every pair (input and
+/// target flipped together, so the mapping stays consistent).
+///
+/// The paper does not augment — its dataset is large enough — but at the
+/// CPU reproduction scale (few placements per design) augmentation
+/// measurably steadies training; it is opt-in for that reason.
+pub fn augment_flips(pairs: &[Pair]) -> Vec<Pair> {
+    let mut out = Vec::with_capacity(pairs.len() * 3);
+    out.extend_from_slice(pairs);
+    for (flip_x, flip_label) in [(true, "hflip"), (false, "vflip")] {
+        for p in pairs {
+            let (x, y) = if flip_x {
+                (p.x.flipped_w(), p.y.flipped_w())
+            } else {
+                (p.x.flipped_h(), p.y.flipped_h())
+            };
+            out.push(Pair {
+                x,
+                y,
+                meta: PairMeta {
+                    design: format!("{}-{flip_label}", p.meta.design),
+                    ..p.meta.clone()
+                },
+            });
+        }
+    }
+    out
+}
+
+/// Leave-one-design-out split (training strategy 1 of §5.1): all pairs of
+/// every design except `held_out` for training, the held-out design for
+/// testing.
+///
+/// # Panics
+///
+/// Panics when `held_out` does not name a dataset in `all`.
+pub fn leave_one_out<'a>(
+    all: &'a [DesignDataset],
+    held_out: &str,
+) -> (Vec<&'a Pair>, &'a DesignDataset) {
+    let test = all
+        .iter()
+        .find(|d| d.name == held_out)
+        .unwrap_or_else(|| panic!("no dataset named {held_out}"));
+    let train: Vec<&Pair> = all
+        .iter()
+        .filter(|d| d.name != held_out)
+        .flat_map(|d| d.pairs.iter())
+        .collect();
+    (train, test)
+}
+
+// ---------------------------------------------------------------------------
+// Disk cache.
+// ---------------------------------------------------------------------------
+
+const MAGIC: &[u8; 8] = b"POPDS002";
+
+/// Fingerprint of everything that affects generated data.
+fn fingerprint(spec_seed: u64, config: &ExperimentConfig) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    eat(spec_seed);
+    eat(config.resolution as u64);
+    eat(config.pairs_per_design as u64);
+    eat(config.design_scale.to_bits());
+    eat(config.lambda_connect.to_bits() as u64);
+    eat(u64::from(config.grayscale_input));
+    eat(config.channel_width_margin.to_bits());
+    eat(config.seed);
+    h
+}
+
+fn cache_path(dir: &Path, design: &str) -> PathBuf {
+    dir.join(format!("{design}.popds"))
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f32(w: &mut impl Write, v: f32) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> std::io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> std::io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f32(r: &mut impl Read) -> std::io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+fn write_tensor(w: &mut impl Write, t: &Tensor) -> std::io::Result<()> {
+    for d in t.shape() {
+        write_u32(w, d as u32)?;
+    }
+    let mut bytes = Vec::with_capacity(t.len() * 4);
+    for v in t.data() {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    w.write_all(&bytes)
+}
+
+fn read_tensor(r: &mut impl Read) -> std::io::Result<Tensor> {
+    let mut shape = [0usize; 4];
+    for s in &mut shape {
+        *s = read_u32(r)? as usize;
+    }
+    let len: usize = shape.iter().product();
+    let mut bytes = vec![0u8; len * 4];
+    r.read_exact(&mut bytes)?;
+    let data = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Ok(Tensor::from_vec(shape, data))
+}
+
+/// Writes a dataset to `dir/<design>.popds`, keyed by the config
+/// fingerprint.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Cache`] on I/O failure.
+pub fn save_dataset(
+    dir: &Path,
+    ds: &DesignDataset,
+    spec_seed: u64,
+    config: &ExperimentConfig,
+) -> Result<(), CoreError> {
+    std::fs::create_dir_all(dir)?;
+    let mut w = std::io::BufWriter::new(std::fs::File::create(cache_path(dir, &ds.name))?);
+    w.write_all(MAGIC)?;
+    write_u64(&mut w, fingerprint(spec_seed, config))?;
+    write_u32(&mut w, ds.pairs.len() as u32)?;
+    write_u32(&mut w, ds.channel_width as u32)?;
+    write_u32(&mut w, ds.grid_width as u32)?;
+    write_u32(&mut w, ds.grid_height as u32)?;
+    for p in &ds.pairs {
+        write_u32(&mut w, p.meta.index as u32)?;
+        write_u64(&mut w, p.meta.place_seed)?;
+        write_f32(&mut w, p.meta.true_mean_congestion)?;
+        write_f32(&mut w, p.meta.true_max_congestion)?;
+        write_u64(&mut w, p.meta.route_micros)?;
+        write_u64(&mut w, p.meta.place_micros)?;
+        write_tensor(&mut w, &p.x)?;
+        write_tensor(&mut w, &p.y)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads a cached dataset if present and fingerprint-compatible; `Ok(None)`
+/// when absent or stale.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Cache`] on I/O failure of an existing file.
+pub fn load_dataset(
+    dir: &Path,
+    design: &str,
+    spec_seed: u64,
+    config: &ExperimentConfig,
+) -> Result<Option<DesignDataset>, CoreError> {
+    let path = cache_path(dir, design);
+    if !path.exists() {
+        return Ok(None);
+    }
+    let mut r = std::io::BufReader::new(std::fs::File::open(&path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Ok(None);
+    }
+    if read_u64(&mut r)? != fingerprint(spec_seed, config) {
+        return Ok(None);
+    }
+    let n = read_u32(&mut r)? as usize;
+    let channel_width = read_u32(&mut r)? as usize;
+    let grid_width = read_u32(&mut r)? as usize;
+    let grid_height = read_u32(&mut r)? as usize;
+    let mut pairs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let index = read_u32(&mut r)? as usize;
+        let place_seed = read_u64(&mut r)?;
+        let true_mean_congestion = read_f32(&mut r)?;
+        let true_max_congestion = read_f32(&mut r)?;
+        let route_micros = read_u64(&mut r)?;
+        let place_micros = read_u64(&mut r)?;
+        let x = read_tensor(&mut r)?;
+        let y = read_tensor(&mut r)?;
+        pairs.push(Pair {
+            x,
+            y,
+            meta: PairMeta {
+                design: design.to_string(),
+                index,
+                place_seed,
+                true_mean_congestion,
+                true_max_congestion,
+                route_micros,
+                place_micros,
+            },
+        });
+    }
+    Ok(Some(DesignDataset {
+        name: design.to_string(),
+        pairs,
+        channel_width,
+        grid_width,
+        grid_height,
+    }))
+}
+
+/// Builds (or loads from `cache_dir`) the dataset for one preset.
+///
+/// # Errors
+///
+/// Propagates build and cache errors.
+pub fn build_or_load(
+    spec: &SyntheticSpec,
+    config: &ExperimentConfig,
+    cache_dir: Option<&Path>,
+) -> Result<DesignDataset, CoreError> {
+    if let Some(dir) = cache_dir {
+        if let Some(ds) = load_dataset(dir, &spec.name, spec.seed, config)? {
+            return Ok(ds);
+        }
+    }
+    let ds = build_design_dataset(spec, config)?;
+    if let Some(dir) = cache_dir {
+        save_dataset(dir, &ds, spec.seed, config)?;
+    }
+    Ok(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pop_netlist::presets;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            pairs_per_design: 3,
+            ..ExperimentConfig::test()
+        }
+    }
+
+    #[test]
+    fn build_dataset_has_expected_shapes() {
+        let config = cfg();
+        let ds = build_design_dataset(&presets::by_name("diffeq2").unwrap(), &config).unwrap();
+        assert_eq!(ds.pairs.len(), 3);
+        for p in &ds.pairs {
+            assert_eq!(p.x.shape(), [1, 4, 32, 32]);
+            assert_eq!(p.y.shape(), [1, 3, 32, 32]);
+            assert!(p.meta.true_mean_congestion > 0.0);
+            assert!(p.meta.route_micros > 0);
+        }
+        assert!(ds.channel_width >= 4);
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        let config = cfg();
+        let spec = presets::by_name("diffeq2").unwrap();
+        let a = build_design_dataset(&spec, &config).unwrap();
+        let b = build_design_dataset(&spec, &config).unwrap();
+        // Everything but the wall-clock fields must be identical.
+        assert_eq!(a.channel_width, b.channel_width);
+        assert_eq!((a.grid_width, a.grid_height), (b.grid_width, b.grid_height));
+        for (pa, pb) in a.pairs.iter().zip(&b.pairs) {
+            assert_eq!(pa.x, pb.x);
+            assert_eq!(pa.y, pb.y);
+            assert_eq!(pa.meta.place_seed, pb.meta.place_seed);
+            assert_eq!(
+                pa.meta.true_mean_congestion,
+                pb.meta.true_mean_congestion
+            );
+        }
+    }
+
+    #[test]
+    fn different_placements_have_different_congestion() {
+        let config = ExperimentConfig {
+            pairs_per_design: 4,
+            ..cfg()
+        };
+        let ds = build_design_dataset(&presets::by_name("diffeq2").unwrap(), &config).unwrap();
+        let c0 = ds.pairs[0].meta.true_mean_congestion;
+        assert!(
+            ds.pairs
+                .iter()
+                .any(|p| (p.meta.true_mean_congestion - c0).abs() > 1e-6),
+            "congestion must vary across placements"
+        );
+    }
+
+    #[test]
+    fn cache_roundtrip() {
+        let config = cfg();
+        let spec = presets::by_name("diffeq2").unwrap();
+        let ds = build_design_dataset(&spec, &config).unwrap();
+        let dir = std::env::temp_dir().join("pop_core_cache_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        save_dataset(&dir, &ds, spec.seed, &config).unwrap();
+        let loaded = load_dataset(&dir, "diffeq2", spec.seed, &config)
+            .unwrap()
+            .expect("cache hit");
+        assert_eq!(ds, loaded);
+        // Stale fingerprint misses.
+        let mut other = config.clone();
+        other.resolution = 64;
+        assert!(load_dataset(&dir, "diffeq2", spec.seed, &other)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn augmentation_triples_and_stays_consistent() {
+        let config = cfg();
+        let ds = build_design_dataset(&presets::by_name("diffeq2").unwrap(), &config).unwrap();
+        let aug = augment_flips(&ds.pairs);
+        assert_eq!(aug.len(), ds.pairs.len() * 3);
+        // The h-flipped copy of pair 0 flips back to the original.
+        let flipped = &aug[ds.pairs.len()];
+        assert_eq!(flipped.x.flipped_w(), ds.pairs[0].x);
+        assert_eq!(flipped.y.flipped_w(), ds.pairs[0].y);
+        assert!(flipped.meta.design.ends_with("hflip"));
+        // Ground-truth scalars are flip-invariant and preserved.
+        assert_eq!(
+            flipped.meta.true_mean_congestion,
+            ds.pairs[0].meta.true_mean_congestion
+        );
+    }
+
+    #[test]
+    fn leave_one_out_partitions() {
+        let config = cfg();
+        let d1 = build_design_dataset(&presets::by_name("diffeq1").unwrap(), &config).unwrap();
+        let d2 = build_design_dataset(&presets::by_name("diffeq2").unwrap(), &config).unwrap();
+        let all = vec![d1, d2];
+        let (train, test) = leave_one_out(&all, "diffeq1");
+        assert_eq!(test.name, "diffeq1");
+        assert_eq!(train.len(), 3);
+        assert!(train.iter().all(|p| p.meta.design == "diffeq2"));
+    }
+}

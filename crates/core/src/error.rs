@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the forecasting pipeline.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Configuration is internally inconsistent (e.g. resolution not a
+    /// power of two, depth too deep for the resolution).
+    BadConfig(String),
+    /// Dataset generation failed in a substrate (placement / routing).
+    Pipeline(String),
+    /// Disk-cache I/O or format failure.
+    Cache(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::BadConfig(m) => write!(f, "bad experiment config: {m}"),
+            CoreError::Pipeline(m) => write!(f, "dataset pipeline failed: {m}"),
+            CoreError::Cache(m) => write!(f, "dataset cache failed: {m}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+impl From<pop_place::PlaceError> for CoreError {
+    fn from(e: pop_place::PlaceError) -> Self {
+        CoreError::Pipeline(e.to_string())
+    }
+}
+
+impl From<pop_route::RouteError> for CoreError {
+    fn from(e: pop_route::RouteError) -> Self {
+        CoreError::Pipeline(e.to_string())
+    }
+}
+
+impl From<pop_arch::ArchError> for CoreError {
+    fn from(e: pop_arch::ArchError) -> Self {
+        CoreError::Pipeline(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Cache(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::BadConfig("x".into()).to_string().contains("config"));
+        assert!(CoreError::Pipeline("y".into()).to_string().contains("pipeline"));
+        assert!(CoreError::Cache("z".into()).to_string().contains("cache"));
+    }
+
+    #[test]
+    fn conversions_compile() {
+        fn assert_err<E: Error + Send + Sync>() {}
+        assert_err::<CoreError>();
+    }
+}

@@ -1,0 +1,247 @@
+//! Evaluation metrics of §5.1: per-pixel accuracy (Table 2 Acc.1/Acc.2)
+//! and Top10 min-congestion retrieval.
+
+use crate::dataset::{DesignDataset, Pair};
+use crate::features::tensor_to_image;
+use crate::trainer::Pix2Pix;
+use pop_raster::metrics::per_pixel_accuracy;
+use pop_raster::{Image, Layout};
+
+/// Mean per-pixel accuracy of the model's forecasts over `pairs`
+/// ("per-pixel accuracy between the generated image and ground truth
+/// image").
+pub fn evaluate_accuracy(model: &mut Pix2Pix, pairs: &[Pair], tolerance: f32) -> f32 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0f64;
+    for p in pairs {
+        let pred = model.forecast_image(&p.x);
+        let truth = tensor_to_image(&p.y);
+        sum += per_pixel_accuracy(&pred, &truth, tolerance)
+            .expect("forecast and truth share a shape") as f64;
+    }
+    (sum / pairs.len() as f64) as f32
+}
+
+/// Decodes a (predicted or true) heat-map image into a scalar congestion
+/// estimate: the mean utilisation over all routing-channel pixels, read
+/// back through the yellow→purple colour bar.
+pub fn image_mean_congestion(grid_width: usize, grid_height: usize, img: &Image) -> f32 {
+    let layout = Layout::new(grid_width, grid_height, img.width());
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    for py in 0..img.height() {
+        for px in 0..img.width() {
+            if matches!(
+                layout.owner(px, py),
+                pop_raster::PixelOwner::Channel(_)
+            ) {
+                sum += pop_raster::color::utilization_from_color(img.pixel_rgb8(px, py)) as f64;
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        (sum / count as f64) as f32
+    }
+}
+
+/// Fraction of the true best-`k` elements that the predicted ranking also
+/// places in its best `k` (both rankings ascending: lower = better).
+/// `Top10 = 80%` in the paper means 8 of the 10 selected placements are
+/// truly among the 10 least congested.
+///
+/// # Panics
+///
+/// Panics when the score slices differ in length.
+pub fn top_k_overlap(pred_scores: &[f32], true_scores: &[f32], k: usize) -> f32 {
+    assert_eq!(pred_scores.len(), true_scores.len(), "score count");
+    let k = k.min(pred_scores.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let top_set = |scores: &[f32]| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..scores.len()).collect();
+        idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]).then(a.cmp(&b)));
+        idx.truncate(k);
+        idx
+    };
+    let pred_top = top_set(pred_scores);
+    let true_top = top_set(true_scores);
+    let hits = pred_top.iter().filter(|i| true_top.contains(i)).count();
+    hits as f32 / k as f32
+}
+
+/// Pearson correlation between two score vectors (how linearly the
+/// predicted congestion tracks the truth across placements).
+///
+/// # Panics
+///
+/// Panics when the slices differ in length.
+pub fn pearson(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "score count");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ma: f64 = a.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+    let mb: f64 = b.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x as f64 - ma) * (y as f64 - mb);
+        va += (x as f64 - ma).powi(2);
+        vb += (y as f64 - mb).powi(2);
+    }
+    let den = (va.sqrt() * vb.sqrt()).max(1e-12);
+    (cov / den) as f32
+}
+
+/// Spearman rank correlation (Pearson over ranks) — the metric that
+/// matters for placement *selection*: a perfectly monotone but non-linear
+/// forecast still ranks placements correctly.
+///
+/// # Panics
+///
+/// Panics when the slices differ in length.
+pub fn spearman(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "score count");
+    let ranks = |v: &[f32]| -> Vec<f32> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&i, &j| v[i].total_cmp(&v[j]).then(i.cmp(&j)));
+        let mut r = vec![0.0f32; v.len()];
+        for (rank, &i) in idx.iter().enumerate() {
+            r[i] = rank as f32;
+        }
+        r
+    };
+    pearson(&ranks(a), &ranks(b))
+}
+
+/// Predicted-vs-true congestion correlation over a whole dataset: forecasts
+/// every pair, decodes the scalar congestion, and returns
+/// `(pearson, spearman)` against the routed ground truth.
+pub fn congestion_correlation(model: &mut Pix2Pix, ds: &DesignDataset) -> (f32, f32) {
+    let pred: Vec<f32> = ds
+        .pairs
+        .iter()
+        .map(|p| {
+            let img = model.forecast_image(&p.x);
+            image_mean_congestion(ds.grid_width, ds.grid_height, &img)
+        })
+        .collect();
+    let truth: Vec<f32> = ds
+        .pairs
+        .iter()
+        .map(|p| p.meta.true_mean_congestion)
+        .collect();
+    (pearson(&pred, &truth), spearman(&pred, &truth))
+}
+
+/// The Table 2 `Top10` metric: forecast every placement of the held-out
+/// design, rank by predicted mean congestion, and measure overlap with the
+/// ground-truth top 10.
+pub fn top10_accuracy(model: &mut Pix2Pix, ds: &DesignDataset) -> f32 {
+    let pred: Vec<f32> = ds
+        .pairs
+        .iter()
+        .map(|p| {
+            let img = model.forecast_image(&p.x);
+            image_mean_congestion(ds.grid_width, ds.grid_height, &img)
+        })
+        .collect();
+    let truth: Vec<f32> = ds
+        .pairs
+        .iter()
+        .map(|p| p.meta.true_mean_congestion)
+        .collect();
+    top_k_overlap(&pred, &truth, 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_overlap_perfect_and_disjoint() {
+        let truth: Vec<f32> = (0..20).map(|i| i as f32).collect();
+        assert_eq!(top_k_overlap(&truth, &truth, 10), 1.0);
+        let inverted: Vec<f32> = (0..20).map(|i| (19 - i) as f32).collect();
+        assert_eq!(top_k_overlap(&inverted, &truth, 10), 0.0);
+    }
+
+    #[test]
+    fn top_k_overlap_partial() {
+        // Prediction swaps one element of the true top-2 out.
+        let truth = vec![0.0, 1.0, 2.0, 3.0];
+        let pred = vec![0.0, 9.0, 2.0, 3.0];
+        // true top2 = {0, 1}; pred top2 = {0, 2} -> overlap 1/2.
+        assert_eq!(top_k_overlap(&pred, &truth, 2), 0.5);
+    }
+
+    #[test]
+    fn top_k_handles_small_sets() {
+        let s = vec![1.0, 0.5];
+        assert_eq!(top_k_overlap(&s, &s, 10), 1.0);
+        let empty: Vec<f32> = vec![];
+        assert_eq!(top_k_overlap(&empty, &empty, 10), 0.0);
+    }
+
+    #[test]
+    fn pearson_detects_linear_relationships() {
+        let a: Vec<f32> = (0..20).map(|i| i as f32).collect();
+        let b: Vec<f32> = a.iter().map(|v| 3.0 * v + 1.0).collect();
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-5);
+        let c: Vec<f32> = a.iter().map(|v| -v).collect();
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn spearman_is_invariant_to_monotone_warping() {
+        let a: Vec<f32> = (0..20).map(|i| i as f32).collect();
+        // Non-linear but monotone: Pearson < 1, Spearman = 1.
+        let b: Vec<f32> = a.iter().map(|v| v.powi(3)).collect();
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-5);
+        assert!(pearson(&a, &b) < 0.999);
+    }
+
+    #[test]
+    fn correlations_handle_degenerate_inputs() {
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        let flat = vec![0.5f32; 8];
+        let vary: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        // Flat vector has zero variance: correlation defined as ~0.
+        assert!(pearson(&flat, &vary).abs() < 1e-3);
+    }
+
+    #[test]
+    fn image_mean_congestion_reads_colorbar() {
+        use pop_arch::Arch;
+        use pop_route::CongestionMap;
+        let arch = Arch::builder().interior(6, 6).build().unwrap();
+        // Uniform 0.5 utilisation everywhere.
+        let cong =
+            CongestionMap::from_utilization(&arch, vec![0.5; arch.channel_count()]);
+        let netlist = pop_netlist::generate(
+            &pop_netlist::presets::by_name("diffeq2").unwrap().scaled(0.01),
+        );
+        // A netlist that fits this fabric is needed only for rendering;
+        // reuse the placement machinery.
+        let (c, i, m, x) = netlist.site_demand();
+        let arch2 = Arch::auto_size(c, i, m, x, 8, 1.3).unwrap();
+        let cong2 = CongestionMap::from_utilization(
+            &arch2,
+            vec![0.5; arch2.channel_count()],
+        );
+        let placement = pop_place::place(&arch2, &netlist, &Default::default()).unwrap();
+        let img =
+            pop_raster::render_congestion(&arch2, &netlist, &placement, &cong2, 64);
+        let mean = image_mean_congestion(arch2.width(), arch2.height(), &img);
+        assert!((mean - 0.5).abs() < 0.03, "decoded mean {mean}");
+        let _ = cong;
+    }
+}

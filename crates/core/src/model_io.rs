@@ -1,0 +1,235 @@
+//! Model checkpointing: save/load the trained cGAN's weights.
+//!
+//! The Table 2 flow trains one model per held-out design; checkpoints let
+//! downstream users (and the example binaries) reuse a trained forecaster
+//! without re-training. The format is a little-endian binary dump of every
+//! parameter tensor in construction order, keyed by a configuration
+//! fingerprint so a checkpoint can never be loaded into a mismatched
+//! architecture.
+
+use crate::config::ExperimentConfig;
+use crate::error::CoreError;
+use crate::trainer::Pix2Pix;
+use pop_nn::Layer;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"POPCKPT2";
+
+fn config_fingerprint(config: &ExperimentConfig) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    eat(config.resolution as u64);
+    eat(config.base_filters as u64);
+    eat(config.depth as u64);
+    eat(match config.skip {
+        crate::SkipMode::All => 0,
+        crate::SkipMode::Single => 1,
+        crate::SkipMode::None => 2,
+    });
+    eat(u64::from(config.grayscale_input));
+    h
+}
+
+/// Saves the model's generator and discriminator weights.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Cache`] on I/O failure.
+pub fn save_model(model: &mut Pix2Pix, path: &Path) -> Result<(), CoreError> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let fingerprint = config_fingerprint(model.config());
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&fingerprint.to_le_bytes())?;
+    let mut dump = |params: Vec<&[f32]>| -> std::io::Result<()> {
+        w.write_all(&(params.len() as u32).to_le_bytes())?;
+        for p in params {
+            w.write_all(&(p.len() as u32).to_le_bytes())?;
+            for v in p {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    };
+    let gen_params: Vec<Vec<f32>> = model
+        .generator_mut()
+        .params_mut()
+        .iter()
+        .map(|p| p.value.data().to_vec())
+        .collect();
+    dump(gen_params.iter().map(|v| v.as_slice()).collect())?;
+    let disc_params: Vec<Vec<f32>> = model
+        .discriminator_mut()
+        .params_mut()
+        .iter()
+        .map(|p| p.value.data().to_vec())
+        .collect();
+    dump(disc_params.iter().map(|v| v.as_slice()).collect())?;
+    // Non-trainable state: batch-norm running statistics of both networks.
+    let gen_bufs: Vec<Vec<f32>> = model
+        .generator_mut()
+        .buffers_mut()
+        .iter()
+        .map(|b| b.to_vec())
+        .collect();
+    dump(gen_bufs.iter().map(|v| v.as_slice()).collect())?;
+    let disc_bufs: Vec<Vec<f32>> = model
+        .discriminator_mut()
+        .buffers_mut()
+        .iter()
+        .map(|b| b.to_vec())
+        .collect();
+    dump(disc_bufs.iter().map(|v| v.as_slice()).collect())?;
+    Ok(())
+}
+
+/// Loads weights saved by [`save_model`] into a model of the same
+/// architecture.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Cache`] when the file is missing/corrupt or the
+/// checkpoint was produced by a different model architecture.
+pub fn load_model(model: &mut Pix2Pix, path: &Path) -> Result<(), CoreError> {
+    let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CoreError::Cache("bad checkpoint magic".into()));
+    }
+    let mut fp = [0u8; 8];
+    r.read_exact(&mut fp)?;
+    if u64::from_le_bytes(fp) != config_fingerprint(model.config()) {
+        return Err(CoreError::Cache(
+            "checkpoint was trained with a different architecture".into(),
+        ));
+    }
+    let mut slurp = |targets: Vec<&mut [f32]>| -> Result<(), CoreError> {
+        let mut b4 = [0u8; 4];
+        r.read_exact(&mut b4)?;
+        let n = u32::from_le_bytes(b4) as usize;
+        if n != targets.len() {
+            return Err(CoreError::Cache(format!(
+                "checkpoint has {n} tensors, model has {}",
+                targets.len()
+            )));
+        }
+        for t in targets {
+            r.read_exact(&mut b4)?;
+            let len = u32::from_le_bytes(b4) as usize;
+            if len != t.len() {
+                return Err(CoreError::Cache(format!(
+                    "tensor size mismatch: {len} vs {}",
+                    t.len()
+                )));
+            }
+            for v in t.iter_mut() {
+                r.read_exact(&mut b4)?;
+                *v = f32::from_le_bytes(b4);
+            }
+        }
+        Ok(())
+    };
+    slurp(
+        model
+            .generator_mut()
+            .params_mut()
+            .into_iter()
+            .map(|p| p.value.data_mut())
+            .collect(),
+    )?;
+    slurp(
+        model
+            .discriminator_mut()
+            .params_mut()
+            .into_iter()
+            .map(|p| p.value.data_mut())
+            .collect(),
+    )?;
+    slurp(
+        model
+            .generator_mut()
+            .buffers_mut()
+            .into_iter()
+            .map(|b| b.as_mut_slice())
+            .collect(),
+    )?;
+    slurp(
+        model
+            .discriminator_mut()
+            .buffers_mut()
+            .into_iter()
+            .map(|b| b.as_mut_slice())
+            .collect(),
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pop_nn::Tensor;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            resolution: 16,
+            base_filters: 4,
+            depth: 3,
+            ..ExperimentConfig::test()
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_forecasts() {
+        let config = cfg();
+        let mut model = Pix2Pix::new(&config, 21).unwrap();
+        // A couple of training steps so weights differ from init.
+        let x = Tensor::randn([1, config.input_channels(), 16, 16], 0.0, 0.5, 1);
+        let y = Tensor::randn([1, 3, 16, 16], 0.0, 0.5, 2);
+        for _ in 0..3 {
+            model.train_step(&x, &y);
+        }
+        let before = model.forecast(&x);
+
+        let path = std::env::temp_dir().join("pop_ckpt_test/model.ckpt");
+        save_model(&mut model, &path).unwrap();
+
+        let mut fresh = Pix2Pix::new(&config, 99).unwrap();
+        assert_ne!(fresh.forecast(&x), before, "fresh model differs");
+        load_model(&mut fresh, &path).unwrap();
+        assert_eq!(fresh.forecast(&x), before, "loaded model matches");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mismatched_architecture_is_rejected() {
+        let config = cfg();
+        let mut model = Pix2Pix::new(&config, 1).unwrap();
+        let path = std::env::temp_dir().join("pop_ckpt_test/mismatch.ckpt");
+        save_model(&mut model, &path).unwrap();
+
+        let other_cfg = ExperimentConfig {
+            base_filters: 8,
+            ..cfg()
+        };
+        let mut other = Pix2Pix::new(&other_cfg, 1).unwrap();
+        assert!(matches!(
+            load_model(&mut other, &path),
+            Err(CoreError::Cache(_))
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let mut model = Pix2Pix::new(&cfg(), 1).unwrap();
+        let path = std::env::temp_dir().join("pop_ckpt_test/nope.ckpt");
+        assert!(load_model(&mut model, &path).is_err());
+    }
+}

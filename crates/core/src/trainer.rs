@@ -1,0 +1,360 @@
+use crate::config::ExperimentConfig;
+use crate::dataset::Pair;
+use crate::disc::PatchDiscriminator;
+use crate::error::CoreError;
+use crate::features::tensor_to_image;
+use crate::unet::UNetGenerator;
+use pop_nn::loss::{bce_with_logits, l1_loss};
+use pop_nn::{Adam, Layer, Tensor};
+use pop_raster::Image;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-epoch training curves — the data behind the paper's Figure 8.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrainHistory {
+    /// Mean generator objective per epoch (`cGAN + λ_L1·L1`).
+    pub generator_loss: Vec<f32>,
+    /// Mean discriminator objective per epoch.
+    pub discriminator_loss: Vec<f32>,
+    /// Mean raw L1 distance per epoch (reported even when the L1 term is
+    /// ablated from the objective).
+    pub l1: Vec<f32>,
+}
+
+impl TrainHistory {
+    /// Appends another history (used when fine-tuning extends a run).
+    pub fn extend(&mut self, other: &TrainHistory) {
+        self.generator_loss.extend_from_slice(&other.generator_loss);
+        self.discriminator_loss
+            .extend_from_slice(&other.discriminator_loss);
+        self.l1.extend_from_slice(&other.l1);
+    }
+
+    /// Renders the curves as CSV (`epoch,g_loss,d_loss,l1`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("epoch,g_loss,d_loss,l1\n");
+        for i in 0..self.generator_loss.len() {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                i + 1,
+                self.generator_loss[i],
+                self.discriminator_loss[i],
+                self.l1[i]
+            ));
+        }
+        out
+    }
+
+    /// *Relative* mean epoch-to-epoch change of the generator loss over the
+    /// last half of training — the "training noise" §5.3 discusses (smooth
+    /// optimisation gives small values; ablated models give larger ones).
+    /// Normalised by the mean loss level over the same window so variants
+    /// with different objectives (with/without the λ·L1 term) compare
+    /// fairly.
+    pub fn late_noise(&self) -> f32 {
+        let g = &self.generator_loss;
+        if g.len() < 3 {
+            return 0.0;
+        }
+        let start = (g.len() / 2).max(1);
+        let mut diff_sum = 0.0f32;
+        let mut level_sum = 0.0f32;
+        let mut n = 0usize;
+        for i in start..g.len() {
+            diff_sum += (g[i] - g[i - 1]).abs();
+            level_sum += g[i].abs();
+            n += 1;
+        }
+        let mean_level = (level_sum / n as f32).max(1e-6);
+        (diff_sum / n as f32) / mean_level
+    }
+}
+
+/// Losses of one optimisation step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepLosses {
+    /// Discriminator loss (mean of real and fake halves).
+    pub d_loss: f32,
+    /// Generator adversarial term.
+    pub g_gan: f32,
+    /// Raw L1 between `G(x, z)` and the truth.
+    pub g_l1: f32,
+}
+
+/// The conditional GAN of §4: U-Net generator + patch discriminator trained
+/// with `cL(G, D) + λ·E‖g − G(x, z)‖₁` (both Adam, paper hyper-parameters).
+///
+/// Train/fine-tune on [`Pair`]s, then [`Pix2Pix::forecast_image`] a heat
+/// map from fresh placement features in one forward pass — the operation
+/// the paper times at ~0.09 s/image against minutes of routing.
+#[derive(Debug)]
+pub struct Pix2Pix {
+    gen: UNetGenerator,
+    disc: PatchDiscriminator,
+    opt_g: Adam,
+    opt_d: Adam,
+    config: ExperimentConfig,
+    rng: StdRng,
+}
+
+impl Pix2Pix {
+    /// Builds generator, discriminator and optimisers for `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] when the config fails validation.
+    pub fn new(config: &ExperimentConfig, seed: u64) -> Result<Self, CoreError> {
+        config.validate()?;
+        let in_ch = config.input_channels();
+        let gen = UNetGenerator::new(
+            in_ch,
+            3,
+            config.base_filters,
+            config.depth,
+            config.skip,
+            seed,
+        );
+        let disc = PatchDiscriminator::new(
+            in_ch + 3,
+            config.base_filters,
+            config.resolution,
+            seed.wrapping_add(0x0D15C),
+        );
+        let adam = Adam::new(config.learning_rate, 0.5, 0.999, 1e-8);
+        Ok(Pix2Pix {
+            gen,
+            disc,
+            opt_g: adam.clone(),
+            opt_d: adam,
+            config: config.clone(),
+            rng: StdRng::seed_from_u64(seed.wrapping_add(0x7EA1)),
+        })
+    }
+
+    /// The experiment configuration this model was built for.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// The generator (e.g. for parameter counting).
+    pub fn generator_mut(&mut self) -> &mut UNetGenerator {
+        &mut self.gen
+    }
+
+    /// The discriminator.
+    pub fn discriminator_mut(&mut self) -> &mut PatchDiscriminator {
+        &mut self.disc
+    }
+
+    /// One cGAN optimisation step on a single `(x, truth)` pair (the paper
+    /// trains with batch size 1).
+    pub fn train_step(&mut self, x: &Tensor, truth: &Tensor) -> StepLosses {
+        // Generator forward (training mode: dropout provides z).
+        let fake = self.gen.forward(x, true);
+
+        // ---- Discriminator step: maximise log D(x,g) + log(1-D(G(x,z))).
+        self.disc.zero_grad();
+        let real_pair = x.concat_channels(truth);
+        let logits_real = self.disc.forward(&real_pair, true);
+        let (d_real, mut g_real) = bce_with_logits(&logits_real, 1.0);
+        g_real.scale(0.5);
+        let _ = self.disc.backward(&g_real);
+
+        let fake_pair = x.concat_channels(&fake);
+        let logits_fake = self.disc.forward(&fake_pair, true);
+        let (d_fake, mut g_fake) = bce_with_logits(&logits_fake, 0.0);
+        g_fake.scale(0.5);
+        let _ = self.disc.backward(&g_fake);
+        self.opt_d.step(&mut self.disc.params_mut());
+
+        // ---- Generator step: minimise log(1-D(G(x,z))) (non-saturating
+        // form: maximise log D) + λ·L1.
+        self.disc.zero_grad();
+        self.gen.zero_grad();
+        let logits = self.disc.forward(&fake_pair, true);
+        let (g_gan, g_grad) = bce_with_logits(&logits, 1.0);
+        let d_input_grad = self.disc.backward(&g_grad);
+        let (_, mut fake_grad) = d_input_grad.split_channels(x.c());
+
+        let (l1_raw, l1_grad) = l1_loss(&fake, truth);
+        if self.config.use_l1 {
+            let mut weighted = l1_grad;
+            weighted.scale(self.config.lambda_l1);
+            fake_grad.add_assign(&weighted);
+        }
+        let _ = self.gen.backward(&fake_grad);
+        self.opt_g.step(&mut self.gen.params_mut());
+        self.gen.zero_grad();
+        self.disc.zero_grad();
+
+        StepLosses {
+            d_loss: 0.5 * (d_real + d_fake),
+            g_gan,
+            g_l1: l1_raw,
+        }
+    }
+
+    /// Trains for `epochs` passes over `pairs` (shuffled each epoch),
+    /// returning the loss history.
+    pub fn train(&mut self, pairs: &[Pair], epochs: usize) -> TrainHistory {
+        let refs: Vec<&Pair> = pairs.iter().collect();
+        self.train_refs(&refs, epochs)
+    }
+
+    /// [`Pix2Pix::train`] over borrowed pairs — the shape produced by
+    /// [`leave_one_out`](crate::dataset::leave_one_out), avoiding a copy of
+    /// the training tensors.
+    pub fn train_refs(&mut self, pairs: &[&Pair], epochs: usize) -> TrainHistory {
+        let mut history = TrainHistory::default();
+        if pairs.is_empty() {
+            return history;
+        }
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        for _epoch in 0..epochs {
+            // Fisher-Yates with the trainer's RNG: deterministic by seed.
+            for i in (1..order.len()).rev() {
+                let j = self.rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let mut sum_g = 0.0f64;
+            let mut sum_d = 0.0f64;
+            let mut sum_l1 = 0.0f64;
+            for &idx in &order {
+                let losses = self.train_step(&pairs[idx].x, &pairs[idx].y);
+                let g_total = losses.g_gan
+                    + if self.config.use_l1 {
+                        self.config.lambda_l1 * losses.g_l1
+                    } else {
+                        0.0
+                    };
+                sum_g += g_total as f64;
+                sum_d += losses.d_loss as f64;
+                sum_l1 += losses.g_l1 as f64;
+            }
+            let n = pairs.len() as f64;
+            history.generator_loss.push((sum_g / n) as f32);
+            history.discriminator_loss.push((sum_d / n) as f32);
+            history.l1.push((sum_l1 / n) as f32);
+        }
+        history
+    }
+
+    /// Strategy 2 of §5.1: update a trained model with a few pairs from the
+    /// held-out design ("takes the advantages of transfer learning").
+    pub fn finetune(&mut self, pairs: &[Pair], epochs: usize) -> TrainHistory {
+        self.train(pairs, epochs)
+    }
+
+    /// Paints the routing heat map for input features (inference mode — no
+    /// dropout, batch-norm running statistics).
+    pub fn forecast(&mut self, x: &Tensor) -> Tensor {
+        self.gen.forward(x, false)
+    }
+
+    /// [`Pix2Pix::forecast`] decoded into an image.
+    pub fn forecast_image(&mut self, x: &Tensor) -> Image {
+        tensor_to_image(&self.forecast(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::PairMeta;
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            resolution: 16,
+            base_filters: 4,
+            depth: 3,
+            epochs: 1,
+            ..ExperimentConfig::test()
+        }
+    }
+
+    fn synthetic_pair(cfg: &ExperimentConfig, seed: u64) -> Pair {
+        // A learnable mapping: target = low-res structure of the input.
+        let x = Tensor::randn([1, cfg.input_channels(), 16, 16], 0.0, 0.5, seed);
+        let mut y = Tensor::zeros([1, 3, 16, 16]);
+        for c in 0..3 {
+            for i in 0..16 {
+                for j in 0..16 {
+                    y.set(0, c, i, j, x.at(0, 0, i, j).tanh());
+                }
+            }
+        }
+        Pair {
+            x,
+            y,
+            meta: PairMeta::synthetic(seed),
+        }
+    }
+
+    #[test]
+    fn construction_validates_config() {
+        let mut bad = tiny_config();
+        bad.resolution = 17;
+        assert!(Pix2Pix::new(&bad, 1).is_err());
+        assert!(Pix2Pix::new(&tiny_config(), 1).is_ok());
+    }
+
+    #[test]
+    fn train_records_history_and_learns() {
+        let cfg = tiny_config();
+        let pairs: Vec<Pair> = (0..4).map(|s| synthetic_pair(&cfg, s)).collect();
+        let mut model = Pix2Pix::new(&cfg, 3).unwrap();
+        let history = model.train(&pairs, 6);
+        assert_eq!(history.generator_loss.len(), 6);
+        assert_eq!(history.discriminator_loss.len(), 6);
+        // L1 should drop substantially as the generator fits.
+        let first = history.l1[0];
+        let last = *history.l1.last().unwrap();
+        assert!(last < first, "l1 {first} -> {last}");
+        assert!(history.to_csv().lines().count() == 7);
+    }
+
+    #[test]
+    fn forecast_is_deterministic_and_bounded() {
+        let cfg = tiny_config();
+        let mut model = Pix2Pix::new(&cfg, 5).unwrap();
+        let x = Tensor::randn([1, cfg.input_channels(), 16, 16], 0.0, 0.5, 9);
+        let a = model.forecast(&x);
+        let b = model.forecast(&x);
+        assert_eq!(a, b);
+        let img = model.forecast_image(&x);
+        assert_eq!(img.channels(), 3);
+        assert!(img.data().iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn ablated_l1_changes_training() {
+        let cfg = tiny_config();
+        let pairs: Vec<Pair> = (0..2).map(|s| synthetic_pair(&cfg, s)).collect();
+        let mut with_l1 = Pix2Pix::new(&cfg, 7).unwrap();
+        let h1 = with_l1.train(&pairs, 2);
+        let mut no_l1_cfg = cfg.clone();
+        no_l1_cfg.use_l1 = false;
+        let mut without_l1 = Pix2Pix::new(&no_l1_cfg, 7).unwrap();
+        let h2 = without_l1.train(&pairs, 2);
+        // The generator objective differs by the λ·L1 term.
+        assert!(h1.generator_loss[0] > h2.generator_loss[0]);
+    }
+
+    #[test]
+    fn history_extend_and_noise() {
+        let mut h = TrainHistory {
+            generator_loss: vec![1.0, 0.5, 0.52, 0.51],
+            discriminator_loss: vec![0.7; 4],
+            l1: vec![0.2; 4],
+        };
+        let other = TrainHistory {
+            generator_loss: vec![0.5],
+            discriminator_loss: vec![0.6],
+            l1: vec![0.1],
+        };
+        h.extend(&other);
+        assert_eq!(h.generator_loss.len(), 5);
+        assert!(h.late_noise() >= 0.0);
+    }
+}

@@ -1,0 +1,80 @@
+use std::fmt;
+
+/// Dense index of a [`Block`] within one [`Netlist`](crate::Netlist).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Returns the id as a `usize` for direct slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// What a packed netlist block is.
+///
+/// Mirrors [`pop_arch::SiteKind`](../pop_arch/enum.SiteKind.html): a block of
+/// kind `K` can only be placed on a site of the matching kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockKind {
+    /// Primary input pad.
+    Input,
+    /// Primary output pad.
+    Output,
+    /// Cluster-based logic block; carries the number of LUTs and FFs packed
+    /// into its BLEs (used only for bookkeeping / Table 2 statistics).
+    Clb {
+        /// LUTs packed into this cluster.
+        luts: u16,
+        /// Flip-flops packed into this cluster.
+        ffs: u16,
+    },
+    /// Block RAM.
+    Memory,
+    /// Multiplier / DSP block.
+    Multiplier,
+}
+
+impl BlockKind {
+    /// Whether this block must sit on an I/O site.
+    pub fn is_io(&self) -> bool {
+        matches!(self, BlockKind::Input | BlockKind::Output)
+    }
+}
+
+/// One vertex of the packed netlist graph `Graph(V, E)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Dense block index.
+    pub id: BlockId,
+    /// Functional kind.
+    pub kind: BlockKind,
+    /// Human-readable name (`clb_17`, `in_3`, …).
+    pub name: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_detection() {
+        assert!(BlockKind::Input.is_io());
+        assert!(BlockKind::Output.is_io());
+        assert!(!BlockKind::Memory.is_io());
+        assert!(!BlockKind::Clb { luts: 4, ffs: 2 }.is_io());
+    }
+
+    #[test]
+    fn block_id_display_and_index() {
+        assert_eq!(BlockId(42).to_string(), "b42");
+        assert_eq!(BlockId(42).index(), 42);
+    }
+}

@@ -1,0 +1,66 @@
+use crate::block::BlockId;
+use std::fmt;
+
+/// Dense index of a [`Net`] within one [`Netlist`](crate::Netlist).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+impl NetId {
+    /// Returns the id as a `usize` for direct slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One hyperedge of the packed netlist: a driver block fanning out to one or
+/// more sink blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// Dense net index.
+    pub id: NetId,
+    /// The block driving the net.
+    pub driver: BlockId,
+    /// Sink blocks (non-empty; a block may appear once).
+    pub sinks: Vec<BlockId>,
+}
+
+impl Net {
+    /// Iterator over every terminal (driver first, then sinks).
+    pub fn terminals(&self) -> impl Iterator<Item = BlockId> + '_ {
+        std::iter::once(self.driver).chain(self.sinks.iter().copied())
+    }
+
+    /// Number of terminals (driver + sinks).
+    pub fn degree(&self) -> usize {
+        1 + self.sinks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_degree() {
+        let n = Net {
+            id: NetId(0),
+            driver: BlockId(3),
+            sinks: vec![BlockId(1), BlockId(2)],
+        };
+        let t: Vec<_> = n.terminals().collect();
+        assert_eq!(t, vec![BlockId(3), BlockId(1), BlockId(2)]);
+        assert_eq!(n.degree(), 3);
+    }
+
+    #[test]
+    fn net_id_display() {
+        assert_eq!(NetId(5).to_string(), "n5");
+    }
+}

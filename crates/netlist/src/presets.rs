@@ -1,0 +1,138 @@
+//! The eight VTR designs of the paper's Table 2 as [`SyntheticSpec`] presets.
+//!
+//! LUT / FF / net counts are taken verbatim from Table 2. The paper does not
+//! report I/O, memory or multiplier counts, so those are plausible estimates
+//! from the corresponding VTR benchmark family (documented per design below);
+//! they only influence how many special sites the auto-sized grid provides.
+//!
+//! Run CPU-sized experiments with [`SyntheticSpec::scaled`], e.g.
+//! `presets::by_name("ode").unwrap().scaled(0.05)`.
+
+use crate::generator::SyntheticSpec;
+
+/// Deterministic per-design seed derived from the name (FNV-1a).
+fn seed_of(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the preset table columns
+fn spec(
+    name: &str,
+    luts: usize,
+    ffs: usize,
+    nets: usize,
+    inputs: usize,
+    outputs: usize,
+    memories: usize,
+    multipliers: usize,
+) -> SyntheticSpec {
+    SyntheticSpec {
+        name: name.into(),
+        luts,
+        ffs,
+        nets,
+        inputs,
+        outputs,
+        memories,
+        multipliers,
+        luts_per_clb: 10,
+        mean_fanout: 3.0,
+        locality: 0.75,
+        seed: seed_of(name),
+    }
+}
+
+/// All eight Table 2 designs in paper order.
+pub fn all() -> Vec<SyntheticSpec> {
+    vec![
+        // ODE solvers: multiplier-heavy datapaths, no RAM.
+        spec("diffeq1", 563, 193, 2_059, 96, 96, 0, 5),
+        spec("diffeq2", 419, 96, 1_560, 64, 64, 0, 5),
+        // Ray-generation unit: mixed control + arithmetic, a little RAM.
+        spec("raygentop", 1_920, 1_047, 5_023, 214, 32, 1, 8),
+        // SHA hash: pure logic.
+        spec("SHA", 2_501, 911, 10_910, 38, 36, 0, 0),
+        // OR1200 CPU core: logic with a small register-file RAM and MAC.
+        spec("OR1200", 2_823, 670, 12_336, 128, 132, 2, 4),
+        // Arithmetic kernels (ode / dscg / bfly family): RAM + many mults.
+        spec("ode", 5_488, 1_316, 20_981, 128, 96, 2, 12),
+        spec("dcsg", 9_088, 1_618, 36_912, 128, 64, 4, 16),
+        spec("bfly", 9_503, 1_748, 38_582, 128, 64, 4, 16),
+    ]
+}
+
+/// Looks up one preset by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<SyntheticSpec> {
+    all()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_designs_in_paper_order() {
+        let names: Vec<String> = all().into_iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "diffeq1",
+                "diffeq2",
+                "raygentop",
+                "SHA",
+                "OR1200",
+                "ode",
+                "dcsg",
+                "bfly"
+            ]
+        );
+    }
+
+    #[test]
+    fn table2_counts_match_paper() {
+        let check = |name: &str, luts: usize, ffs: usize, nets: usize| {
+            let s = by_name(name).unwrap();
+            assert_eq!((s.luts, s.ffs, s.nets), (luts, ffs, nets), "{name}");
+        };
+        check("diffeq1", 563, 193, 2059);
+        check("diffeq2", 419, 96, 1560);
+        check("raygentop", 1920, 1047, 5023);
+        check("SHA", 2501, 911, 10910);
+        check("OR1200", 2823, 670, 12336);
+        check("ode", 5488, 1316, 20981);
+        check("dcsg", 9088, 1618, 36912);
+        check("bfly", 9503, 1748, 38582);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(by_name("sha").is_some());
+        assert!(by_name("Or1200").is_some());
+        assert!(by_name("nosuch").is_none());
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let seeds: Vec<u64> = all().into_iter().map(|s| s.seed).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(seeds.len(), dedup.len());
+    }
+
+    #[test]
+    fn scaled_presets_generate() {
+        for spec in all() {
+            let small = spec.scaled(0.02);
+            let nl = crate::generate(&small);
+            assert_eq!(nl.stats().nets, small.nets, "{}", spec.name);
+        }
+    }
+}

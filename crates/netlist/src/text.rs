@@ -1,0 +1,250 @@
+//! Plain-text netlist interchange format.
+//!
+//! A minimal, BLIF-spirited format so netlists can be stored, diffed and
+//! shared without this crate's generator:
+//!
+//! ```text
+//! .design diffeq1
+//! .block 0 clb:5:2 clb_0
+//! .block 1 input in_0
+//! .net 0 1 0          # net 0: driver block 1, sink block 0
+//! .end
+//! ```
+//!
+//! [`to_text`] and [`from_text`] round-trip exactly; parsing re-validates
+//! through [`Netlist::new`], so structural invariants always hold.
+
+use crate::block::{Block, BlockId, BlockKind};
+use crate::net::{Net, NetId};
+use crate::netlist::{Netlist, NetlistError};
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Errors produced while parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseTextError {
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The parsed structure failed netlist validation.
+    Invalid(NetlistError),
+}
+
+impl fmt::Display for ParseTextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTextError::Syntax { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            ParseTextError::Invalid(e) => write!(f, "invalid netlist: {e}"),
+        }
+    }
+}
+
+impl Error for ParseTextError {}
+
+impl From<NetlistError> for ParseTextError {
+    fn from(e: NetlistError) -> Self {
+        ParseTextError::Invalid(e)
+    }
+}
+
+fn kind_to_text(kind: BlockKind) -> String {
+    match kind {
+        BlockKind::Input => "input".into(),
+        BlockKind::Output => "output".into(),
+        BlockKind::Clb { luts, ffs } => format!("clb:{luts}:{ffs}"),
+        BlockKind::Memory => "memory".into(),
+        BlockKind::Multiplier => "multiplier".into(),
+    }
+}
+
+fn kind_from_text(s: &str) -> Option<BlockKind> {
+    match s {
+        "input" => Some(BlockKind::Input),
+        "output" => Some(BlockKind::Output),
+        "memory" => Some(BlockKind::Memory),
+        "multiplier" => Some(BlockKind::Multiplier),
+        _ => {
+            let rest = s.strip_prefix("clb:")?;
+            let (luts, ffs) = rest.split_once(':')?;
+            Some(BlockKind::Clb {
+                luts: luts.parse().ok()?,
+                ffs: ffs.parse().ok()?,
+            })
+        }
+    }
+}
+
+/// Serialises a netlist to the text format.
+pub fn to_text(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".design {}", netlist.name());
+    for b in netlist.blocks() {
+        let _ = writeln!(out, ".block {} {} {}", b.id.0, kind_to_text(b.kind), b.name);
+    }
+    for n in netlist.nets() {
+        let _ = write!(out, ".net {} {}", n.id.0, n.driver.0);
+        for s in &n.sinks {
+            let _ = write!(out, " {}", s.0);
+        }
+        out.push('\n');
+    }
+    out.push_str(".end\n");
+    out
+}
+
+/// Parses the text format back into a validated [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`ParseTextError::Syntax`] for malformed lines and
+/// [`ParseTextError::Invalid`] when the parsed structure violates netlist
+/// invariants.
+pub fn from_text(text: &str) -> Result<Netlist, ParseTextError> {
+    let mut name = String::from("unnamed");
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut nets: Vec<Net> = Vec::new();
+    let syntax = |line: usize, message: &str| ParseTextError::Syntax {
+        line,
+        message: message.into(),
+    };
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        // Strip comments and whitespace.
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        match tok.next() {
+            Some(".design") => {
+                name = tok
+                    .next()
+                    .ok_or_else(|| syntax(line_no, "missing design name"))?
+                    .to_string();
+            }
+            Some(".block") => {
+                let id: u32 = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| syntax(line_no, "bad block id"))?;
+                if id as usize != blocks.len() {
+                    return Err(syntax(line_no, "block ids must be dense and in order"));
+                }
+                let kind = tok
+                    .next()
+                    .and_then(kind_from_text)
+                    .ok_or_else(|| syntax(line_no, "bad block kind"))?;
+                let bname = tok
+                    .next()
+                    .ok_or_else(|| syntax(line_no, "missing block name"))?;
+                blocks.push(Block {
+                    id: BlockId(id),
+                    kind,
+                    name: bname.to_string(),
+                });
+            }
+            Some(".net") => {
+                let id: u32 = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| syntax(line_no, "bad net id"))?;
+                if id as usize != nets.len() {
+                    return Err(syntax(line_no, "net ids must be dense and in order"));
+                }
+                let driver: u32 = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| syntax(line_no, "bad driver id"))?;
+                let sinks: Result<Vec<BlockId>, _> = tok
+                    .map(|t| {
+                        t.parse::<u32>()
+                            .map(BlockId)
+                            .map_err(|_| syntax(line_no, "bad sink id"))
+                    })
+                    .collect();
+                nets.push(Net {
+                    id: NetId(id),
+                    driver: BlockId(driver),
+                    sinks: sinks?,
+                });
+            }
+            Some(".end") => break,
+            Some(other) => {
+                return Err(syntax(line_no, &format!("unknown directive {other}")));
+            }
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+    Ok(Netlist::new(name, blocks, nets)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+    use crate::presets;
+
+    #[test]
+    fn roundtrip_preserves_netlist() {
+        let nl = generate(&presets::by_name("diffeq1").unwrap().scaled(0.02));
+        let text = to_text(&nl);
+        let back = from_text(&text).unwrap();
+        assert_eq!(nl, back);
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "\n# a comment\n.design t\n.block 0 input a # trailing\n.block 1 clb:3:1 b\n\n.net 0 0 1\n.end\n";
+        let nl = from_text(text).unwrap();
+        assert_eq!(nl.name(), "t");
+        assert_eq!(nl.blocks().len(), 2);
+        assert_eq!(nl.nets().len(), 1);
+        assert_eq!(
+            nl.block(BlockId(1)).kind,
+            BlockKind::Clb { luts: 3, ffs: 1 }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_kind_and_sparse_ids() {
+        assert!(matches!(
+            from_text(".block 0 gizmo g\n.end"),
+            Err(ParseTextError::Syntax { .. })
+        ));
+        assert!(matches!(
+            from_text(".block 5 input a\n.end"),
+            Err(ParseTextError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_structure() {
+        // Net referencing a missing block passes parsing, fails validation.
+        let text = ".design t\n.block 0 input a\n.net 0 0 7\n.end";
+        assert!(matches!(
+            from_text(text),
+            Err(ParseTextError::Invalid(NetlistError::DanglingBlock { .. }))
+        ));
+    }
+
+    #[test]
+    fn kind_text_roundtrip() {
+        for kind in [
+            BlockKind::Input,
+            BlockKind::Output,
+            BlockKind::Memory,
+            BlockKind::Multiplier,
+            BlockKind::Clb { luts: 7, ffs: 3 },
+        ] {
+            assert_eq!(kind_from_text(&kind_to_text(kind)), Some(kind));
+        }
+        assert_eq!(kind_from_text("clb:x:y"), None);
+    }
+}

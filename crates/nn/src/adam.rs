@@ -1,0 +1,116 @@
+use crate::param::Param;
+
+/// The Adam optimiser with bias correction.
+///
+/// [`Adam::paper`] uses the paper's hyper-parameters: learning rate
+/// `2·10⁻⁴`, `β₁ = 0.5`, `β₂ = 0.999`, `ε = 10⁻⁸` (§5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability constant.
+    pub eps: f32,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an optimiser with explicit hyper-parameters.
+    pub fn new(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+        }
+    }
+
+    /// The paper's settings: `Adam(2e-4, 0.5, 0.999, 1e-8)`.
+    pub fn paper() -> Self {
+        Adam::new(2e-4, 0.5, 0.999, 1e-8)
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update to every parameter from its accumulated gradient,
+    /// then leaves the gradients untouched (call
+    /// [`Layer::zero_grad`](crate::Layer::zero_grad) before the next
+    /// accumulation).
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for p in params.iter_mut() {
+            let g = p.grad.data().to_vec();
+            let m = p.m.data_mut();
+            for (mv, &gv) in m.iter_mut().zip(&g) {
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
+            }
+            let v = p.v.data_mut();
+            for (vv, &gv) in v.iter_mut().zip(&g) {
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
+            }
+            for i in 0..g.len() {
+                let mhat = p.m.data()[i] / bc1;
+                let vhat = p.v.data()[i] / bc2;
+                p.value.data_mut()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    /// Minimising f(w) = (w − 3)² with Adam converges to 3.
+    #[test]
+    fn converges_on_quadratic() {
+        let mut p = Param::new(Tensor::zeros([1, 1, 1, 1]));
+        let mut adam = Adam::new(0.1, 0.9, 0.999, 1e-8);
+        for _ in 0..500 {
+            let w = p.value.data()[0];
+            p.grad.data_mut()[0] = 2.0 * (w - 3.0);
+            adam.step(&mut [&mut p]);
+        }
+        let w = p.value.data()[0];
+        assert!((w - 3.0).abs() < 0.05, "w = {w}");
+    }
+
+    #[test]
+    fn first_step_magnitude_is_lr() {
+        // With bias correction, the first Adam step ≈ lr · sign(g).
+        let mut p = Param::new(Tensor::zeros([1, 1, 1, 1]));
+        p.grad.data_mut()[0] = 0.37;
+        let mut adam = Adam::new(0.01, 0.9, 0.999, 1e-8);
+        adam.step(&mut [&mut p]);
+        let w = p.value.data()[0];
+        assert!((w + 0.01).abs() < 1e-4, "w = {w}");
+        assert_eq!(adam.steps(), 1);
+    }
+
+    #[test]
+    fn paper_hyperparameters() {
+        let a = Adam::paper();
+        assert_eq!(a.lr, 2e-4);
+        assert_eq!(a.beta1, 0.5);
+        assert_eq!(a.beta2, 0.999);
+        assert_eq!(a.eps, 1e-8);
+    }
+
+    #[test]
+    fn zero_grad_gives_zero_update_after_warmup() {
+        let mut p = Param::new(Tensor::full([1, 1, 1, 1], 5.0));
+        let mut adam = Adam::new(0.1, 0.9, 0.999, 1e-8);
+        adam.step(&mut [&mut p]); // g = 0 throughout
+        assert_eq!(p.value.data()[0], 5.0);
+    }
+}

@@ -1,0 +1,392 @@
+use crate::im2col::{col2im, conv_out_dim, im2col};
+use crate::linalg::{matmul_nn, matmul_nt, matmul_tn};
+use crate::param::Param;
+use crate::tensor::Tensor;
+use crate::Layer;
+
+/// 2-D convolution (`k×k` kernel, stride, zero padding) lowered to im2col +
+/// matmul. pix2pix uses `k=4, stride=2, pad=1` throughout the encoder,
+/// halving the spatial size per layer — the left column of the paper's
+/// Figure 5.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+    cached_cols: Vec<Vec<f32>>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with pix2pix initialisation (`N(0, 0.02)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` or `stride` is zero.
+    pub fn new(in_c: usize, out_c: usize, k: usize, stride: usize, pad: usize, seed: u64) -> Self {
+        assert!(k > 0 && stride > 0, "kernel and stride must be positive");
+        Conv2d {
+            in_c,
+            out_c,
+            k,
+            stride,
+            pad,
+            weight: Param::randn([out_c, in_c, k, k], 0.02, seed ^ 0xC0_u64),
+            bias: Param::new(Tensor::zeros([1, out_c, 1, 1])),
+            cached_input: None,
+            cached_cols: Vec::new(),
+        }
+    }
+
+    /// Output shape for a given input shape.
+    pub fn output_shape(&self, input: [usize; 4]) -> [usize; 4] {
+        [
+            input[0],
+            self.out_c,
+            conv_out_dim(input[2], self.k, self.stride, self.pad),
+            conv_out_dim(input[3], self.k, self.stride, self.pad),
+        ]
+    }
+
+    /// Number of trainable scalars.
+    pub fn parameter_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(x.c(), self.in_c, "input channels");
+        let [n, _, h, w] = x.shape();
+        let ho = conv_out_dim(h, self.k, self.stride, self.pad);
+        let wo = conv_out_dim(w, self.k, self.stride, self.pad);
+        let ckk = self.in_c * self.k * self.k;
+        let mut y = Tensor::zeros([n, self.out_c, ho, wo]);
+        self.cached_cols.clear();
+        for b in 0..n {
+            let mut cols = vec![0.0f32; ckk * ho * wo];
+            im2col(
+                &x.data()[b * self.in_c * h * w..(b + 1) * self.in_c * h * w],
+                self.in_c,
+                h,
+                w,
+                self.k,
+                self.stride,
+                self.pad,
+                &mut cols,
+            );
+            let y_n = &mut y.data_mut()
+                [b * self.out_c * ho * wo..(b + 1) * self.out_c * ho * wo];
+            matmul_nn(
+                self.weight.value.data(),
+                &cols,
+                y_n,
+                self.out_c,
+                ckk,
+                ho * wo,
+            );
+            for c in 0..self.out_c {
+                let bv = self.bias.value.data()[c];
+                for v in &mut y_n[c * ho * wo..(c + 1) * ho * wo] {
+                    *v += bv;
+                }
+            }
+            self.cached_cols.push(cols);
+        }
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .take()
+            .expect("Conv2d::backward called before forward");
+        let [n, _, h, w] = x.shape();
+        let [_, _, ho, wo] = grad_out.shape();
+        let ckk = self.in_c * self.k * self.k;
+        let mut dx = Tensor::zeros(x.shape());
+        for b in 0..n {
+            let dy_n = &grad_out.data()
+                [b * self.out_c * ho * wo..(b + 1) * self.out_c * ho * wo];
+            // dW += dY @ colsᵀ.
+            matmul_nt(
+                dy_n,
+                &self.cached_cols[b],
+                self.weight.grad.data_mut(),
+                self.out_c,
+                ho * wo,
+                ckk,
+            );
+            // db += Σ dY.
+            for c in 0..self.out_c {
+                let s: f32 = dy_n[c * ho * wo..(c + 1) * ho * wo].iter().sum();
+                self.bias.grad.data_mut()[c] += s;
+            }
+            // dX = col2im(Wᵀ @ dY).
+            let mut dcols = vec![0.0f32; ckk * ho * wo];
+            matmul_tn(
+                self.weight.value.data(),
+                dy_n,
+                &mut dcols,
+                ckk,
+                self.out_c,
+                ho * wo,
+            );
+            col2im(
+                &dcols,
+                self.in_c,
+                h,
+                w,
+                self.k,
+                self.stride,
+                self.pad,
+                &mut dx.data_mut()[b * self.in_c * h * w..(b + 1) * self.in_c * h * w],
+            );
+        }
+        self.cached_cols.clear();
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+/// 2-D transposed convolution (the "deconvolutional" layers of Figure 5's
+/// decoder). With `k=4, stride=2, pad=1` it exactly doubles the spatial
+/// size, mirroring [`Conv2d`]'s halving.
+///
+/// Implemented as the adjoint of [`Conv2d`]: forward is the conv
+/// backward-data pass (`col2im` of `Wᵀ·x`), so gradients line up exactly.
+#[derive(Debug, Clone)]
+pub struct ConvTranspose2d {
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    weight: Param, // [in_c, out_c, k, k]
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl ConvTranspose2d {
+    /// Creates a transposed convolution with pix2pix initialisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` or `stride` is zero.
+    pub fn new(in_c: usize, out_c: usize, k: usize, stride: usize, pad: usize, seed: u64) -> Self {
+        assert!(k > 0 && stride > 0, "kernel and stride must be positive");
+        ConvTranspose2d {
+            in_c,
+            out_c,
+            k,
+            stride,
+            pad,
+            weight: Param::randn([in_c, out_c, k, k], 0.02, seed ^ 0xDC_u64),
+            bias: Param::new(Tensor::zeros([1, out_c, 1, 1])),
+            cached_input: None,
+        }
+    }
+
+    /// Output spatial size: `(h − 1)·stride − 2·pad + k`.
+    pub fn output_shape(&self, input: [usize; 4]) -> [usize; 4] {
+        [
+            input[0],
+            self.out_c,
+            (input[2] - 1) * self.stride + self.k - 2 * self.pad,
+            (input[3] - 1) * self.stride + self.k - 2 * self.pad,
+        ]
+    }
+
+    /// Number of trainable scalars.
+    pub fn parameter_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+}
+
+impl Layer for ConvTranspose2d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(x.c(), self.in_c, "input channels");
+        let [n, _, h, w] = x.shape();
+        let out = self.output_shape(x.shape());
+        let (ho, wo) = (out[2], out[3]);
+        // Sanity: the adjoint geometry must invert cleanly.
+        debug_assert_eq!(conv_out_dim(ho, self.k, self.stride, self.pad), h);
+        let ckk = self.out_c * self.k * self.k;
+        let mut y = Tensor::zeros(out);
+        for b in 0..n {
+            let x_n = &x.data()[b * self.in_c * h * w..(b + 1) * self.in_c * h * w];
+            // cols = Wᵀ(as [out_c·k·k, in_c]) @ x_n.
+            let mut cols = vec![0.0f32; ckk * h * w];
+            matmul_tn(self.weight.value.data(), x_n, &mut cols, ckk, self.in_c, h * w);
+            let y_n = &mut y.data_mut()[b * self.out_c * ho * wo..(b + 1) * self.out_c * ho * wo];
+            col2im(
+                &cols, self.out_c, ho, wo, self.k, self.stride, self.pad, y_n,
+            );
+            for c in 0..self.out_c {
+                let bv = self.bias.value.data()[c];
+                for v in &mut y_n[c * ho * wo..(c + 1) * ho * wo] {
+                    *v += bv;
+                }
+            }
+        }
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .take()
+            .expect("ConvTranspose2d::backward called before forward");
+        let [n, _, h, w] = x.shape();
+        let [_, _, ho, wo] = grad_out.shape();
+        let ckk = self.out_c * self.k * self.k;
+        let mut dx = Tensor::zeros(x.shape());
+        for b in 0..n {
+            let dy_n = &grad_out.data()
+                [b * self.out_c * ho * wo..(b + 1) * self.out_c * ho * wo];
+            // dcols = im2col(dY).
+            let mut dcols = vec![0.0f32; ckk * h * w];
+            im2col(
+                dy_n, self.out_c, ho, wo, self.k, self.stride, self.pad, &mut dcols,
+            );
+            // dX = W @ dcols.
+            matmul_nn(
+                self.weight.value.data(),
+                &dcols,
+                &mut dx.data_mut()[b * self.in_c * h * w..(b + 1) * self.in_c * h * w],
+                self.in_c,
+                ckk,
+                h * w,
+            );
+            // dW += x @ dcolsᵀ.
+            let x_n = &x.data()[b * self.in_c * h * w..(b + 1) * self.in_c * h * w];
+            matmul_nt(
+                x_n,
+                &dcols,
+                self.weight.grad.data_mut(),
+                self.in_c,
+                h * w,
+                ckk,
+            );
+            // db += Σ dY.
+            for c in 0..self.out_c {
+                let s: f32 = dy_n[c * ho * wo..(c + 1) * ho * wo].iter().sum();
+                self.bias.grad.data_mut()[c] += s;
+            }
+        }
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_halves_spatial_size() {
+        let mut conv = Conv2d::new(4, 8, 4, 2, 1, 1);
+        let x = Tensor::randn([2, 4, 16, 16], 0.0, 1.0, 2);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.shape(), [2, 8, 8, 8]);
+        assert_eq!(conv.output_shape(x.shape()), y.shape());
+    }
+
+    #[test]
+    fn deconv_doubles_spatial_size() {
+        let mut deconv = ConvTranspose2d::new(8, 4, 4, 2, 1, 1);
+        let x = Tensor::randn([2, 8, 8, 8], 0.0, 1.0, 2);
+        let y = deconv.forward(&x, true);
+        assert_eq!(y.shape(), [2, 4, 16, 16]);
+    }
+
+    #[test]
+    fn conv_backward_shapes() {
+        let mut conv = Conv2d::new(3, 5, 4, 2, 1, 3);
+        let x = Tensor::randn([1, 3, 8, 8], 0.0, 1.0, 4);
+        let y = conv.forward(&x, true);
+        let dx = conv.backward(&y);
+        assert_eq!(dx.shape(), x.shape());
+        // Gradients accumulated.
+        let gw: f32 = conv.weight.grad.data().iter().map(|g| g.abs()).sum();
+        assert!(gw > 0.0);
+    }
+
+    #[test]
+    fn conv_known_values() {
+        // 1x1 kernel, identity-ish: y = w*x + b.
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, 0);
+        conv.weight.value.data_mut()[0] = 2.0;
+        conv.bias.value.data_mut()[0] = 0.5;
+        let x = Tensor::from_vec([1, 1, 1, 3], vec![1.0, 2.0, 3.0]);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.data(), &[2.5, 4.5, 6.5]);
+    }
+
+    #[test]
+    fn deconv_is_adjoint_of_conv() {
+        // <conv(x), y> == <x, deconv(y)> when deconv shares the conv's
+        // weights (and both have zero bias).
+        let (cin, cout, k, s, p) = (2, 3, 4, 2, 1);
+        let mut conv = Conv2d::new(cin, cout, k, s, p, 7);
+        conv.bias.value.data_mut().fill(0.0);
+        let mut deconv = ConvTranspose2d::new(cout, cin, k, s, p, 8);
+        deconv.bias.value.data_mut().fill(0.0);
+        // Share weights: conv W is [cout, cin, k, k], deconv W is
+        // [cout(=in_c), cin(=out_c), k, k] — identical memory layout.
+        deconv
+            .weight
+            .value
+            .data_mut()
+            .copy_from_slice(conv.weight.value.data());
+
+        let x = Tensor::randn([1, cin, 8, 8], 0.0, 1.0, 9);
+        let y = Tensor::randn([1, cout, 4, 4], 0.0, 1.0, 10);
+        let cx = conv.forward(&x, true);
+        let dy = deconv.forward(&y, true);
+        let lhs: f64 = cx
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(a, b)| *a as f64 * *b as f64)
+            .sum();
+        let rhs: f64 = x
+            .data()
+            .iter()
+            .zip(dy.data())
+            .map(|(a, b)| *a as f64 * *b as f64)
+            .sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_without_forward_panics() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, 0);
+        let g = Tensor::zeros([1, 1, 4, 4]);
+        let _ = conv.backward(&g);
+    }
+
+    #[test]
+    fn parameter_counts() {
+        let conv = Conv2d::new(3, 8, 4, 2, 1, 0);
+        assert_eq!(conv.parameter_count(), 8 * 3 * 16 + 8);
+        let deconv = ConvTranspose2d::new(8, 3, 4, 2, 1, 0);
+        assert_eq!(deconv.parameter_count(), 8 * 3 * 16 + 3);
+    }
+}

@@ -1,0 +1,176 @@
+//! `im2col`/`col2im` lowering for convolution.
+//!
+//! A `[C, H, W]` feature map is unrolled into a `[C·k·k, Ho·Wo]` matrix so
+//! convolution becomes one matrix multiply; `col2im` is the exact adjoint
+//! (scatter-add), which is what the backward-data pass and the transposed
+//! convolution's forward pass need.
+
+/// Output spatial size of a convolution: `(dim + 2·pad − k)/stride + 1`.
+///
+/// # Panics
+///
+/// Panics when the kernel does not fit (`dim + 2·pad < k`) or `stride == 0`.
+pub fn conv_out_dim(dim: usize, k: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    assert!(dim + 2 * pad >= k, "kernel larger than padded input");
+    (dim + 2 * pad - k) / stride + 1
+}
+
+/// Unrolls one sample `x: [c, h, w]` into `cols: [c·k·k, ho·wo]`
+/// (zero padding outside the image).
+#[allow(clippy::too_many_arguments)]
+pub fn im2col(
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    cols: &mut [f32],
+) {
+    let ho = conv_out_dim(h, k, stride, pad);
+    let wo = conv_out_dim(w, k, stride, pad);
+    assert_eq!(x.len(), c * h * w, "input size");
+    assert_eq!(cols.len(), c * k * k * ho * wo, "cols size");
+    let out_plane = ho * wo;
+    for ci in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ci * k + ky) * k + kx;
+                let dst = &mut cols[row * out_plane..(row + 1) * out_plane];
+                for oy in 0..ho {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        dst[oy * wo..(oy + 1) * wo].fill(0.0);
+                        continue;
+                    }
+                    let src_row = &x[(ci * h + iy as usize) * w..(ci * h + iy as usize + 1) * w];
+                    for ox in 0..wo {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        dst[oy * wo + ox] = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            src_row[ix as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Adjoint of [`im2col`]: scatter-adds `cols: [c·k·k, ho·wo]` back into
+/// `x: [c, h, w]` (which must be pre-zeroed by the caller if accumulation
+/// from a clean slate is desired).
+#[allow(clippy::too_many_arguments)]
+pub fn col2im(
+    cols: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    x: &mut [f32],
+) {
+    let ho = conv_out_dim(h, k, stride, pad);
+    let wo = conv_out_dim(w, k, stride, pad);
+    assert_eq!(x.len(), c * h * w, "output size");
+    assert_eq!(cols.len(), c * k * k * ho * wo, "cols size");
+    let out_plane = ho * wo;
+    for ci in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ci * k + ky) * k + kx;
+                let src = &cols[row * out_plane..(row + 1) * out_plane];
+                for oy in 0..ho {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let dst_row =
+                        &mut x[(ci * h + iy as usize) * w..(ci * h + iy as usize + 1) * w];
+                    for ox in 0..wo {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix >= 0 && ix < w as isize {
+                            dst_row[ix as usize] += src[oy * wo + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_dim_formula() {
+        assert_eq!(conv_out_dim(16, 4, 2, 1), 8); // pix2pix halving
+        assert_eq!(conv_out_dim(5, 3, 1, 1), 5); // same-conv
+        assert_eq!(conv_out_dim(4, 4, 1, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel larger")]
+    fn out_dim_rejects_oversize_kernel() {
+        let _ = conv_out_dim(2, 5, 1, 0);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // k=1, s=1, p=0 is a no-op reshape.
+        let x: Vec<f32> = (0..12).map(|v| v as f32).collect();
+        let mut cols = vec![0.0; 12];
+        im2col(&x, 3, 2, 2, 1, 1, 0, &mut cols);
+        assert_eq!(cols, x);
+    }
+
+    #[test]
+    fn im2col_knows_padding() {
+        // 1 channel, 2x2 input, k=3, s=1, p=1 -> 2x2 output positions.
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let mut cols = vec![0.0; 9 * 4];
+        im2col(&x, 1, 2, 2, 3, 1, 1, &mut cols);
+        // Centre tap (ky=1,kx=1) row must equal the input itself.
+        let centre = &cols[4 * 4..5 * 4];
+        assert_eq!(centre, &x[..]);
+        // Top-left tap at output (0,0) looks at (-1,-1): zero.
+        assert_eq!(cols[0], 0.0);
+        // Top-left tap at output (1,1) looks at (0,0): 1.0.
+        assert_eq!(cols[3], 1.0);
+    }
+
+    /// The adjoint identity `<im2col(x), y> == <x, col2im(y)>` is the exact
+    /// property backward passes rely on.
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        let (c, h, w, k, s, p) = (2, 5, 4, 3, 2, 1);
+        let ho = conv_out_dim(h, k, s, p);
+        let wo = conv_out_dim(w, k, s, p);
+        let x: Vec<f32> = (0..c * h * w).map(|i| (i as f32 * 0.37).sin()).collect();
+        let y: Vec<f32> = (0..c * k * k * ho * wo)
+            .map(|i| (i as f32 * 0.53).cos())
+            .collect();
+        let mut ix = vec![0.0; y.len()];
+        im2col(&x, c, h, w, k, s, p, &mut ix);
+        let lhs: f64 = ix.iter().zip(&y).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let mut cy = vec![0.0; x.len()];
+        col2im(&y, c, h, w, k, s, p, &mut cy);
+        let rhs: f64 = x.iter().zip(&cy).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_accumulates() {
+        let cols = vec![1.0; 9 * 4];
+        let mut x = vec![0.0; 4];
+        col2im(&cols, 1, 2, 2, 3, 1, 1, &mut x);
+        // Every output position's 3x3 window covers each input pixel at
+        // least once; values must be > 1 due to overlap.
+        assert!(x.iter().all(|&v| v >= 2.0), "{x:?}");
+    }
+}

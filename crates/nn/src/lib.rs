@@ -1,0 +1,94 @@
+//! Pure-Rust neural-network substrate for the cGAN forecaster.
+//!
+//! The paper trains its model in TensorFlow on a GPU; neither is available
+//! here, so this crate implements the required subset of a deep-learning
+//! framework from scratch (DESIGN.md §2 row 6):
+//!
+//! * [`Tensor`] — dense `f32` NCHW tensors;
+//! * [`Layer`] — the forward/backward contract, with implementations for
+//!   [`Conv2d`], [`ConvTranspose2d`], [`BatchNorm2d`], [`LeakyRelu`],
+//!   [`Relu`], [`Tanh`], [`Sigmoid`] and [`Dropout`] — exactly the blocks
+//!   of the paper's Figure 5 architecture;
+//! * [`loss`] — the stable binary-cross-entropy-with-logits of the GAN
+//!   objective (Equation 2) and the L1 term of §4.4/§5.3;
+//! * [`Adam`] — the optimiser with the paper's hyper-parameters
+//!   (`lr = 2e-4`, `β₁ = 0.5`, `β₂ = 0.999`, `ε = 1e-8`) as defaults;
+//! * [`gradcheck`] — finite-difference gradient verification used
+//!   throughout the test suite.
+//!
+//! Backpropagation is implemented manually per layer (no autograd tape):
+//! each layer caches what its backward pass needs, and composite models
+//! (the U-Net in [`pop-core`](../pop_core/index.html)) call `backward` in
+//! reverse order, routing gradients through skip connections explicitly.
+//!
+//! # Example
+//!
+//! ```
+//! use pop_nn::{Conv2d, Layer, Tensor, Adam};
+//!
+//! let mut conv = Conv2d::new(3, 8, 4, 2, 1, 7);
+//! let x = Tensor::randn([1, 3, 16, 16], 0.0, 1.0, 42);
+//! let y = conv.forward(&x, true);
+//! assert_eq!(y.shape(), [1, 8, 8, 8]);
+//! let dx = conv.backward(&y); // pretend dL/dy = y
+//! assert_eq!(dx.shape(), x.shape());
+//! let mut adam = Adam::paper();
+//! adam.step(&mut conv.params_mut());
+//! ```
+
+mod act;
+mod adam;
+mod conv;
+mod dropout;
+pub mod gradcheck;
+mod im2col;
+pub mod linalg;
+pub mod loss;
+mod norm;
+mod param;
+mod tensor;
+
+pub use act::{LeakyRelu, Relu, Sigmoid, Tanh};
+pub use adam::Adam;
+pub use conv::{Conv2d, ConvTranspose2d};
+pub use dropout::Dropout;
+pub use norm::BatchNorm2d;
+pub use param::Param;
+pub use tensor::Tensor;
+
+/// The layer contract: stateful forward (caching activations) and backward
+/// (consuming the cache, accumulating parameter gradients, returning the
+/// input gradient).
+///
+/// `train` switches batch-norm to batch statistics and enables dropout —
+/// at inference pass `false`.
+pub trait Layer {
+    /// Computes the layer output, caching whatever `backward` will need.
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// Propagates `grad_out` (dL/d-output) to dL/d-input, accumulating
+    /// parameter gradients internally.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when called before `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// The layer's trainable parameters (empty for activations).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Non-trainable state that checkpoints must carry (batch-norm running
+    /// statistics). Empty for stateless layers.
+    fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
+        Vec::new()
+    }
+
+    /// Zeroes all accumulated parameter gradients.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+}

@@ -1,0 +1,235 @@
+use crate::param::Param;
+use crate::tensor::Tensor;
+use crate::Layer;
+
+/// 2-D batch normalisation over `(N, H, W)` per channel.
+///
+/// Figure 5's discriminator uses "convolutional layers (with batch
+/// normalization)"; the pix2pix generator batch-norms every encoder/decoder
+/// block except the first and the innermost. With the paper's batch size of
+/// 1 this behaves like instance normalisation, which is exactly how pix2pix
+/// is trained.
+///
+/// Training uses batch statistics and maintains running estimates
+/// (momentum 0.1) that inference (`train = false`) consumes.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    // Backward cache (training mode).
+    cached_xhat: Option<Tensor>,
+    cached_inv_std: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps
+    /// (`γ = 1`, `β = 0`, `ε = 1e-5`).
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: Param::new(Tensor::full([1, channels, 1, 1], 1.0)),
+            beta: Param::new(Tensor::zeros([1, channels, 1, 1])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            cached_xhat: None,
+            cached_inv_std: vec![0.0; channels],
+        }
+    }
+
+    /// Number of channels this layer normalises.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.c(), self.channels, "channel count");
+        let [n, c, h, w] = x.shape();
+        let m = (n * h * w) as f32;
+        let plane = h * w;
+        let mut y = Tensor::zeros(x.shape());
+        let mut xhat = Tensor::zeros(x.shape());
+        for ci in 0..c {
+            let (mean, var) = if train {
+                let mut sum = 0.0f64;
+                for b in 0..n {
+                    let s = &x.data()[(b * c + ci) * plane..(b * c + ci + 1) * plane];
+                    sum += s.iter().map(|&v| v as f64).sum::<f64>();
+                }
+                let mean = (sum / m as f64) as f32;
+                let mut var_sum = 0.0f64;
+                for b in 0..n {
+                    let s = &x.data()[(b * c + ci) * plane..(b * c + ci + 1) * plane];
+                    var_sum += s
+                        .iter()
+                        .map(|&v| {
+                            let d = (v - mean) as f64;
+                            d * d
+                        })
+                        .sum::<f64>();
+                }
+                let var = (var_sum / m as f64) as f32;
+                self.running_mean[ci] =
+                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean;
+                self.running_var[ci] =
+                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean[ci], self.running_var[ci])
+            };
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            self.cached_inv_std[ci] = inv_std;
+            let g = self.gamma.value.data()[ci];
+            let bta = self.beta.value.data()[ci];
+            for b in 0..n {
+                let src = &x.data()[(b * c + ci) * plane..(b * c + ci + 1) * plane];
+                let xh = &mut xhat.data_mut()[(b * c + ci) * plane..(b * c + ci + 1) * plane];
+                for (o, &v) in xh.iter_mut().zip(src) {
+                    *o = (v - mean) * inv_std;
+                }
+            }
+            for b in 0..n {
+                let xh = &xhat.data()[(b * c + ci) * plane..(b * c + ci + 1) * plane];
+                let dst = &mut y.data_mut()[(b * c + ci) * plane..(b * c + ci + 1) * plane];
+                for (o, &v) in dst.iter_mut().zip(xh) {
+                    *o = g * v + bta;
+                }
+            }
+        }
+        if train {
+            self.cached_xhat = Some(xhat);
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let xhat = self
+            .cached_xhat
+            .take()
+            .expect("BatchNorm2d::backward called before training forward");
+        let [n, c, h, w] = grad_out.shape();
+        let m = (n * h * w) as f32;
+        let plane = h * w;
+        let mut dx = Tensor::zeros(grad_out.shape());
+        for ci in 0..c {
+            let g = self.gamma.value.data()[ci];
+            let inv_std = self.cached_inv_std[ci];
+            let mut sum_dy = 0.0f64;
+            let mut sum_dy_xhat = 0.0f64;
+            for b in 0..n {
+                let dy = &grad_out.data()[(b * c + ci) * plane..(b * c + ci + 1) * plane];
+                let xh = &xhat.data()[(b * c + ci) * plane..(b * c + ci + 1) * plane];
+                for (yv, xv) in dy.iter().zip(xh) {
+                    sum_dy += *yv as f64;
+                    sum_dy_xhat += (*yv as f64) * (*xv as f64);
+                }
+            }
+            self.beta.grad.data_mut()[ci] += sum_dy as f32;
+            self.gamma.grad.data_mut()[ci] += sum_dy_xhat as f32;
+            let k = g * inv_std / m;
+            for b in 0..n {
+                let dy = &grad_out.data()[(b * c + ci) * plane..(b * c + ci + 1) * plane];
+                let xh = &xhat.data()[(b * c + ci) * plane..(b * c + ci + 1) * plane];
+                let dst = &mut dx.data_mut()[(b * c + ci) * plane..(b * c + ci + 1) * plane];
+                for ((o, &yv), &xv) in dst.iter_mut().zip(dy).zip(xh) {
+                    *o = k * (m * yv - sum_dy as f32 - xv * sum_dy_xhat as f32);
+                }
+            }
+        }
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
+        vec![&mut self.running_mean, &mut self.running_var]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_output_is_normalised() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::randn([1, 2, 8, 8], 3.0, 2.0, 5);
+        let y = bn.forward(&x, true);
+        // Per-channel mean ~0, var ~1.
+        let plane = 64;
+        for c in 0..2 {
+            let s = &y.data()[c * plane..(c + 1) * plane];
+            let mean: f32 = s.iter().sum::<f32>() / plane as f32;
+            let var: f32 = s.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / plane as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        // Train on a fixed distribution several times to move running stats.
+        for seed in 0..30 {
+            let x = Tensor::randn([1, 1, 16, 16], 5.0, 1.0, seed);
+            let _ = bn.forward(&x, true);
+        }
+        // Eval on the same distribution: output should be near standard.
+        let x = Tensor::randn([1, 1, 16, 16], 5.0, 1.0, 99);
+        let y = bn.forward(&x, false);
+        let mean = y.mean();
+        assert!(mean.abs() < 0.5, "eval mean {mean}");
+    }
+
+    #[test]
+    fn gamma_beta_affect_output() {
+        let mut bn = BatchNorm2d::new(1);
+        bn.gamma.value.data_mut()[0] = 2.0;
+        bn.beta.value.data_mut()[0] = 1.0;
+        let x = Tensor::randn([1, 1, 4, 4], 0.0, 1.0, 1);
+        let y = bn.forward(&x, true);
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 1e-4, "shifted mean {mean}");
+    }
+
+    #[test]
+    fn backward_shapes_and_zero_mean_grad() {
+        let mut bn = BatchNorm2d::new(3);
+        let x = Tensor::randn([2, 3, 4, 4], 0.0, 1.0, 2);
+        let _ = bn.forward(&x, true);
+        let dy = Tensor::randn([2, 3, 4, 4], 0.0, 1.0, 3);
+        let dx = bn.backward(&dy);
+        assert_eq!(dx.shape(), x.shape());
+        // BN input grads are zero-mean per channel (projection property).
+        let plane = 16;
+        for c in 0..3 {
+            let mut s = 0.0f32;
+            for b in 0..2 {
+                s += dx.data()[(b * 3 + c) * plane..(b * 3 + c + 1) * plane]
+                    .iter()
+                    .sum::<f32>();
+            }
+            assert!(s.abs() < 1e-3, "channel {c} grad sum {s}");
+        }
+    }
+
+    #[test]
+    fn single_element_stats_do_not_nan() {
+        let mut bn = BatchNorm2d::new(4);
+        let x = Tensor::randn([1, 4, 1, 1], 0.0, 1.0, 7);
+        let y = bn.forward(&x, true);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+        let dx = bn.backward(&Tensor::full([1, 4, 1, 1], 1.0));
+        assert!(dx.data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,69 @@
+use crate::tensor::Tensor;
+
+/// A trainable parameter: value, gradient accumulator and Adam moments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// Adam first moment.
+    pub m: Tensor,
+    /// Adam second moment.
+    pub v: Tensor,
+}
+
+impl Param {
+    /// Creates a parameter from an initial value with zeroed gradient and
+    /// moments.
+    pub fn new(value: Tensor) -> Self {
+        let shape = value.shape();
+        Param {
+            value,
+            grad: Tensor::zeros(shape),
+            m: Tensor::zeros(shape),
+            v: Tensor::zeros(shape),
+        }
+    }
+
+    /// Gaussian-initialised parameter (pix2pix uses `N(0, 0.02)`).
+    pub fn randn(shape: [usize; 4], std: f32, seed: u64) -> Self {
+        Param::new(Tensor::randn(shape, 0.0, std, seed))
+    }
+
+    /// Number of scalar weights.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Clears the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad_and_moments() {
+        let p = Param::randn([2, 3, 1, 1], 0.02, 1);
+        assert_eq!(p.len(), 6);
+        assert!(p.grad.data().iter().all(|&g| g == 0.0));
+        assert!(p.m.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::zeros([1, 1, 1, 2]));
+        p.grad.data_mut()[0] = 3.0;
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+    }
+}

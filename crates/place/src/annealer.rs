@@ -1,0 +1,668 @@
+use crate::cost::CostModel;
+use crate::error::PlaceError;
+use crate::options::PlaceOptions;
+use crate::placement::{required_site_kind, Placement};
+use pop_arch::{Arch, SiteId, SiteKind};
+use pop_netlist::{BlockId, NetId, Netlist};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Progress snapshot of an annealing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealStats {
+    /// Current temperature.
+    pub temperature: f64,
+    /// Current total cost.
+    pub cost: f64,
+    /// Acceptance ratio of the last completed temperature step.
+    pub acceptance: f64,
+    /// Current move range limit in tiles.
+    pub rlim: f64,
+    /// Total proposed moves so far.
+    pub moves: u64,
+    /// Completed temperature (outer) iterations.
+    pub outer_iters: usize,
+}
+
+/// Simulated-annealing placer with a stepping interface.
+///
+/// [`Annealer::run`] reproduces VPR's behaviour; [`Annealer::step`] advances
+/// by a bounded number of moves so callers can observe (and, in the paper's
+/// §5.4 application, *forecast congestion for*) the evolving placement.
+///
+/// # Example
+///
+/// ```
+/// use pop_arch::Arch;
+/// use pop_netlist::{presets, generate};
+/// use pop_place::{Annealer, PlaceOptions};
+///
+/// let netlist = generate(&presets::by_name("diffeq1").unwrap().scaled(0.02));
+/// let (c, i, m, x) = netlist.site_demand();
+/// let arch = Arch::auto_size(c, i, m, x, 12, 1.3)?;
+/// let mut annealer = Annealer::new(&arch, &netlist, &PlaceOptions::default())?;
+/// while !annealer.is_done() {
+///     annealer.step(500); // forecast on annealer.placement() here
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Annealer<'a> {
+    arch: &'a Arch,
+    netlist: &'a Netlist,
+    options: PlaceOptions,
+    model: CostModel,
+    placement: Placement,
+    net_costs: Vec<f32>,
+    total_cost: f64,
+    temperature: f64,
+    rlim: f64,
+    rng: StdRng,
+    movable: Vec<BlockId>,
+    clb_cols: Vec<usize>,
+    clb_col_sites: Vec<Vec<SiteId>>, // parallel to clb_cols, sorted by y
+    io_sites: Vec<SiteId>,
+    mem_sites: Vec<SiteId>,
+    mult_sites: Vec<SiteId>,
+    moves_per_temp: u64,
+    moves_this_temp: u64,
+    accepted_this_temp: u64,
+    last_acceptance: f64,
+    moves_total: u64,
+    outer_iters: usize,
+    done: bool,
+    net_stamp: Vec<u64>,
+    stamp: u64,
+    touched: Vec<NetId>,
+}
+
+impl<'a> Annealer<'a> {
+    /// Creates an annealer with a random initial placement and a calibrated
+    /// starting temperature (20 × the standard deviation of move costs, as
+    /// in VPR). Deterministic in `options.seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError::InsufficientSites`] when a block kind outnumbers
+    /// its sites.
+    pub fn new(
+        arch: &'a Arch,
+        netlist: &'a Netlist,
+        options: &PlaceOptions,
+    ) -> Result<Self, PlaceError> {
+        let options = options.sanitized();
+        let mut rng = StdRng::seed_from_u64(options.seed.wrapping_mul(0x5851_f42d_4c95_7f2d));
+        let placement = random_initial_placement(arch, netlist, &mut rng)?;
+
+        let model = CostModel::new(options.algorithm);
+        let net_costs: Vec<f32> = netlist
+            .nets()
+            .iter()
+            .map(|n| model.net_cost(arch, netlist, &placement, n))
+            .collect();
+        let total_cost: f64 = net_costs.iter().map(|&c| c as f64).sum();
+
+        // Partition sites for move-target selection.
+        let mut clb_col_map: Vec<Vec<SiteId>> = vec![Vec::new(); arch.width()];
+        let mut io_sites = Vec::new();
+        let mut mem_sites = Vec::new();
+        let mut mult_sites = Vec::new();
+        for s in arch.sites() {
+            match s.kind {
+                SiteKind::Clb => clb_col_map[s.x].push(s.id),
+                SiteKind::Io => io_sites.push(s.id),
+                SiteKind::Memory => mem_sites.push(s.id),
+                SiteKind::Multiplier => mult_sites.push(s.id),
+            }
+        }
+        let mut clb_cols = Vec::new();
+        let mut clb_col_sites = Vec::new();
+        for (x, sites) in clb_col_map.into_iter().enumerate() {
+            if !sites.is_empty() {
+                clb_cols.push(x);
+                clb_col_sites.push(sites);
+            }
+        }
+
+        // Movable blocks: kinds with more than one candidate site.
+        let site_count = |k: SiteKind| arch.capacity(k);
+        let movable: Vec<BlockId> = netlist
+            .blocks()
+            .iter()
+            .filter(|b| site_count(required_site_kind(b.kind)) > 1)
+            .map(|b| b.id)
+            .collect();
+
+        let n = netlist.blocks().len() as f64;
+        let moves_per_temp = ((options.inner_num * n.powf(4.0 / 3.0)).ceil() as u64).max(16);
+
+        let mut annealer = Annealer {
+            arch,
+            netlist,
+            options,
+            model,
+            placement,
+            net_costs,
+            total_cost,
+            temperature: 0.0,
+            rlim: arch.width().max(arch.height()) as f64,
+            rng,
+            movable,
+            clb_cols,
+            clb_col_sites,
+            io_sites,
+            mem_sites,
+            mult_sites,
+            moves_per_temp,
+            moves_this_temp: 0,
+            accepted_this_temp: 0,
+            last_acceptance: 1.0,
+            moves_total: 0,
+            outer_iters: 0,
+            done: false,
+            net_stamp: vec![0; netlist.nets().len()],
+            stamp: 0,
+            touched: Vec::new(),
+        };
+
+        annealer.temperature = annealer.calibrate_initial_temperature();
+        if annealer.movable.is_empty() || netlist.nets().is_empty() {
+            annealer.done = true;
+        }
+        Ok(annealer)
+    }
+
+    /// VPR-style warm-up: propose one move per movable block, accept all,
+    /// and set `T0 = 20 · stddev(ΔC)`.
+    fn calibrate_initial_temperature(&mut self) -> f64 {
+        let n = self.movable.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let mut deltas = Vec::with_capacity(n);
+        for i in 0..n {
+            let block = self.movable[i];
+            if let Some((delta, site, old_site)) = self.propose(block) {
+                deltas.push(delta);
+                // Accept unconditionally during warm-up.
+                let _ = (site, old_site);
+            }
+        }
+        if deltas.is_empty() {
+            return 1.0;
+        }
+        let mean: f64 = deltas.iter().sum::<f64>() / deltas.len() as f64;
+        let var: f64 = deltas
+            .iter()
+            .map(|d| (d - mean) * (d - mean))
+            .sum::<f64>()
+            / deltas.len() as f64;
+        (20.0 * var.sqrt()).max(1e-3)
+    }
+
+    /// Proposes and applies a move of `block` to a random in-range site of
+    /// its kind; returns `(delta_cost, new_site, old_site)`. The move is
+    /// left applied — callers undo it to reject.
+    fn propose(&mut self, block: BlockId) -> Option<(f64, SiteId, SiteId)> {
+        let old_site = self.placement.site_of(block);
+        let target = self.pick_target(block, old_site)?;
+        if target == old_site {
+            return None;
+        }
+        let evicted = self.placement.block_at(target);
+
+        // Collect affected nets (dedup by stamp).
+        self.stamp += 1;
+        self.touched.clear();
+        for &n in self.netlist.nets_of(block) {
+            if self.net_stamp[n.index()] != self.stamp {
+                self.net_stamp[n.index()] = self.stamp;
+                self.touched.push(n);
+            }
+        }
+        if let Some(e) = evicted {
+            for &n in self.netlist.nets_of(e) {
+                if self.net_stamp[n.index()] != self.stamp {
+                    self.net_stamp[n.index()] = self.stamp;
+                    self.touched.push(n);
+                }
+            }
+        }
+
+        let old_cost: f64 = self
+            .touched
+            .iter()
+            .map(|&n| self.net_costs[n.index()] as f64)
+            .sum();
+        self.placement.displace(block, target);
+        let mut new_cost = 0.0f64;
+        for i in 0..self.touched.len() {
+            let n = self.touched[i];
+            let c = self
+                .model
+                .net_cost(self.arch, self.netlist, &self.placement, self.netlist.net(n));
+            self.net_costs[n.index()] = c;
+            new_cost += c as f64;
+        }
+        self.total_cost += new_cost - old_cost;
+        Some((new_cost - old_cost, target, old_site))
+    }
+
+    /// Undoes a move previously applied by [`Annealer::propose`].
+    fn undo(&mut self, block: BlockId, old_site: SiteId) {
+        self.placement.displace(block, old_site);
+        let mut delta = 0.0f64;
+        for i in 0..self.touched.len() {
+            let n = self.touched[i];
+            let old = self.net_costs[n.index()] as f64;
+            let c = self
+                .model
+                .net_cost(self.arch, self.netlist, &self.placement, self.netlist.net(n));
+            self.net_costs[n.index()] = c;
+            delta += c as f64 - old;
+        }
+        self.total_cost += delta;
+    }
+
+    /// Picks a random same-kind target site within the range limit.
+    fn pick_target(&mut self, block: BlockId, old_site: SiteId) -> Option<SiteId> {
+        let kind = required_site_kind(self.netlist.block(block).kind);
+        let site = self.arch.site(old_site);
+        let (cx, cy) = (site.x as f64, site.y as f64);
+        let rlim = self.rlim.max(1.0);
+        match kind {
+            SiteKind::Clb => {
+                let tx = (cx + self.rng.gen_range(-rlim..=rlim))
+                    .clamp(0.0, (self.arch.width() - 1) as f64);
+                let ty = (cy + self.rng.gen_range(-rlim..=rlim))
+                    .clamp(0.0, (self.arch.height() - 1) as f64);
+                // Nearest CLB column to tx.
+                let col_idx = match self
+                    .clb_cols
+                    .binary_search(&(tx.round() as usize))
+                {
+                    Ok(i) => i,
+                    Err(i) => {
+                        if i == 0 {
+                            0
+                        } else if i >= self.clb_cols.len() {
+                            self.clb_cols.len() - 1
+                        } else {
+                            // pick the nearer neighbour
+                            let lo = self.clb_cols[i - 1] as f64;
+                            let hi = self.clb_cols[i] as f64;
+                            if (tx - lo).abs() <= (hi - tx).abs() {
+                                i - 1
+                            } else {
+                                i
+                            }
+                        }
+                    }
+                };
+                let col = &self.clb_col_sites[col_idx];
+                let row = (ty.round() as usize).clamp(
+                    self.arch.site(col[0]).y,
+                    self.arch.site(col[col.len() - 1]).y,
+                ) - self.arch.site(col[0]).y;
+                Some(col[row.min(col.len() - 1)])
+            }
+            SiteKind::Io => pick_in_range(
+                &mut self.rng,
+                self.arch,
+                &self.io_sites,
+                cx,
+                cy,
+                rlim,
+            ),
+            SiteKind::Memory => pick_in_range(
+                &mut self.rng,
+                self.arch,
+                &self.mem_sites,
+                cx,
+                cy,
+                rlim,
+            ),
+            SiteKind::Multiplier => pick_in_range(
+                &mut self.rng,
+                self.arch,
+                &self.mult_sites,
+                cx,
+                cy,
+                rlim,
+            ),
+        }
+    }
+
+    /// Runs up to `max_moves` annealing moves, crossing temperature
+    /// boundaries as needed, and returns the current stats. Returns early
+    /// when the schedule completes.
+    pub fn step(&mut self, max_moves: u64) -> AnnealStats {
+        let mut budget = max_moves;
+        while budget > 0 && !self.done {
+            let block = self.movable[self.rng.gen_range(0..self.movable.len())];
+            self.moves_total += 1;
+            self.moves_this_temp += 1;
+            budget -= 1;
+            if let Some((delta, _site, old_site)) = self.propose(block) {
+                let accept = delta <= 0.0
+                    || self.rng.gen::<f64>() < (-delta / self.temperature).exp();
+                if accept {
+                    self.accepted_this_temp += 1;
+                } else {
+                    self.undo(block, old_site);
+                }
+            }
+            if self.moves_this_temp >= self.moves_per_temp {
+                self.end_of_temperature();
+            }
+        }
+        self.stats()
+    }
+
+    /// Completes one temperature step: update acceptance, range limit,
+    /// temperature, and the exit criterion.
+    fn end_of_temperature(&mut self) {
+        let acceptance = self.accepted_this_temp as f64 / self.moves_this_temp.max(1) as f64;
+        self.last_acceptance = acceptance;
+        self.moves_this_temp = 0;
+        self.accepted_this_temp = 0;
+        self.outer_iters += 1;
+
+        // VPR range-limit update: aim for 44 % acceptance.
+        let max_dim = self.arch.width().max(self.arch.height()) as f64;
+        self.rlim = (self.rlim * (1.0 - 0.44 + acceptance)).clamp(1.0, max_dim);
+        self.temperature *= self.options.alpha_t;
+
+        // Refresh the exact cost to cancel accumulated float drift.
+        self.total_cost = self.net_costs.iter().map(|&c| c as f64).sum();
+
+        let exit_t = self.options.exit_t_factor * self.total_cost
+            / self.netlist.nets().len().max(1) as f64;
+        if self.temperature < exit_t || self.outer_iters >= self.options.max_outer_iters {
+            self.done = true;
+        }
+    }
+
+    /// Whether the annealing schedule has completed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Runs the schedule to completion.
+    pub fn run(&mut self) {
+        while !self.done {
+            self.step(u64::from(u32::MAX));
+        }
+    }
+
+    /// The placement in its current (possibly mid-anneal) state.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Consumes the annealer, returning the final placement.
+    pub fn into_placement(self) -> Placement {
+        self.placement
+    }
+
+    /// Current progress statistics.
+    pub fn stats(&self) -> AnnealStats {
+        AnnealStats {
+            temperature: self.temperature,
+            cost: self.total_cost,
+            acceptance: self.last_acceptance,
+            rlim: self.rlim,
+            moves: self.moves_total,
+            outer_iters: self.outer_iters,
+        }
+    }
+
+    /// Current total cost under the configured cost model.
+    pub fn cost(&self) -> f64 {
+        self.total_cost
+    }
+}
+
+/// Picks a random site from `pool` within Chebyshev distance `rlim` of
+/// `(cx, cy)`; falls back to a uniform pick when the window is empty.
+fn pick_in_range(
+    rng: &mut StdRng,
+    arch: &Arch,
+    pool: &[SiteId],
+    cx: f64,
+    cy: f64,
+    rlim: f64,
+) -> Option<SiteId> {
+    if pool.is_empty() {
+        return None;
+    }
+    for _ in 0..8 {
+        let cand = pool[rng.gen_range(0..pool.len())];
+        let s = arch.site(cand);
+        if (s.x as f64 - cx).abs() <= rlim && (s.y as f64 - cy).abs() <= rlim {
+            return Some(cand);
+        }
+    }
+    Some(pool[rng.gen_range(0..pool.len())])
+}
+
+/// Random legal initial placement: shuffle each kind's site list and assign
+/// blocks in order.
+fn random_initial_placement(
+    arch: &Arch,
+    netlist: &Netlist,
+    rng: &mut StdRng,
+) -> Result<Placement, PlaceError> {
+    let mut pools: [Vec<SiteId>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    for s in arch.sites() {
+        let k = match s.kind {
+            SiteKind::Io => 0,
+            SiteKind::Clb => 1,
+            SiteKind::Memory => 2,
+            SiteKind::Multiplier => 3,
+        };
+        pools[k].push(s.id);
+    }
+    for pool in &mut pools {
+        for i in (1..pool.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            pool.swap(i, j);
+        }
+    }
+    let mut cursors = [0usize; 4];
+    let kind_name = ["io", "clb", "memory", "multiplier"];
+    let mut site_of = Vec::with_capacity(netlist.blocks().len());
+    let mut demand = [0usize; 4];
+    for b in netlist.blocks() {
+        let k = match required_site_kind(b.kind) {
+            SiteKind::Io => 0,
+            SiteKind::Clb => 1,
+            SiteKind::Memory => 2,
+            SiteKind::Multiplier => 3,
+        };
+        demand[k] += 1;
+        if cursors[k] >= pools[k].len() {
+            return Err(PlaceError::InsufficientSites {
+                kind: kind_name[k],
+                needed: netlist
+                    .blocks()
+                    .iter()
+                    .filter(|bb| required_site_kind(bb.kind) == required_site_kind(b.kind))
+                    .count(),
+                available: pools[k].len(),
+            });
+        }
+        site_of.push(pools[k][cursors[k]]);
+        cursors[k] += 1;
+    }
+    Ok(Placement::from_assignment(site_of, arch.sites().len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::wirelength;
+    use pop_netlist::{generate, presets};
+
+    fn setup() -> (Arch, Netlist) {
+        let netlist = generate(&presets::by_name("diffeq1").unwrap().scaled(0.02));
+        let (c, i, m, x) = netlist.site_demand();
+        let arch = Arch::auto_size(c, i, m, x, 12, 1.3).unwrap();
+        (arch, netlist)
+    }
+
+    #[test]
+    fn initial_placement_is_legal() {
+        let (arch, netlist) = setup();
+        let annealer = Annealer::new(&arch, &netlist, &PlaceOptions::default()).unwrap();
+        annealer.placement().verify(&arch, &netlist).unwrap();
+    }
+
+    #[test]
+    fn annealing_keeps_placement_legal_and_reduces_wirelength() {
+        let (arch, netlist) = setup();
+        let mut annealer = Annealer::new(&arch, &netlist, &PlaceOptions::default()).unwrap();
+        let before = wirelength(&arch, &netlist, annealer.placement());
+        annealer.run();
+        annealer.placement().verify(&arch, &netlist).unwrap();
+        let after = wirelength(&arch, &netlist, annealer.placement());
+        assert!(
+            after < before,
+            "wirelength should improve: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (arch, netlist) = setup();
+        let opts = PlaceOptions {
+            seed: 99,
+            ..Default::default()
+        };
+        let a = crate::place(&arch, &netlist, &opts).unwrap();
+        let b = crate::place(&arch, &netlist, &opts).unwrap();
+        assert_eq!(a, b);
+        let c = crate::place(
+            &arch,
+            &netlist,
+            &PlaceOptions {
+                seed: 100,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stepping_reaches_completion() {
+        let (arch, netlist) = setup();
+        let mut annealer = Annealer::new(&arch, &netlist, &PlaceOptions::default()).unwrap();
+        let mut steps = 0;
+        while !annealer.is_done() {
+            annealer.step(1000);
+            annealer.placement().verify(&arch, &netlist).unwrap();
+            steps += 1;
+            assert!(steps < 100_000, "annealer failed to terminate");
+        }
+        assert!(annealer.stats().outer_iters > 0);
+    }
+
+    #[test]
+    fn incremental_cost_matches_recomputation() {
+        let (arch, netlist) = setup();
+        let mut annealer = Annealer::new(&arch, &netlist, &PlaceOptions::default()).unwrap();
+        annealer.step(2000);
+        let tracked = annealer.cost();
+        let fresh = annealer
+            .model
+            .total_cost(&arch, &netlist, annealer.placement()) as f64;
+        let rel = (tracked - fresh).abs() / fresh.max(1.0);
+        assert!(rel < 1e-3, "cost drift: tracked {tracked} vs fresh {fresh}");
+    }
+
+    #[test]
+    fn exit_criterion_is_satisfied_at_completion() {
+        let (arch, netlist) = setup();
+        let opts = PlaceOptions::default();
+        let mut annealer = Annealer::new(&arch, &netlist, &opts).unwrap();
+        annealer.run();
+        let stats = annealer.stats();
+        let exit_t = opts.exit_t_factor * stats.cost / netlist.nets().len() as f64;
+        assert!(
+            stats.temperature < exit_t || stats.outer_iters >= opts.max_outer_iters,
+            "temperature {} vs exit {} after {} iters",
+            stats.temperature,
+            exit_t,
+            stats.outer_iters
+        );
+    }
+
+    #[test]
+    fn faster_cooling_means_fewer_outer_iterations() {
+        let (arch, netlist) = setup();
+        let run = |alpha: f64| {
+            let mut a = Annealer::new(
+                &arch,
+                &netlist,
+                &PlaceOptions {
+                    alpha_t: alpha,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            a.run();
+            a.stats().outer_iters
+        };
+        let fast = run(0.5);
+        let slow = run(0.95);
+        assert!(fast < slow, "alpha 0.5 ({fast}) vs 0.95 ({slow})");
+    }
+
+    #[test]
+    fn netlist_without_nets_finishes_immediately() {
+        let blocks = vec![pop_netlist::Block {
+            id: BlockId(0),
+            kind: pop_netlist::BlockKind::Clb { luts: 1, ffs: 0 },
+            name: "c".into(),
+        }];
+        let netlist = Netlist::new("empty", blocks, vec![]).unwrap();
+        let arch = Arch::builder().interior(4, 4).build().unwrap();
+        let annealer = Annealer::new(&arch, &netlist, &PlaceOptions::default()).unwrap();
+        assert!(annealer.is_done());
+    }
+
+    #[test]
+    fn insufficient_sites_is_reported() {
+        let netlist = generate(&presets::by_name("ode").unwrap().scaled(0.2));
+        let arch = Arch::builder().interior(4, 4).build().unwrap();
+        match Annealer::new(&arch, &netlist, &PlaceOptions::default()) {
+            Err(PlaceError::InsufficientSites { .. }) => {}
+            other => panic!("expected InsufficientSites, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn different_algorithms_differ() {
+        let (arch, netlist) = setup();
+        let bb = crate::place(
+            &arch,
+            &netlist,
+            &PlaceOptions {
+                algorithm: crate::PlaceAlgorithm::BoundingBox,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let pt = crate::place(
+            &arch,
+            &netlist,
+            &PlaceOptions {
+                algorithm: crate::PlaceAlgorithm::PathTiming,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_ne!(bb, pt);
+    }
+}

@@ -1,0 +1,61 @@
+use pop_netlist::BlockId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// The architecture does not provide enough sites of a kind.
+    InsufficientSites {
+        /// Site kind name (`clb`, `io`, `memory`, `multiplier`).
+        kind: &'static str,
+        /// Blocks needing a site of this kind.
+        needed: usize,
+        /// Sites available.
+        available: usize,
+    },
+    /// A placement failed verification: a block sits on a site of the wrong
+    /// kind or two blocks share a site.
+    Illegal {
+        /// The offending block.
+        block: BlockId,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::InsufficientSites {
+                kind,
+                needed,
+                available,
+            } => write!(
+                f,
+                "need {needed} {kind} sites but architecture provides {available}"
+            ),
+            PlaceError::Illegal { block, reason } => {
+                write!(f, "illegal placement of block {block}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for PlaceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_counts() {
+        let e = PlaceError::InsufficientSites {
+            kind: "clb",
+            needed: 10,
+            available: 4,
+        };
+        assert!(e.to_string().contains("10 clb"));
+        assert!(e.to_string().contains('4'));
+    }
+}

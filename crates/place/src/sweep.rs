@@ -1,0 +1,139 @@
+//! Deterministic generation of placement-option combinations.
+//!
+//! The paper's dataset comes from "sweeping the VPR placement options,
+//! including seed, ALPHA_T, INNER_NUM and place_algorithm" to obtain ~200
+//! placements per design. [`SweepSpec`] captures the swept values;
+//! [`SweepSpec::options`] yields the Cartesian product (seed varying
+//! fastest) and [`SweepSpec::take`] yields exactly `n` combinations,
+//! extending the seed range as needed — matching how one pads a sweep to a
+//! target `#P` count.
+
+use crate::options::{PlaceAlgorithm, PlaceOptions};
+
+/// The values swept for each placement option.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Base RNG seed; combination `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// `ALPHA_T` values to sweep.
+    pub alpha_ts: Vec<f64>,
+    /// `INNER_NUM` values to sweep.
+    pub inner_nums: Vec<f64>,
+    /// `place_algorithm` values to sweep.
+    pub algorithms: Vec<PlaceAlgorithm>,
+}
+
+impl Default for SweepSpec {
+    /// The default sweep mirrors a realistic VPR exploration: four cooling
+    /// rates, three effort levels, both cost functions.
+    fn default() -> Self {
+        SweepSpec {
+            base_seed: 1,
+            alpha_ts: vec![0.8, 0.85, 0.9, 0.95],
+            inner_nums: vec![0.25, 0.5, 1.0],
+            algorithms: vec![PlaceAlgorithm::BoundingBox, PlaceAlgorithm::PathTiming],
+        }
+    }
+}
+
+impl SweepSpec {
+    /// A cheaper sweep for tests and CPU-sized experiments (lower effort,
+    /// same diversity of knobs).
+    pub fn quick() -> Self {
+        SweepSpec {
+            base_seed: 1,
+            alpha_ts: vec![0.7, 0.8, 0.9],
+            inner_nums: vec![0.05, 0.15],
+            algorithms: vec![PlaceAlgorithm::BoundingBox, PlaceAlgorithm::PathTiming],
+        }
+    }
+
+    /// Number of combinations in one full pass of the sweep.
+    pub fn combinations(&self) -> usize {
+        self.alpha_ts.len() * self.inner_nums.len() * self.algorithms.len()
+    }
+
+    /// Yields exactly `n` option sets: the Cartesian product repeated with
+    /// fresh seeds until `n` combinations are produced. Every returned
+    /// option set is distinct (the seed always advances).
+    pub fn take(&self, n: usize) -> Vec<PlaceOptions> {
+        let mut out = Vec::with_capacity(n);
+        let mut seed = self.base_seed;
+        'outer: loop {
+            for &alg in &self.algorithms {
+                for &alpha in &self.alpha_ts {
+                    for &inner in &self.inner_nums {
+                        if out.len() >= n {
+                            break 'outer;
+                        }
+                        out.push(PlaceOptions {
+                            seed,
+                            alpha_t: alpha,
+                            inner_num: inner,
+                            algorithm: alg,
+                            ..PlaceOptions::default()
+                        });
+                        seed += 1;
+                    }
+                }
+            }
+            if self.combinations() == 0 {
+                break;
+            }
+        }
+        out
+    }
+
+    /// One full pass of the Cartesian product.
+    pub fn options(&self) -> Vec<PlaceOptions> {
+        self.take(self.combinations())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sweep_size() {
+        let s = SweepSpec::default();
+        assert_eq!(s.combinations(), 4 * 3 * 2);
+        assert_eq!(s.options().len(), 24);
+    }
+
+    #[test]
+    fn take_pads_with_fresh_seeds() {
+        let s = SweepSpec::default();
+        let opts = s.take(50);
+        assert_eq!(opts.len(), 50);
+        // All seeds distinct => all option sets distinct.
+        let mut seeds: Vec<u64> = opts.iter().map(|o| o.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 50);
+    }
+
+    #[test]
+    fn take_covers_all_knob_values() {
+        let s = SweepSpec::default();
+        let opts = s.take(s.combinations());
+        for &a in &s.alpha_ts {
+            assert!(opts.iter().any(|o| o.alpha_t == a));
+        }
+        for &i in &s.inner_nums {
+            assert!(opts.iter().any(|o| o.inner_num == i));
+        }
+        for &alg in &s.algorithms {
+            assert!(opts.iter().any(|o| o.algorithm == alg));
+        }
+    }
+
+    #[test]
+    fn empty_sweep_yields_nothing() {
+        let s = SweepSpec {
+            alpha_ts: vec![],
+            ..Default::default()
+        };
+        assert!(s.take(10).is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! The paper's Table 1 colour scheme and the utilisation colour bar.
+//!
+//! | Colour       | `img_place`            | `img_route`            |
+//! |--------------|------------------------|------------------------|
+//! | White        | Routing channels       | Out of floor plan      |
+//! | Lightblue    | CLB spots              | Remaining CLB spots    |
+//! | Pink         | Multiplier             | Multiplier             |
+//! | Lightyellow  | Memory                 | Memory                 |
+//! | Black        | Used CLB and I/O spots | Used CLB and I/O spots |
+//! | Yellow→purple| —                      | Routing utilisation    |
+
+use crate::image::Rgb8;
+
+/// Routing channels (`img_place`) / out-of-floorplan (`img_route`).
+pub const WHITE: Rgb8 = Rgb8::new(255, 255, 255);
+/// Unused CLB (and I/O) spots.
+pub const LIGHTBLUE: Rgb8 = Rgb8::new(173, 216, 230);
+/// Multiplier columns.
+pub const PINK: Rgb8 = Rgb8::new(255, 182, 193);
+/// Memory columns.
+pub const LIGHTYELLOW: Rgb8 = Rgb8::new(255, 255, 224);
+/// Used CLB and I/O spots.
+pub const BLACK: Rgb8 = Rgb8::new(0, 0, 0);
+/// Low end of the utilisation gradient (0.0 = idle channel).
+pub const UTIL_LOW: Rgb8 = Rgb8::new(255, 255, 0);
+/// High end of the utilisation gradient (1.0 = fully utilised channel).
+pub const UTIL_HIGH: Rgb8 = Rgb8::new(128, 0, 128);
+
+/// Fractional darkening applied to occupied memory/multiplier sites in
+/// `img_place` so usage is visible while the Table 1 hue is preserved.
+pub const OCCUPIED_DARKEN: f32 = 0.45;
+
+/// Maps a channel utilisation in `[0, 1]` onto the yellow→purple colour bar
+/// (values outside the range are clamped, matching VPR's saturated bar).
+pub fn utilization_color(u: f32) -> Rgb8 {
+    let t = u.clamp(0.0, 1.0);
+    let lerp = |a: u8, b: u8| -> u8 { (a as f32 + (b as f32 - a as f32) * t).round() as u8 };
+    Rgb8::new(
+        lerp(UTIL_LOW.r, UTIL_HIGH.r),
+        lerp(UTIL_LOW.g, UTIL_HIGH.g),
+        lerp(UTIL_LOW.b, UTIL_HIGH.b),
+    )
+}
+
+/// Recovers the utilisation encoded by [`utilization_color`] (projection of
+/// `c` onto the gradient, clamped to `[0, 1]`). Lossy only through 8-bit
+/// quantisation; used when decoding predicted heat maps back into scalar
+/// congestion estimates.
+pub fn utilization_from_color(c: Rgb8) -> f32 {
+    // Project onto the gradient direction d = high - low.
+    let d = (
+        UTIL_HIGH.r as f32 - UTIL_LOW.r as f32,
+        UTIL_HIGH.g as f32 - UTIL_LOW.g as f32,
+        UTIL_HIGH.b as f32 - UTIL_LOW.b as f32,
+    );
+    let v = (
+        c.r as f32 - UTIL_LOW.r as f32,
+        c.g as f32 - UTIL_LOW.g as f32,
+        c.b as f32 - UTIL_LOW.b as f32,
+    );
+    let dot = v.0 * d.0 + v.1 * d.1 + v.2 * d.2;
+    let norm = d.0 * d.0 + d.1 * d.1 + d.2 * d.2;
+    (dot / norm).clamp(0.0, 1.0)
+}
+
+/// Darkens a colour by `fraction` (0 = unchanged, 1 = black).
+pub fn darken(c: Rgb8, fraction: f32) -> Rgb8 {
+    let f = (1.0 - fraction.clamp(0.0, 1.0)).max(0.0);
+    Rgb8::new(
+        (c.r as f32 * f).round() as u8,
+        (c.g as f32 * f).round() as u8,
+        (c.b as f32 * f).round() as u8,
+    )
+}
+
+/// Luminance weights of `tf.image.rgb_to_grayscale` (ITU-R BT.601), used by
+/// the §5.2 grayscale ablation.
+pub const GRAY_WEIGHTS: [f32; 3] = [0.2989, 0.587, 0.114];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_endpoints() {
+        assert_eq!(utilization_color(0.0), UTIL_LOW);
+        assert_eq!(utilization_color(1.0), UTIL_HIGH);
+        assert_eq!(utilization_color(-3.0), UTIL_LOW);
+        assert_eq!(utilization_color(9.0), UTIL_HIGH);
+    }
+
+    #[test]
+    fn gradient_roundtrip() {
+        for i in 0..=20 {
+            let u = i as f32 / 20.0;
+            let back = utilization_from_color(utilization_color(u));
+            assert!((back - u).abs() < 0.01, "u={u} back={back}");
+        }
+    }
+
+    #[test]
+    fn gradient_is_monotone_toward_purple() {
+        // Distance to the high end decreases monotonically with u.
+        let mut last = f32::MAX;
+        for i in 0..=10 {
+            let u = i as f32 / 10.0;
+            let d = utilization_color(u).distance(UTIL_HIGH);
+            assert!(d <= last + 1e-3);
+            last = d;
+        }
+    }
+
+    #[test]
+    fn table1_colors_are_distinguishable() {
+        // The paper requires elements to be separable by RGB distance.
+        let palette = [WHITE, LIGHTBLUE, PINK, LIGHTYELLOW, BLACK];
+        for (i, a) in palette.iter().enumerate() {
+            for b in palette.iter().skip(i + 1) {
+                assert!(a.distance(*b) > 30.0, "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn darken_behaviour() {
+        assert_eq!(darken(WHITE, 0.0), WHITE);
+        assert_eq!(darken(WHITE, 1.0), BLACK);
+        let mid = darken(Rgb8::new(200, 100, 50), 0.5);
+        assert_eq!(mid, Rgb8::new(100, 50, 25));
+    }
+}

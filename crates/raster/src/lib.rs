@@ -1,0 +1,48 @@
+//! Rasterisation of the paper's four image kinds and the image metrics.
+//!
+//! The paper's §3/§4.2 define the visual encoding this crate reproduces:
+//!
+//! * [`render_floorplan`] — `img_floor`: the empty fabric (Figure 2a);
+//! * [`render_placement`] — `img_place`: used CLB and I/O spots filled
+//!   black on top of the floorplan (Figure 2b), Table 1 colour scheme;
+//! * [`render_connectivity`] — `img_connect`: one-channel image obtained by
+//!   drawing every placed net edge (Figure 4);
+//! * [`render_congestion`] — `img_route`: routing-channel pixels colourised
+//!   by utilisation with the yellow→purple gradient (Figure 2d).
+//!
+//! Images are [`Image`]s — `w×w` float tensors in `[0,1]` with 1 or 3
+//! channels — plus [`Rgb8`] conversion and dependency-free binary PPM/PGM
+//! output. [`metrics`] implements the paper's per-pixel accuracy and
+//! [`grayscale`] the §5.2 `tf.image.rgb_to_grayscale` equivalent.
+//!
+//! Geometry: a tile maps to a `cell×cell` pixel block with a one-`gutter`
+//! routing-channel strip between adjacent tiles, so every channel segment
+//! owns distinct pixels — the "≥ 2×2 pixels per element" resolution rule of
+//! §4.2 is satisfied whenever `side ≥ 2·grid`.
+//!
+//! # Example
+//!
+//! ```
+//! use pop_arch::Arch;
+//! use pop_raster::{render_floorplan, color};
+//!
+//! let arch = Arch::builder().interior(8, 8).build()?;
+//! let img = render_floorplan(&arch, 64);
+//! assert_eq!((img.width(), img.height(), img.channels()), (64, 64, 3));
+//! // Routing channels are white in img_floor.
+//! assert_eq!(img.pixel_rgb8(0, 0), color::WHITE);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod color;
+mod geometry;
+mod image;
+pub mod metrics;
+mod render;
+
+pub use geometry::{Layout, PixelOwner};
+pub use image::{Image, ImageError, Rgb8};
+pub use render::{
+    grayscale, render_congestion, render_connectivity, render_floorplan, render_placement,
+    render_routing,
+};

@@ -1,0 +1,244 @@
+//! Image-level quality metrics.
+//!
+//! The paper's primary quality number is "per-pixel accuracy between the
+//! generated image and ground truth image" (§5.1, Table 2 Acc.1/Acc.2).
+//! The paper does not spell out the tolerance; following the common
+//! colourisation convention we count a pixel as correct when every channel
+//! is within [`DEFAULT_TOLERANCE`] (16/255) of the truth, and expose the
+//! tolerance as a parameter.
+
+use crate::image::{Image, ImageError};
+
+/// Default per-channel tolerance for [`per_pixel_accuracy`]: 16 grey levels.
+pub const DEFAULT_TOLERANCE: f32 = 16.0 / 255.0;
+
+/// Fraction of pixels whose maximum per-channel absolute error is within
+/// `tolerance`. Symmetric in its arguments; 1.0 for identical images.
+///
+/// # Errors
+///
+/// Returns [`ImageError::ShapeMismatch`] when the two images differ in
+/// shape.
+pub fn per_pixel_accuracy(a: &Image, b: &Image, tolerance: f32) -> Result<f32, ImageError> {
+    a.check_same_shape(b)?;
+    let (w, h, c) = (a.width(), a.height(), a.channels());
+    let plane = w * h;
+    let mut correct = 0usize;
+    for p in 0..plane {
+        let mut worst = 0.0f32;
+        for ch in 0..c {
+            let d = (a.data()[ch * plane + p] - b.data()[ch * plane + p]).abs();
+            worst = worst.max(d);
+        }
+        if worst <= tolerance {
+            correct += 1;
+        }
+    }
+    Ok(correct as f32 / plane as f32)
+}
+
+/// Mean squared error over all values.
+///
+/// # Errors
+///
+/// Returns [`ImageError::ShapeMismatch`] when the two images differ in
+/// shape.
+pub fn mse(a: &Image, b: &Image) -> Result<f32, ImageError> {
+    a.check_same_shape(b)?;
+    let sum: f32 = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum();
+    Ok(sum / a.data().len() as f32)
+}
+
+/// Mean absolute error over all values (the L1 term of the cGAN objective,
+/// measured image-side).
+///
+/// # Errors
+///
+/// Returns [`ImageError::ShapeMismatch`] when the two images differ in
+/// shape.
+pub fn mae(a: &Image, b: &Image) -> Result<f32, ImageError> {
+    a.mean_abs_diff(b)
+}
+
+/// Peak signal-to-noise ratio in dB (images in `[0, 1]`, peak = 1).
+/// Identical images return `f32::INFINITY`.
+///
+/// # Errors
+///
+/// Returns [`ImageError::ShapeMismatch`] when the two images differ in
+/// shape.
+pub fn psnr(a: &Image, b: &Image) -> Result<f32, ImageError> {
+    let m = mse(a, b)?;
+    if m <= 0.0 {
+        return Ok(f32::INFINITY);
+    }
+    Ok(-10.0 * m.log10())
+}
+
+/// Structural similarity (SSIM) with the standard constants
+/// (`K1 = 0.01`, `K2 = 0.03`, dynamic range 1) over `window`-sized
+/// non-overlapping tiles, averaged over tiles and channels. Follow-on
+/// ML-for-congestion work (e.g. CircuitNet) reports SSIM alongside pixel
+/// accuracy, so the harness exposes it too.
+///
+/// # Errors
+///
+/// Returns [`ImageError::ShapeMismatch`] when the two images differ in
+/// shape.
+///
+/// # Panics
+///
+/// Panics when `window` is zero.
+pub fn ssim(a: &Image, b: &Image, window: usize) -> Result<f32, ImageError> {
+    assert!(window > 0, "window must be positive");
+    a.check_same_shape(b)?;
+    let (w, h, c) = (a.width(), a.height(), a.channels());
+    let c1 = 0.01f64 * 0.01;
+    let c2 = 0.03f64 * 0.03;
+    let mut total = 0.0f64;
+    let mut tiles = 0usize;
+    for ch in 0..c {
+        let mut ty = 0;
+        while ty < h {
+            let mut tx = 0;
+            let y_end = (ty + window).min(h);
+            while tx < w {
+                let x_end = (tx + window).min(w);
+                let n = ((x_end - tx) * (y_end - ty)) as f64;
+                let (mut sa, mut sb, mut saa, mut sbb, mut sab) = (0.0, 0.0, 0.0, 0.0, 0.0);
+                for y in ty..y_end {
+                    for x in tx..x_end {
+                        let va = a.get(x, y, ch) as f64;
+                        let vb = b.get(x, y, ch) as f64;
+                        sa += va;
+                        sb += vb;
+                        saa += va * va;
+                        sbb += vb * vb;
+                        sab += va * vb;
+                    }
+                }
+                let ma = sa / n;
+                let mb = sb / n;
+                let va = (saa / n - ma * ma).max(0.0);
+                let vb = (sbb / n - mb * mb).max(0.0);
+                let cov = sab / n - ma * mb;
+                let s = ((2.0 * ma * mb + c1) * (2.0 * cov + c2))
+                    / ((ma * ma + mb * mb + c1) * (va + vb + c2));
+                total += s;
+                tiles += 1;
+                tx += window;
+            }
+            ty += window;
+        }
+    }
+    Ok((total / tiles.max(1) as f64) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_are_fully_accurate() {
+        let a = Image::zeros(8, 8, 3);
+        assert_eq!(per_pixel_accuracy(&a, &a, DEFAULT_TOLERANCE).unwrap(), 1.0);
+        assert_eq!(mse(&a, &a).unwrap(), 0.0);
+        assert_eq!(mae(&a, &a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_is_symmetric() {
+        let mut a = Image::zeros(4, 4, 1);
+        let mut b = Image::zeros(4, 4, 1);
+        a.set(0, 0, 0, 0.5);
+        b.set(3, 3, 0, 0.9);
+        let ab = per_pixel_accuracy(&a, &b, DEFAULT_TOLERANCE).unwrap();
+        let ba = per_pixel_accuracy(&b, &a, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn tolerance_widens_acceptance() {
+        let a = Image::zeros(2, 2, 1);
+        let mut b = Image::zeros(2, 2, 1);
+        for (i, v) in b.data_mut().iter_mut().enumerate() {
+            *v = 0.05 * (i as f32 + 1.0); // 0.05, 0.10, 0.15, 0.20
+        }
+        let tight = per_pixel_accuracy(&a, &b, 0.06).unwrap();
+        let loose = per_pixel_accuracy(&a, &b, 0.16).unwrap();
+        assert_eq!(tight, 0.25);
+        assert_eq!(loose, 0.75);
+    }
+
+    #[test]
+    fn worst_channel_governs() {
+        let a = Image::zeros(1, 1, 3);
+        let mut b = Image::zeros(1, 1, 3);
+        b.set(0, 0, 2, 0.5); // only the blue channel is off
+        assert_eq!(per_pixel_accuracy(&a, &b, DEFAULT_TOLERANCE).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let a = Image::zeros(2, 2, 1);
+        let b = Image::zeros(2, 3, 1);
+        assert!(per_pixel_accuracy(&a, &b, 0.1).is_err());
+        assert!(mse(&a, &b).is_err());
+        assert!(ssim(&a, &b, 4).is_err());
+        assert!(psnr(&a, &b).is_err());
+    }
+
+    #[test]
+    fn psnr_behaviour() {
+        let a = Image::zeros(4, 4, 1);
+        assert_eq!(psnr(&a, &a).unwrap(), f32::INFINITY);
+        let mut b = Image::zeros(4, 4, 1);
+        for v in b.data_mut() {
+            *v = 0.1; // MSE = 0.01 -> PSNR = 20 dB
+        }
+        assert!((psnr(&a, &b).unwrap() - 20.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ssim_is_one_for_identical_and_lower_otherwise() {
+        let mut a = Image::zeros(8, 8, 1);
+        for (i, v) in a.data_mut().iter_mut().enumerate() {
+            *v = (i % 7) as f32 / 7.0;
+        }
+        assert!((ssim(&a, &a, 4).unwrap() - 1.0).abs() < 1e-6);
+        let mut b = a.clone();
+        for v in b.data_mut() {
+            *v = 1.0 - *v;
+        }
+        let s = ssim(&a, &b, 4).unwrap();
+        assert!(s < 0.9, "inverted image should score low, got {s}");
+    }
+
+    #[test]
+    fn ssim_penalises_structure_loss_more_than_brightness() {
+        // A uniform brightness offset keeps structure; noise destroys it.
+        let mut a = Image::zeros(8, 8, 1);
+        for (i, v) in a.data_mut().iter_mut().enumerate() {
+            *v = ((i / 8 + i % 8) % 5) as f32 / 5.0;
+        }
+        let mut brighter = a.clone();
+        for v in brighter.data_mut() {
+            *v = (*v + 0.1).min(1.0);
+        }
+        let mut noisy = a.clone();
+        for (i, v) in noisy.data_mut().iter_mut().enumerate() {
+            *v = if i % 2 == 0 { 0.0 } else { 1.0 };
+        }
+        let s_bright = ssim(&a, &brighter, 4).unwrap();
+        let s_noisy = ssim(&a, &noisy, 4).unwrap();
+        assert!(
+            s_bright > s_noisy,
+            "brightness shift {s_bright} should beat structure loss {s_noisy}"
+        );
+    }
+}

@@ -1,0 +1,133 @@
+use pop_arch::{Arch, ChannelId};
+
+/// Per-channel-segment routing utilisation — the paper's ground truth.
+///
+/// `utilization(ch) = occupancy(ch) / channel_width`, where occupancy counts
+/// distinct nets crossing segment `ch`. Values may exceed `1.0` when the
+/// router was stopped with overuse remaining; the heat-map renderer
+/// saturates at `1.0` like VPR's colour bar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CongestionMap {
+    width: usize,
+    height: usize,
+    util: Vec<f32>,
+}
+
+impl CongestionMap {
+    /// Builds a map from raw per-node occupancy.
+    pub(crate) fn from_occupancy(arch: &Arch, occupancy: &[u32], capacity: usize) -> Self {
+        let cap = capacity.max(1) as f32;
+        CongestionMap {
+            width: arch.width(),
+            height: arch.height(),
+            util: occupancy.iter().map(|&o| o as f32 / cap).collect(),
+        }
+    }
+
+    /// Builds a map directly from utilisation values (used by tests and by
+    /// synthetic-forecast tooling). `util` must have one entry per channel
+    /// segment in [`Arch::channel_index`] order.
+    pub fn from_utilization(arch: &Arch, util: Vec<f32>) -> Self {
+        assert_eq!(
+            util.len(),
+            arch.channel_count(),
+            "one utilisation value per channel segment"
+        );
+        CongestionMap {
+            width: arch.width(),
+            height: arch.height(),
+            util,
+        }
+    }
+
+    /// Grid width in tiles of the architecture this map belongs to.
+    pub fn grid_width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height in tiles of the architecture this map belongs to.
+    pub fn grid_height(&self) -> usize {
+        self.height
+    }
+
+    /// Utilisation of one segment by dense index.
+    #[inline]
+    pub fn utilization_at(&self, index: usize) -> f32 {
+        self.util[index]
+    }
+
+    /// Utilisation of one segment by channel id.
+    pub fn utilization(&self, arch: &Arch, ch: ChannelId) -> f32 {
+        self.util[arch.channel_index(ch)]
+    }
+
+    /// All utilisation values in [`Arch::channel_index`] order.
+    pub fn values(&self) -> &[f32] {
+        &self.util
+    }
+
+    /// Largest utilisation over all segments (0 when there are none).
+    pub fn max_utilization(&self) -> f32 {
+        self.util.iter().copied().fold(0.0, f32::max)
+    }
+
+    /// Mean utilisation over all segments.
+    pub fn mean_utilization(&self) -> f32 {
+        if self.util.is_empty() {
+            return 0.0;
+        }
+        self.util.iter().sum::<f32>() / self.util.len() as f32
+    }
+
+    /// Number of segments with utilisation strictly above `threshold`.
+    pub fn count_above(&self, threshold: f32) -> usize {
+        self.util.iter().filter(|&&u| u > threshold).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arch() -> Arch {
+        Arch::builder().interior(4, 4).build().unwrap()
+    }
+
+    #[test]
+    fn from_occupancy_divides_by_capacity() {
+        let a = arch();
+        let occ = vec![8u32; a.channel_count()];
+        let m = CongestionMap::from_occupancy(&a, &occ, 16);
+        assert!(m.values().iter().all(|&u| (u - 0.5).abs() < 1e-6));
+        assert_eq!(m.max_utilization(), 0.5);
+        assert_eq!(m.mean_utilization(), 0.5);
+    }
+
+    #[test]
+    fn count_above_threshold() {
+        let a = arch();
+        let mut util = vec![0.2f32; a.channel_count()];
+        util[0] = 0.9;
+        util[1] = 0.95;
+        let m = CongestionMap::from_utilization(&a, util);
+        assert_eq!(m.count_above(0.8), 2);
+        assert_eq!(m.count_above(1.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one utilisation value per channel segment")]
+    fn from_utilization_checks_length() {
+        let a = arch();
+        let _ = CongestionMap::from_utilization(&a, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn lookup_by_channel_id() {
+        let a = arch();
+        let mut util = vec![0.0f32; a.channel_count()];
+        let ch = ChannelId::Horizontal { x: 1, y: 0 };
+        util[a.channel_index(ch)] = 0.7;
+        let m = CongestionMap::from_utilization(&a, util);
+        assert!((m.utilization(&a, ch) - 0.7).abs() < 1e-6);
+    }
+}

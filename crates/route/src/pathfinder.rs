@@ -1,0 +1,689 @@
+use crate::congestion::CongestionMap;
+use crate::graph::RouteGraph;
+use pop_arch::Arch;
+use pop_netlist::{NetId, Netlist};
+use pop_place::Placement;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
+
+/// Options for the negotiated-congestion router.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteOptions {
+    /// Maximum rip-up-and-reroute iterations before giving up and returning
+    /// the best (least-overused) routing found.
+    pub max_iterations: usize,
+    /// Initial present-congestion penalty factor.
+    pub pres_fac_init: f32,
+    /// Multiplier applied to the present-congestion factor each iteration.
+    pub pres_fac_mult: f32,
+    /// Historical-congestion accumulation rate.
+    pub hist_fac: f32,
+    /// A* aggressiveness (1.0 = admissible Dijkstra-like, >1 = greedier and
+    /// faster; VPR defaults to ~1.2).
+    pub astar_fac: f32,
+    /// Route against this channel capacity instead of the architecture's
+    /// (used by [`min_channel_width`]'s binary search).
+    pub channel_width_override: Option<usize>,
+}
+
+impl Default for RouteOptions {
+    fn default() -> Self {
+        RouteOptions {
+            max_iterations: 24,
+            pres_fac_init: 0.6,
+            pres_fac_mult: 1.7,
+            hist_fac: 0.4,
+            astar_fac: 1.2,
+            channel_width_override: None,
+        }
+    }
+}
+
+/// Errors produced by routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// A net terminal sits on a tile with no channel access (cannot happen
+    /// on well-formed architectures; reported rather than panicking).
+    NoChannelAccess {
+        /// The unroutable net.
+        net: NetId,
+    },
+    /// The router could not connect a net at all (disconnected graph).
+    Unroutable {
+        /// The unroutable net.
+        net: NetId,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::NoChannelAccess { net } => {
+                write!(f, "net {net} has a terminal without channel access")
+            }
+            RouteError::Unroutable { net } => write!(f, "net {net} could not be routed"),
+        }
+    }
+}
+
+impl Error for RouteError {}
+
+/// The routed tree of one net: the channel segments it occupies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutedNet {
+    /// Which net this tree belongs to.
+    pub net: NetId,
+    /// Channel-segment node indices (dense [`Arch::channel_index`] order),
+    /// each counted once.
+    pub nodes: Vec<u32>,
+}
+
+/// Outcome of [`route`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteResult {
+    routes: Vec<RoutedNet>,
+    congestion: CongestionMap,
+    /// Rip-up-and-reroute iterations performed.
+    pub iterations: usize,
+    /// Whether the final routing is overuse-free.
+    pub success: bool,
+    /// Number of channel segments still over capacity.
+    pub overused_segments: usize,
+}
+
+impl RouteResult {
+    /// The per-channel utilisation map (the paper's ground truth).
+    pub fn congestion(&self) -> &CongestionMap {
+        &self.congestion
+    }
+
+    /// Per-net routed trees.
+    pub fn routes(&self) -> &[RoutedNet] {
+        &self.routes
+    }
+
+    /// Total routed wirelength in channel segments.
+    pub fn wirelength(&self) -> usize {
+        self.routes.iter().map(|r| r.nodes.len()).sum()
+    }
+}
+
+/// Orders f32 priorities inside the binary heap (min-heap via `Reverse`
+/// semantics, ties broken by node index for determinism).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    priority: f32,
+    node: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want smallest priority.
+        other
+            .priority
+            .total_cmp(&self.priority)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Scratch state reused across nets within one routing pass.
+struct Router<'a> {
+    graph: &'a RouteGraph,
+    capacity: u32,
+    occupancy: Vec<u32>,
+    history: Vec<f32>,
+    pres_fac: f32,
+    astar_fac: f32,
+    // A* scratch, epoch-stamped to avoid O(V) clears per net.
+    visit_stamp: Vec<u64>,
+    g_cost: Vec<f32>,
+    parent: Vec<u32>,
+    epoch: u64,
+    // Tree membership stamp.
+    tree_stamp: Vec<u64>,
+    tree_epoch: u64,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+impl<'a> Router<'a> {
+    fn new(graph: &'a RouteGraph, capacity: u32, options: &RouteOptions) -> Self {
+        let n = graph.node_count();
+        Router {
+            graph,
+            capacity,
+            occupancy: vec![0; n],
+            history: vec![0.0; n],
+            pres_fac: options.pres_fac_init,
+            astar_fac: options.astar_fac,
+            visit_stamp: vec![0; n],
+            g_cost: vec![0.0; n],
+            parent: vec![NO_PARENT; n],
+            epoch: 0,
+            tree_stamp: vec![0; n],
+            tree_epoch: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// PathFinder node cost: `(base + history) · present-congestion factor`,
+    /// where the present factor penalises occupancy that would exceed
+    /// capacity.
+    #[inline]
+    fn node_cost(&self, node: usize) -> f32 {
+        let over = (self.occupancy[node] + 1).saturating_sub(self.capacity);
+        (1.0 + self.history[node]) * (1.0 + self.pres_fac * over as f32)
+    }
+
+    /// Routes one net as a Steiner-ish tree: sinks are connected one at a
+    /// time by A* searches seeded from the whole partial tree (VPR's net
+    /// routing discipline). Returns the tree's nodes.
+    fn route_net(
+        &mut self,
+        sources: &[usize],
+        sink_sets: &[Vec<usize>],
+        net: NetId,
+    ) -> Result<Vec<u32>, RouteError> {
+        let mut tree: Vec<u32> = Vec::new();
+        self.tree_epoch += 1;
+
+        // Sort sinks by distance from the first source for stable, mostly
+        // monotone tree growth.
+        let src_pos = self.graph.position(sources[0]);
+        let mut order: Vec<usize> = (0..sink_sets.len()).collect();
+        let sink_pos: Vec<(f32, f32)> = sink_sets
+            .iter()
+            .map(|s| self.graph.position(s[0]))
+            .collect();
+        order.sort_by(|&a, &b| {
+            let da = manhattan(src_pos, sink_pos[a]);
+            let db = manhattan(src_pos, sink_pos[b]);
+            da.total_cmp(&db).then(a.cmp(&b))
+        });
+
+        for sink_idx in order {
+            let sinks = &sink_sets[sink_idx];
+            // Already reached by the existing tree?
+            if sinks
+                .iter()
+                .any(|&s| self.tree_stamp[s] == self.tree_epoch)
+            {
+                continue;
+            }
+            let target = sink_pos[sink_idx];
+
+            self.epoch += 1;
+            self.heap.clear();
+
+            // Seed: tree nodes at zero g (their cost is already paid),
+            // otherwise the net's source access segments.
+            if tree.is_empty() {
+                for &s in sources {
+                    let g = self.node_cost(s);
+                    self.visit(s, g, NO_PARENT);
+                    self.heap.push(HeapEntry {
+                        priority: g + self.h(s, target),
+                        node: s as u32,
+                    });
+                }
+            } else {
+                for &t in &tree {
+                    self.visit(t as usize, 0.0, NO_PARENT);
+                    self.heap.push(HeapEntry {
+                        priority: self.h(t as usize, target),
+                        node: t,
+                    });
+                }
+            }
+
+            let mut found: Option<usize> = None;
+            while let Some(HeapEntry { node, .. }) = self.heap.pop() {
+                let n = node as usize;
+                if sinks.contains(&n) {
+                    found = Some(n);
+                    break;
+                }
+                let g = self.g_cost[n];
+                for &m in self.graph.neighbors(n) {
+                    let m = m as usize;
+                    let ng = g + self.node_cost(m);
+                    if self.visit_stamp[m] != self.epoch || ng < self.g_cost[m] {
+                        self.visit(m, ng, node);
+                        self.heap.push(HeapEntry {
+                            priority: ng + self.h(m, target),
+                            node: m as u32,
+                        });
+                    }
+                }
+            }
+
+            let Some(hit) = found else {
+                return Err(RouteError::Unroutable { net });
+            };
+
+            // Backtrack, appending new nodes until we rejoin the tree (or
+            // exhaust the path for the first sink).
+            let mut cur = hit as u32;
+            loop {
+                let c = cur as usize;
+                if self.tree_stamp[c] == self.tree_epoch {
+                    break;
+                }
+                self.tree_stamp[c] = self.tree_epoch;
+                tree.push(cur);
+                let p = self.parent[c];
+                if p == NO_PARENT {
+                    break;
+                }
+                cur = p;
+            }
+        }
+        Ok(tree)
+    }
+
+    #[inline]
+    fn visit(&mut self, node: usize, g: f32, parent: u32) {
+        self.visit_stamp[node] = self.epoch;
+        self.g_cost[node] = g;
+        self.parent[node] = parent;
+    }
+
+    #[inline]
+    fn h(&self, node: usize, target: (f32, f32)) -> f32 {
+        self.astar_fac * manhattan(self.graph.position(node), target)
+    }
+}
+
+#[inline]
+fn manhattan(a: (f32, f32), b: (f32, f32)) -> f32 {
+    (a.0 - b.0).abs() + (a.1 - b.1).abs()
+}
+
+/// Routes every net of a placed design with PathFinder-style negotiated
+/// congestion and returns the per-channel utilisation.
+///
+/// Deterministic: identical inputs give identical routings.
+///
+/// # Errors
+///
+/// Returns [`RouteError`] when a net cannot reach the channel network at
+/// all. Capacity overflow is *not* an error: if negotiation does not
+/// converge within `options.max_iterations`, the least-overused routing is
+/// returned with [`RouteResult::success`] `= false` (its congestion map
+/// then legitimately shows utilisation above 1.0).
+pub fn route(
+    arch: &Arch,
+    netlist: &Netlist,
+    placement: &Placement,
+    options: &RouteOptions,
+) -> Result<RouteResult, RouteError> {
+    let graph = RouteGraph::new(arch);
+    route_on_graph(arch, &graph, netlist, placement, options)
+}
+
+/// [`route`] against a prebuilt [`RouteGraph`] (reuse the graph when routing
+/// many placements of the same architecture, as dataset generation does).
+pub fn route_on_graph(
+    arch: &Arch,
+    graph: &RouteGraph,
+    netlist: &Netlist,
+    placement: &Placement,
+    options: &RouteOptions,
+) -> Result<RouteResult, RouteError> {
+    let capacity = options
+        .channel_width_override
+        .unwrap_or_else(|| arch.channel_width()) as u32;
+    let mut router = Router::new(graph, capacity, options);
+
+    // Resolve terminals to channel-access node sets once.
+    let mut net_sources: Vec<Vec<usize>> = Vec::with_capacity(netlist.nets().len());
+    let mut net_sinks: Vec<Vec<Vec<usize>>> = Vec::with_capacity(netlist.nets().len());
+    for net in netlist.nets() {
+        let access = |block| {
+            let site = arch.site(placement.site_of(block));
+            graph.tile_access(site.x, site.y)
+        };
+        let src = access(net.driver);
+        if src.is_empty() {
+            return Err(RouteError::NoChannelAccess { net: net.id });
+        }
+        let mut sinks = Vec::with_capacity(net.sinks.len());
+        for &s in &net.sinks {
+            let acc = access(s);
+            if acc.is_empty() {
+                return Err(RouteError::NoChannelAccess { net: net.id });
+            }
+            sinks.push(acc);
+        }
+        net_sources.push(src);
+        net_sinks.push(sinks);
+    }
+
+    let mut routes: Vec<Option<Vec<u32>>> = vec![None; netlist.nets().len()];
+    let mut best: Option<(usize, Vec<Vec<u32>>, Vec<u32>)> = None; // (overused, routes, occupancy)
+    let mut iterations = 0;
+
+    for iter in 0..options.max_iterations.max(1) {
+        iterations = iter + 1;
+        for (i, net) in netlist.nets().iter().enumerate() {
+            // Rip up previous route.
+            if let Some(old) = routes[i].take() {
+                for &n in &old {
+                    router.occupancy[n as usize] -= 1;
+                }
+            }
+            let tree = router.route_net(&net_sources[i], &net_sinks[i], net.id)?;
+            for &n in &tree {
+                router.occupancy[n as usize] += 1;
+            }
+            routes[i] = Some(tree);
+        }
+
+        // Count overuse and accumulate history on hot segments.
+        let mut overused = 0usize;
+        for n in 0..graph.node_count() {
+            let over = router.occupancy[n].saturating_sub(capacity);
+            if over > 0 {
+                overused += 1;
+                router.history[n] += options.hist_fac * over as f32;
+            }
+        }
+
+        let snapshot_better = match &best {
+            None => true,
+            Some((b, _, _)) => overused < *b,
+        };
+        if snapshot_better {
+            best = Some((
+                overused,
+                routes
+                    .iter()
+                    .map(|r| r.clone().unwrap_or_default())
+                    .collect(),
+                router.occupancy.clone(),
+            ));
+        }
+
+        if overused == 0 {
+            break;
+        }
+        router.pres_fac *= options.pres_fac_mult;
+    }
+
+    let (overused, final_routes, occupancy) = best.expect("at least one iteration ran");
+    let congestion = CongestionMap::from_occupancy(arch, &occupancy, capacity as usize);
+    let routes = final_routes
+        .into_iter()
+        .enumerate()
+        .map(|(i, nodes)| RoutedNet {
+            net: NetId(i as u32),
+            nodes,
+        })
+        .collect();
+    Ok(RouteResult {
+        routes,
+        congestion,
+        iterations,
+        success: overused == 0,
+        overused_segments: overused,
+    })
+}
+
+/// Binary-searches the minimum channel width for which the placement routes
+/// without overuse — VPR's "routing succeeded with a channel width factor
+/// of N" (caption of the paper's Figure 2). Returns the width and the
+/// successful routing at that width.
+///
+/// # Errors
+///
+/// Propagates [`RouteError`] from the underlying routing attempts, and
+/// returns [`RouteError::Unroutable`] for the first net if even a very wide
+/// fabric (1024 wires) fails.
+pub fn min_channel_width(
+    arch: &Arch,
+    netlist: &Netlist,
+    placement: &Placement,
+    options: &RouteOptions,
+) -> Result<(usize, RouteResult), RouteError> {
+    let graph = RouteGraph::new(arch);
+    let try_width = |w: usize| -> Result<RouteResult, RouteError> {
+        let opts = RouteOptions {
+            channel_width_override: Some(w),
+            ..options.clone()
+        };
+        route_on_graph(arch, &graph, netlist, placement, &opts)
+    };
+
+    // Grow to find a routable upper bound.
+    let mut hi = arch.channel_width().max(2);
+    let mut hi_result = try_width(hi)?;
+    while !hi_result.success {
+        if hi > 1024 {
+            return Err(RouteError::Unroutable {
+                net: netlist.nets().first().map(|n| n.id).unwrap_or(NetId(0)),
+            });
+        }
+        hi *= 2;
+        hi_result = try_width(hi)?;
+    }
+    let mut lo = 1usize;
+    // Invariant: hi routes, lo-1 unknown/fails.
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let r = try_width(mid)?;
+        if r.success {
+            hi = mid;
+            hi_result = r;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Ok((hi, hi_result))
+}
+
+/// Verifies that every routed net connects all of its terminals through a
+/// connected set of adjacent channel segments. Used by tests and exposed
+/// for downstream validation of externally-produced routings.
+pub fn verify_routes(
+    arch: &Arch,
+    netlist: &Netlist,
+    placement: &Placement,
+    result: &RouteResult,
+) -> Result<(), RouteError> {
+    let graph = RouteGraph::new(arch);
+    for routed in result.routes() {
+        let net = netlist.net(routed.net);
+        let in_tree: std::collections::HashSet<usize> =
+            routed.nodes.iter().map(|&n| n as usize).collect();
+        if in_tree.is_empty() {
+            return Err(RouteError::Unroutable { net: net.id });
+        }
+        // Connectivity of the tree via BFS over graph adjacency.
+        let start = routed.nodes[0] as usize;
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(start);
+        let mut stack = vec![start];
+        while let Some(n) = stack.pop() {
+            for &m in graph.neighbors(n) {
+                let m = m as usize;
+                if in_tree.contains(&m) && seen.insert(m) {
+                    stack.push(m);
+                }
+            }
+        }
+        if seen.len() != in_tree.len() {
+            return Err(RouteError::Unroutable { net: net.id });
+        }
+        // Every terminal's access set intersects the tree.
+        for term in net.terminals() {
+            let site = arch.site(placement.site_of(term));
+            let acc = graph.tile_access(site.x, site.y);
+            if !acc.iter().any(|a| in_tree.contains(a)) {
+                return Err(RouteError::Unroutable { net: net.id });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pop_netlist::{generate, presets};
+    use pop_place::{place, PlaceOptions};
+
+    fn setup() -> (Arch, Netlist, Placement) {
+        let netlist = generate(&presets::by_name("diffeq1").unwrap().scaled(0.02));
+        let (c, i, m, x) = netlist.site_demand();
+        let arch = Arch::auto_size(c, i, m, x, 16, 1.3).unwrap();
+        let placement = place(&arch, &netlist, &PlaceOptions::default()).unwrap();
+        (arch, netlist, placement)
+    }
+
+    #[test]
+    fn routes_small_design_successfully() {
+        let (arch, netlist, placement) = setup();
+        let result = route(&arch, &netlist, &placement, &RouteOptions::default()).unwrap();
+        assert!(result.success, "overused: {}", result.overused_segments);
+        assert!(result.wirelength() > 0);
+        assert_eq!(result.routes().len(), netlist.nets().len());
+    }
+
+    #[test]
+    fn routed_trees_connect_all_terminals() {
+        let (arch, netlist, placement) = setup();
+        let result = route(&arch, &netlist, &placement, &RouteOptions::default()).unwrap();
+        verify_routes(&arch, &netlist, &placement, &result).unwrap();
+    }
+
+    #[test]
+    fn successful_routing_respects_capacity() {
+        let (arch, netlist, placement) = setup();
+        let result = route(&arch, &netlist, &placement, &RouteOptions::default()).unwrap();
+        if result.success {
+            assert!(result.congestion().max_utilization() <= 1.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let (arch, netlist, placement) = setup();
+        let a = route(&arch, &netlist, &placement, &RouteOptions::default()).unwrap();
+        let b = route(&arch, &netlist, &placement, &RouteOptions::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn narrow_channels_cause_overuse_but_still_return() {
+        let (arch, netlist, placement) = setup();
+        let opts = RouteOptions {
+            channel_width_override: Some(1),
+            max_iterations: 3,
+            ..Default::default()
+        };
+        let result = route(&arch, &netlist, &placement, &opts).unwrap();
+        assert!(!result.success);
+        assert!(result.congestion().max_utilization() > 1.0);
+    }
+
+    #[test]
+    fn min_channel_width_is_tight() {
+        let (arch, netlist, placement) = setup();
+        let (w, result) = min_channel_width(
+            &arch,
+            &netlist,
+            &placement,
+            &RouteOptions::default(),
+        )
+        .unwrap();
+        assert!(result.success);
+        assert!(w >= 1);
+        // One less must fail (tightness), unless already at 1.
+        if w > 1 {
+            let opts = RouteOptions {
+                channel_width_override: Some(w - 1),
+                ..Default::default()
+            };
+            let r = route(&arch, &netlist, &placement, &opts).unwrap();
+            assert!(!r.success, "width {} should fail", w - 1);
+        }
+    }
+
+    #[test]
+    fn negotiation_reduces_overuse() {
+        let (arch, netlist, placement) = setup();
+        // Tight fabric: half the calibrated width.
+        let tight = |iters: usize| {
+            let opts = RouteOptions {
+                channel_width_override: Some(6),
+                max_iterations: iters,
+                ..Default::default()
+            };
+            route(&arch, &netlist, &placement, &opts)
+                .unwrap()
+                .overused_segments
+        };
+        let first_pass = tight(1);
+        let negotiated = tight(16);
+        assert!(
+            negotiated <= first_pass,
+            "negotiation must not increase overuse: {first_pass} -> {negotiated}"
+        );
+    }
+
+    #[test]
+    fn wirelength_equals_sum_of_tree_sizes() {
+        let (arch, netlist, placement) = setup();
+        let result = route(&arch, &netlist, &placement, &RouteOptions::default()).unwrap();
+        let sum: usize = result.routes().iter().map(|r| r.nodes.len()).sum();
+        assert_eq!(result.wirelength(), sum);
+        // Every tree node index is in range and unique within its tree.
+        for r in result.routes() {
+            let mut nodes = r.nodes.clone();
+            nodes.sort_unstable();
+            let before = nodes.len();
+            nodes.dedup();
+            assert_eq!(nodes.len(), before, "net {} repeats a segment", r.net);
+            assert!(nodes
+                .iter()
+                .all(|&n| (n as usize) < arch.channel_count()));
+        }
+    }
+
+    #[test]
+    fn worse_placement_routes_longer() {
+        let (arch, netlist, placement) = setup();
+        let good = route(&arch, &netlist, &placement, &RouteOptions::default()).unwrap();
+        // A barely-annealed placement should need more wire.
+        let bad_opts = PlaceOptions {
+            seed: 3,
+            inner_num: 0.01,
+            alpha_t: 0.5,
+            max_outer_iters: 2,
+            ..Default::default()
+        };
+        let bad_placement = place(&arch, &netlist, &bad_opts).unwrap();
+        let opts = RouteOptions {
+            max_iterations: 8,
+            ..Default::default()
+        };
+        let bad = route(&arch, &netlist, &bad_placement, &opts).unwrap();
+        assert!(
+            bad.wirelength() > good.wirelength(),
+            "bad {} vs good {}",
+            bad.wirelength(),
+            good.wirelength()
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! RUDY — the classic analytical congestion estimator, used here as the
+//! pre-ML baseline the cGAN is measured against.
+//!
+//! RUDY (Rectangular Uniform wire DensitY, Spindler & Johannes, DATE 2007)
+//! estimates congestion *without routing*: each net's expected wirelength
+//! (half-perimeter of its bounding box) is smeared uniformly over that
+//! bounding box. It needs exactly the same inputs as the paper's
+//! forecaster — a placed netlist — which makes it the natural baseline for
+//! every experiment: anything the cGAN cannot beat RUDY on is not worth a
+//! GAN.
+
+use crate::congestion::CongestionMap;
+use pop_arch::{Arch, ChannelId};
+use pop_netlist::Netlist;
+use pop_place::Placement;
+
+/// Estimates a congestion map from placement alone by RUDY smearing.
+///
+/// For each net with bounding box `w × h` (in tiles), a demand density of
+/// `(w + h) / (w · h)` wire-tiles per tile is added over the box. Tile
+/// demand is then converted to per-channel utilisation against the fabric's
+/// channel capacity (`2 · channel_width` wires available per tile, one
+/// horizontal and one vertical channel), and scaled by `calibration`
+/// (1.0 = physical units).
+pub fn rudy_estimate(
+    arch: &Arch,
+    netlist: &Netlist,
+    placement: &Placement,
+    calibration: f32,
+) -> CongestionMap {
+    let (gw, gh) = (arch.width(), arch.height());
+    let mut demand = vec![0.0f32; gw * gh];
+    for net in netlist.nets() {
+        let mut min_x = f32::MAX;
+        let mut max_x = f32::MIN;
+        let mut min_y = f32::MAX;
+        let mut max_y = f32::MIN;
+        for term in net.terminals() {
+            let (x, y) = placement.position(arch, term);
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        }
+        // Degenerate boxes still occupy at least one tile span.
+        let w = (max_x - min_x).max(1.0);
+        let h = (max_y - min_y).max(1.0);
+        let density = (w + h) / (w * h);
+        let x0 = min_x.floor().max(0.0) as usize;
+        let x1 = (max_x.ceil() as usize).min(gw - 1);
+        let y0 = min_y.floor().max(0.0) as usize;
+        let y1 = (max_y.ceil() as usize).min(gh - 1);
+        for ty in y0..=y1 {
+            for tx in x0..=x1 {
+                demand[ty * gw + tx] += density;
+            }
+        }
+    }
+
+    // Convert tile demand into channel utilisation: each channel segment
+    // inherits the mean demand of the two tiles it separates.
+    let cap = 2.0 * arch.channel_width() as f32;
+    let mut util = vec![0.0f32; arch.channel_count()];
+    for ch in arch.channels() {
+        let (a, b) = match ch {
+            ChannelId::Horizontal { x, y } => {
+                let above = if y + 1 < gh { demand[(y + 1) * gw + x] } else { 0.0 };
+                (demand[y * gw + x], above)
+            }
+            ChannelId::Vertical { x, y } => {
+                let right = if x + 1 < gw { demand[y * gw + x + 1] } else { 0.0 };
+                (demand[y * gw + x], right)
+            }
+        };
+        util[arch.channel_index(ch)] = calibration * 0.5 * (a + b) / cap;
+    }
+    CongestionMap::from_utilization(arch, util)
+}
+
+/// Least-squares calibration factor that best maps a RUDY estimate onto a
+/// reference congestion map (`argmin_k ‖k·est − truth‖²`). The paper's
+/// per-pixel-accuracy metric is absolute, so the baseline deserves the same
+/// one-scalar fit a practitioner would apply.
+pub fn calibrate_rudy(estimate: &CongestionMap, truth: &CongestionMap) -> f32 {
+    let num: f64 = estimate
+        .values()
+        .iter()
+        .zip(truth.values())
+        .map(|(&e, &t)| e as f64 * t as f64)
+        .sum();
+    let den: f64 = estimate
+        .values()
+        .iter()
+        .map(|&e| (e as f64) * (e as f64))
+        .sum();
+    if den <= f64::EPSILON {
+        1.0
+    } else {
+        (num / den) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pathfinder::{route, RouteOptions};
+    use pop_netlist::{generate, presets};
+    use pop_place::{place, PlaceOptions};
+
+    fn setup() -> (Arch, Netlist, Placement) {
+        let netlist = generate(&presets::by_name("diffeq1").unwrap().scaled(0.02));
+        let (c, i, m, x) = netlist.site_demand();
+        let arch = Arch::auto_size(c, i, m, x, 16, 1.3).unwrap();
+        let placement = place(&arch, &netlist, &PlaceOptions::default()).unwrap();
+        (arch, netlist, placement)
+    }
+
+    #[test]
+    fn rudy_is_nonnegative_and_nonzero() {
+        let (arch, netlist, placement) = setup();
+        let est = rudy_estimate(&arch, &netlist, &placement, 1.0);
+        assert!(est.values().iter().all(|&v| v >= 0.0));
+        assert!(est.mean_utilization() > 0.0);
+    }
+
+    #[test]
+    fn rudy_scales_linearly_with_calibration() {
+        let (arch, netlist, placement) = setup();
+        let a = rudy_estimate(&arch, &netlist, &placement, 1.0);
+        let b = rudy_estimate(&arch, &netlist, &placement, 2.0);
+        for (x, y) in a.values().iter().zip(b.values()) {
+            assert!((2.0 * x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rudy_correlates_with_routed_congestion() {
+        let (arch, netlist, placement) = setup();
+        let est = rudy_estimate(&arch, &netlist, &placement, 1.0);
+        let truth = route(&arch, &netlist, &placement, &RouteOptions::default())
+            .unwrap()
+            .congestion()
+            .clone();
+        // Pearson correlation across channels should be clearly positive.
+        let n = est.values().len() as f64;
+        let me: f64 = est.values().iter().map(|&v| v as f64).sum::<f64>() / n;
+        let mt: f64 = truth.values().iter().map(|&v| v as f64).sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut ve = 0.0;
+        let mut vt = 0.0;
+        for (&e, &t) in est.values().iter().zip(truth.values()) {
+            cov += (e as f64 - me) * (t as f64 - mt);
+            ve += (e as f64 - me).powi(2);
+            vt += (t as f64 - mt).powi(2);
+        }
+        let r = cov / (ve.sqrt() * vt.sqrt()).max(1e-12);
+        assert!(r > 0.3, "RUDY should correlate with truth, r = {r}");
+    }
+
+    #[test]
+    fn calibration_minimises_l2() {
+        let (arch, netlist, placement) = setup();
+        let est = rudy_estimate(&arch, &netlist, &placement, 1.0);
+        let truth = route(&arch, &netlist, &placement, &RouteOptions::default())
+            .unwrap()
+            .congestion()
+            .clone();
+        let k = calibrate_rudy(&est, &truth);
+        assert!(k.is_finite() && k > 0.0);
+        let err = |scale: f32| -> f64 {
+            est.values()
+                .iter()
+                .zip(truth.values())
+                .map(|(&e, &t)| ((scale * e - t) as f64).powi(2))
+                .sum()
+        };
+        assert!(err(k) <= err(k * 1.2) + 1e-9);
+        assert!(err(k) <= err(k * 0.8) + 1e-9);
+    }
+}

@@ -1,0 +1,49 @@
+//! Constrained placement exploration (the paper's Figure 9): find the
+//! placements whose congestion is lowest in a chosen *region* of the
+//! floorplan — e.g. to keep the upper half cool for a later ECO — using
+//! only forecasts.
+//!
+//! Run with: `cargo run --release --example constrained_regions`
+
+use painting_on_placement as pop;
+use pop::core::apps::{constrained_exploration, Objective, Region};
+use pop::core::{dataset, ExperimentConfig, Pix2Pix};
+use pop::netlist::presets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ExperimentConfig {
+        pairs_per_design: 10,
+        epochs: 8,
+        ..ExperimentConfig::test()
+    };
+    let spec = presets::by_name("ode").expect("preset exists");
+    println!("building {} placements of {}…", config.pairs_per_design, spec.name);
+    let ds = dataset::build_design_dataset(&spec, &config)?;
+
+    let mut model = Pix2Pix::new(&config, 13)?;
+    let _ = model.train(&ds.pairs, config.epochs);
+
+    // The five objectives of Figure 9.
+    let queries = [
+        (Region::Overall, Objective::Max),
+        (Region::Overall, Objective::Min),
+        (Region::Upper, Objective::Min),
+        (Region::Lower, Objective::Min),
+        (Region::Right, Objective::Min),
+    ];
+    let results = constrained_exploration(&mut model, &ds, &queries);
+
+    println!("\n{:<22} {:>7} {:>11} {:>9} {:>9}", "objective", "chosen", "predicted", "true", "trueRank");
+    for r in &results {
+        println!(
+            "{:<22} {:>7} {:>11.4} {:>9.4} {:>9}",
+            format!("{:?}-{:?}", r.region, r.objective),
+            r.chosen,
+            r.predicted_score,
+            r.true_score_of_chosen,
+            r.true_rank_of_chosen,
+        );
+    }
+    println!("\n(trueRank 0 means the forecast picked the truly optimal placement)");
+    Ok(())
+}

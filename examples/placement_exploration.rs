@@ -1,0 +1,54 @@
+//! Placement exploration for minimum congestion (the Table 2 `Top10` use
+//! case): sweep placement options, forecast the congestion of every
+//! candidate with the cGAN, and pick the least-congested ones *without
+//! routing them*.
+//!
+//! Run with: `cargo run --release --example placement_exploration`
+
+use painting_on_placement as pop;
+use pop::core::{dataset, metrics, ExperimentConfig, Pix2Pix};
+use pop::netlist::presets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ExperimentConfig {
+        pairs_per_design: 12,
+        epochs: 8,
+        ..ExperimentConfig::test()
+    };
+    let spec = presets::by_name("diffeq2").expect("preset exists");
+    println!("building {} placements of {} (place + route + rasterise)…",
+        config.pairs_per_design, spec.name);
+    let ds = dataset::build_design_dataset(&spec, &config)?;
+
+    // Train on the sweep (in a real flow this model would come from other
+    // designs — see the `table2` bench for leave-one-design-out training).
+    let mut model = Pix2Pix::new(&config, 11)?;
+    let _ = model.train(&ds.pairs, config.epochs);
+
+    // Rank all placements by *predicted* congestion.
+    let mut scored: Vec<(usize, f32, f32)> = ds
+        .pairs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let img = model.forecast_image(&p.x);
+            let predicted = metrics::image_mean_congestion(ds.grid_width, ds.grid_height, &img);
+            (i, predicted, p.meta.true_mean_congestion)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+    println!("\nplacements ranked by predicted congestion (no routing needed):");
+    println!("{:>6} {:>12} {:>10}", "index", "predicted", "true");
+    for (i, pred, truth) in &scored {
+        println!("{:>6} {:>12.4} {:>10.4}", i, pred, truth);
+    }
+
+    let pred_scores: Vec<f32> = ds.pairs.iter().enumerate().map(|(i, _)| {
+        scored.iter().find(|s| s.0 == i).unwrap().1
+    }).collect();
+    let true_scores: Vec<f32> = ds.pairs.iter().map(|p| p.meta.true_mean_congestion).collect();
+    let overlap = metrics::top_k_overlap(&pred_scores, &true_scores, 3);
+    println!("\ntop-3 overlap with ground truth: {:.0}%", overlap * 100.0);
+    Ok(())
+}

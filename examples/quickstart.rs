@@ -1,0 +1,76 @@
+//! Quickstart: the whole pipeline on one tiny design, end to end.
+//!
+//! 1. Generate a scaled `diffeq1` netlist and auto-size an FPGA fabric.
+//! 2. Place it with the VPR-style annealer and route it with PathFinder.
+//! 3. Render the paper's Figure 2 images (floorplan / placement /
+//!    connectivity / congestion heat map) as PPM files.
+//! 4. Train a miniature cGAN on a handful of placements and forecast the
+//!    congestion of an unseen placement.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use painting_on_placement as pop;
+use pop::core::{dataset, metrics, ExperimentConfig, Pix2Pix};
+use pop::netlist::presets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Design + fabric -------------------------------------------------
+    let config = ExperimentConfig {
+        pairs_per_design: 8,
+        epochs: 4,
+        ..ExperimentConfig::test()
+    };
+    let spec = presets::by_name("diffeq1").expect("preset exists");
+    let (arch, netlist, width) = dataset::design_fabric(&spec, &config)?;
+    println!(
+        "design {}: {} blocks, {} nets on a {}x{} grid (channel width {})",
+        spec.name,
+        netlist.blocks().len(),
+        netlist.nets().len(),
+        arch.width(),
+        arch.height(),
+        width
+    );
+
+    // --- 2. Place & route ---------------------------------------------------
+    let placement = pop::place::place(&arch, &netlist, &Default::default())?;
+    let routing = pop::route::route(&arch, &netlist, &placement, &Default::default())?;
+    println!(
+        "routed: success={}, wirelength={} segments, peak utilisation {:.2}",
+        routing.success,
+        routing.wirelength(),
+        routing.congestion().max_utilization()
+    );
+
+    // --- 3. The paper's images ----------------------------------------------
+    let side = 128;
+    let out = std::path::Path::new("target/quickstart");
+    std::fs::create_dir_all(out)?;
+    pop::raster::render_floorplan(&arch, side).write_pnm(out.join("img_floor.ppm"))?;
+    pop::raster::render_placement(&arch, &netlist, &placement, side)
+        .write_pnm(out.join("img_place.ppm"))?;
+    pop::raster::render_connectivity(&arch, &netlist, &placement, side)
+        .write_pnm(out.join("img_connect.pgm"))?;
+    pop::raster::render_congestion(&arch, &netlist, &placement, routing.congestion(), side)
+        .write_pnm(out.join("img_route.ppm"))?;
+    println!("wrote Figure 2-style images to {}", out.display());
+
+    // --- 4. Train a miniature forecaster ------------------------------------
+    let ds = dataset::build_design_dataset(&spec, &config)?;
+    let (train, test) = ds.pairs.split_at(ds.pairs.len() - 2);
+    let mut model = Pix2Pix::new(&config, 7)?;
+    let history = model.train(train, config.epochs);
+    println!(
+        "trained {} epochs: L1 {:.3} -> {:.3}",
+        config.epochs,
+        history.l1.first().unwrap(),
+        history.l1.last().unwrap()
+    );
+    let acc = metrics::evaluate_accuracy(&mut model, test, config.tolerance);
+    println!("per-pixel accuracy on 2 held-out placements: {:.1}%", acc * 100.0);
+    model
+        .forecast_image(&test[0].x)
+        .write_pnm(out.join("forecast.ppm"))?;
+    println!("forecast heat map written to {}/forecast.ppm", out.display());
+    Ok(())
+}

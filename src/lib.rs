@@ -1,0 +1,44 @@
+//! **Painting on Placement** — a Rust reproduction of Yu & Zhang,
+//! *"Painting on Placement: Forecasting Routing Congestion using Conditional
+//! Generative Adversarial Nets"*, DAC 2019.
+//!
+//! This facade crate re-exports the workspace members so applications can
+//! depend on a single crate:
+//!
+//! * [`arch`] — FPGA fabric model (grid, columns, channels);
+//! * [`netlist`] — packed netlists + the eight Table 2 design presets;
+//! * [`place`] — VPR-style simulated-annealing placer and option sweep;
+//! * [`route`] — PathFinder router and congestion-map extraction;
+//! * [`raster`] — placement / connectivity / congestion image rendering;
+//! * [`nn`] — the pure-Rust neural-network substrate;
+//! * [`core`] — the paper's contribution: the cGAN congestion forecaster,
+//!   its trainer, dataset pipeline, metrics and applications.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use painting_on_placement as pop;
+//!
+//! // A miniature end-to-end run: generate a design, place it, route it and
+//! // rasterise the paper's images.
+//! let spec = pop::netlist::presets::by_name("diffeq1").unwrap().scaled(0.02);
+//! let netlist = pop::netlist::generate(&spec);
+//! let (clbs, ios, mems, mults) = netlist.site_demand();
+//! let arch = pop::arch::Arch::auto_size(clbs, ios, mems, mults, 12, 1.3)?;
+//!
+//! let options = pop::place::PlaceOptions::default();
+//! let placement = pop::place::place(&arch, &netlist, &options)?;
+//!
+//! let routing = pop::route::route(&arch, &netlist, &placement, &Default::default())?;
+//! let heat = pop::raster::render_congestion(&arch, &netlist, &placement, routing.congestion(), 64);
+//! assert_eq!(heat.width(), 64);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use pop_arch as arch;
+pub use pop_core as core;
+pub use pop_netlist as netlist;
+pub use pop_nn as nn;
+pub use pop_place as place;
+pub use pop_raster as raster;
+pub use pop_route as route;

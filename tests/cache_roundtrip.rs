@@ -1,0 +1,56 @@
+//! Integration: the dataset disk cache loads back exactly what was built,
+//! and invalidates on config changes.
+
+use painting_on_placement as pop;
+use pop::core::{dataset, ExperimentConfig};
+use pop::netlist::presets;
+
+#[test]
+fn build_or_load_is_transparent() {
+    let config = ExperimentConfig {
+        pairs_per_design: 3,
+        ..ExperimentConfig::test()
+    };
+    let spec = presets::by_name("diffeq1").unwrap();
+    let dir = std::env::temp_dir().join("pop_integration_cache");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let built = dataset::build_or_load(&spec, &config, Some(&dir)).unwrap();
+    // Second call must hit the cache and round-trip identically.
+    let loaded = dataset::build_or_load(&spec, &config, Some(&dir)).unwrap();
+    assert_eq!(built, loaded);
+
+    // Changing a data-affecting knob invalidates the cache entry.
+    let other = ExperimentConfig {
+        lambda_connect: 0.5,
+        ..config.clone()
+    };
+    let rebuilt = dataset::build_or_load(&spec, &other, Some(&dir)).unwrap();
+    assert_ne!(
+        built.pairs[0].x.data(),
+        rebuilt.pairs[0].x.data(),
+        "λ change must alter the connectivity channel"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_survives_meta_fields() {
+    let config = ExperimentConfig {
+        pairs_per_design: 2,
+        ..ExperimentConfig::test()
+    };
+    let spec = presets::by_name("diffeq2").unwrap();
+    let dir = std::env::temp_dir().join("pop_integration_cache2");
+    let _ = std::fs::remove_dir_all(&dir);
+    let built = dataset::build_or_load(&spec, &config, Some(&dir)).unwrap();
+    let loaded = dataset::load_dataset(&dir, "diffeq2", spec.seed, &config)
+        .unwrap()
+        .expect("hit");
+    for (a, b) in built.pairs.iter().zip(&loaded.pairs) {
+        assert_eq!(a.meta.place_seed, b.meta.place_seed);
+        assert_eq!(a.meta.true_mean_congestion, b.meta.true_mean_congestion);
+        assert_eq!(a.meta.route_micros, b.meta.route_micros);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,73 @@
+//! Integration: every stage of the pipeline is deterministic in its seeds
+//! — the property that makes experiments reproducible bit-for-bit.
+
+use painting_on_placement as pop;
+use pop::arch::Arch;
+use pop::core::{dataset, ExperimentConfig, Pix2Pix};
+use pop::netlist::{generate, presets};
+use pop::place::{place, PlaceOptions};
+use pop::route::{route, RouteOptions};
+
+#[test]
+fn netlist_generation_is_deterministic() {
+    let spec = presets::by_name("ode").unwrap().scaled(0.02);
+    assert_eq!(generate(&spec), generate(&spec));
+}
+
+#[test]
+fn placement_and_routing_are_deterministic() {
+    let netlist = generate(&presets::by_name("diffeq1").unwrap().scaled(0.02));
+    let (c, i, m, x) = netlist.site_demand();
+    let arch = Arch::auto_size(c, i, m, x, 16, 1.3).unwrap();
+    let opts = PlaceOptions {
+        seed: 123,
+        ..Default::default()
+    };
+    let p1 = place(&arch, &netlist, &opts).unwrap();
+    let p2 = place(&arch, &netlist, &opts).unwrap();
+    assert_eq!(p1, p2);
+    let r1 = route(&arch, &netlist, &p1, &RouteOptions::default()).unwrap();
+    let r2 = route(&arch, &netlist, &p1, &RouteOptions::default()).unwrap();
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn model_training_is_deterministic() {
+    let config = ExperimentConfig {
+        pairs_per_design: 4,
+        epochs: 2,
+        ..ExperimentConfig::test()
+    };
+    let ds = dataset::build_design_dataset(&presets::by_name("diffeq2").unwrap(), &config)
+        .unwrap();
+
+    let mut m1 = Pix2Pix::new(&config, 77).unwrap();
+    let h1 = m1.train(&ds.pairs, 2);
+    let mut m2 = Pix2Pix::new(&config, 77).unwrap();
+    let h2 = m2.train(&ds.pairs, 2);
+    assert_eq!(h1, h2, "identical seeds give identical training");
+
+    let f1 = m1.forecast(&ds.pairs[0].x);
+    let f2 = m2.forecast(&ds.pairs[0].x);
+    assert_eq!(f1, f2, "identical models forecast identically");
+
+    // A different seed diverges.
+    let mut m3 = Pix2Pix::new(&config, 78).unwrap();
+    let h3 = m3.train(&ds.pairs, 2);
+    assert_ne!(h1, h3);
+}
+
+#[test]
+fn dataset_tensors_are_bit_identical_across_builds() {
+    let config = ExperimentConfig {
+        pairs_per_design: 3,
+        ..ExperimentConfig::test()
+    };
+    let spec = presets::by_name("diffeq1").unwrap();
+    let a = dataset::build_design_dataset(&spec, &config).unwrap();
+    let b = dataset::build_design_dataset(&spec, &config).unwrap();
+    for (pa, pb) in a.pairs.iter().zip(&b.pairs) {
+        assert_eq!(pa.x.data(), pb.x.data());
+        assert_eq!(pa.y.data(), pb.y.data());
+    }
+}

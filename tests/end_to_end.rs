@@ -1,0 +1,106 @@
+//! Integration: the full pipeline — netlist → placement → routing →
+//! rasterisation → feature tensors → cGAN training → forecast → metrics —
+//! at miniature scale.
+
+use painting_on_placement as pop;
+use pop::core::{dataset, metrics, ExperimentConfig, Pix2Pix};
+use pop::netlist::presets;
+
+fn tiny_config() -> ExperimentConfig {
+    ExperimentConfig {
+        pairs_per_design: 6,
+        epochs: 3,
+        ..ExperimentConfig::test()
+    }
+}
+
+#[test]
+fn full_pipeline_produces_trainable_dataset() {
+    let config = tiny_config();
+    let ds = dataset::build_design_dataset(&presets::by_name("diffeq1").unwrap(), &config)
+        .expect("pipeline");
+    assert_eq!(ds.pairs.len(), 6);
+    // Inputs in [-1, 1] (+ the λ-scaled connectivity channel in [0, λ]).
+    for p in &ds.pairs {
+        assert!(p.x.data().iter().all(|v| (-1.0..=1.0).contains(v)));
+        assert!(p.y.data().iter().all(|v| (-1.0..=1.0).contains(v)));
+        assert!(p.meta.true_mean_congestion > 0.0);
+        assert!(p.meta.true_max_congestion <= 1.5, "calibrated fabric");
+    }
+}
+
+#[test]
+fn training_improves_over_untrained_model() {
+    let config = tiny_config();
+    let ds = dataset::build_design_dataset(&presets::by_name("diffeq2").unwrap(), &config)
+        .expect("pipeline");
+    let (train, test) = ds.pairs.split_at(4);
+
+    let mut untrained = Pix2Pix::new(&config, 5).expect("model");
+    let mut mae_untrained = 0.0f32;
+    for p in test {
+        let img = untrained.forecast_image(&p.x);
+        let truth = pop::core::features::tensor_to_image(&p.y);
+        mae_untrained += img.mean_abs_diff(&truth).unwrap();
+    }
+
+    let mut model = Pix2Pix::new(&config, 5).expect("model");
+    let history = model.train(train, 8);
+    let mut mae_trained = 0.0f32;
+    for p in test {
+        let img = model.forecast_image(&p.x);
+        let truth = pop::core::features::tensor_to_image(&p.y);
+        mae_trained += img.mean_abs_diff(&truth).unwrap();
+    }
+    assert!(
+        mae_trained < mae_untrained,
+        "training must reduce forecast error: {mae_untrained} -> {mae_trained}"
+    );
+    // Loss history is recorded per epoch.
+    assert_eq!(history.l1.len(), 8);
+    assert!(history.l1.last().unwrap() < history.l1.first().unwrap());
+}
+
+#[test]
+fn leave_one_out_then_finetune_flows() {
+    let config = tiny_config();
+    let d1 = dataset::build_design_dataset(&presets::by_name("diffeq1").unwrap(), &config)
+        .expect("pipeline");
+    let d2 = dataset::build_design_dataset(&presets::by_name("diffeq2").unwrap(), &config)
+        .expect("pipeline");
+    let all = vec![d1, d2];
+    let (train, test) = dataset::leave_one_out(&all, "diffeq1");
+
+    let mut model = Pix2Pix::new(&config, 9).expect("model");
+    let _ = model.train_refs(&train, config.epochs);
+    let acc1 = metrics::evaluate_accuracy(&mut model, &test.pairs, config.tolerance);
+    let _ = model.finetune(&test.pairs[..2], 2);
+    let acc2 = metrics::evaluate_accuracy(&mut model, &test.pairs[2..], config.tolerance);
+    // Both are valid probabilities; Top10 well-defined.
+    assert!((0.0..=1.0).contains(&acc1));
+    assert!((0.0..=1.0).contains(&acc2));
+    let top10 = metrics::top10_accuracy(&mut model, test);
+    assert!((0.0..=1.0).contains(&top10));
+}
+
+#[test]
+fn speedup_is_positive_and_large() {
+    // Inference must beat routing by a wide margin even at tiny scale.
+    let config = tiny_config();
+    let ds = dataset::build_design_dataset(&presets::by_name("SHA").unwrap(), &config)
+        .expect("pipeline");
+    let mean_route_micros: f64 = ds
+        .pairs
+        .iter()
+        .map(|p| p.meta.route_micros as f64)
+        .sum::<f64>()
+        / ds.pairs.len() as f64;
+    let mut model = Pix2Pix::new(&config, 3).expect("model");
+    let t = std::time::Instant::now();
+    let _ = model.forecast(&ds.pairs[0].x);
+    let infer_micros = t.elapsed().as_micros() as f64;
+    assert!(
+        mean_route_micros / infer_micros > 1.0,
+        "routing {mean_route_micros}us should exceed inference {infer_micros}us"
+    );
+}
