@@ -107,18 +107,12 @@ impl Iterator for ChannelIter {
         Some(if i < hc {
             let row = i / (self.width - 2);
             let col = i % (self.width - 2);
-            ChannelId::Horizontal {
-                x: col + 1,
-                y: row,
-            }
+            ChannelId::Horizontal { x: col + 1, y: row }
         } else {
             let j = i - hc;
             let row = j / (self.width - 1);
             let col = j % (self.width - 1);
-            ChannelId::Vertical {
-                x: col,
-                y: row + 1,
-            }
+            ChannelId::Vertical { x: col, y: row + 1 }
         })
     }
 
@@ -165,10 +159,7 @@ mod tests {
 
     #[test]
     fn midpoints_sit_between_tiles() {
-        assert_eq!(
-            ChannelId::Horizontal { x: 2, y: 3 }.midpoint(),
-            (2.5, 4.0)
-        );
+        assert_eq!(ChannelId::Horizontal { x: 2, y: 3 }.midpoint(), (2.5, 4.0));
         assert_eq!(ChannelId::Vertical { x: 2, y: 3 }.midpoint(), (3.0, 3.5));
     }
 
@@ -178,9 +169,6 @@ mod tests {
             ChannelId::Horizontal { x: 1, y: 0 }.to_string(),
             "chanx(1,0)"
         );
-        assert_eq!(
-            ChannelId::Vertical { x: 0, y: 1 }.to_string(),
-            "chany(0,1)"
-        );
+        assert_eq!(ChannelId::Vertical { x: 0, y: 1 }.to_string(), "chany(0,1)");
     }
 }

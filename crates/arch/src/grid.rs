@@ -427,11 +427,11 @@ impl Arch {
         let mut sites = Vec::new();
         let mut cap = [0usize; 4];
         let push = |sites: &mut Vec<Site>,
-                        kind: SiteKind,
-                        x: usize,
-                        y: usize,
-                        subtile: usize,
-                        height: usize| {
+                    kind: SiteKind,
+                    x: usize,
+                    y: usize,
+                    subtile: usize,
+                    height: usize| {
             let id = SiteId(sites.len() as u32);
             sites.push(Site {
                 id,
@@ -485,14 +485,7 @@ impl Arch {
                 ColumnKind::Multiplier => {
                     let mut y = 1;
                     while y + self.mult_height < h {
-                        push(
-                            &mut sites,
-                            SiteKind::Multiplier,
-                            x,
-                            y,
-                            0,
-                            self.mult_height,
-                        );
+                        push(&mut sites, SiteKind::Multiplier, x, y, 0, self.mult_height);
                         cap[3] += 1;
                         y += self.mult_height;
                     }

@@ -21,7 +21,10 @@ fn bench_ablation(c: &mut Criterion) {
         ("single_skip", SkipMode::Single),
         ("no_skips", SkipMode::None),
     ] {
-        let cfg = ExperimentConfig { skip, ..base.clone() };
+        let cfg = ExperimentConfig {
+            skip,
+            ..base.clone()
+        };
         let mut model = Pix2Pix::new(&cfg, 1).expect("model");
         let x = Tensor::randn(
             [1, cfg.input_channels(), cfg.resolution, cfg.resolution],

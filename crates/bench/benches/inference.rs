@@ -16,7 +16,12 @@ fn bench_inference(c: &mut Criterion) {
     ] {
         let mut model = Pix2Pix::new(&config, 1).expect("valid config");
         let x = Tensor::randn(
-            [1, config.input_channels(), config.resolution, config.resolution],
+            [
+                1,
+                config.input_channels(),
+                config.resolution,
+                config.resolution,
+            ],
             0.0,
             0.5,
             2,

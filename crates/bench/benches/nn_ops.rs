@@ -10,9 +10,7 @@ fn bench_nn_ops(c: &mut Criterion) {
 
     let x = Tensor::randn([1, 16, 32, 32], 0.0, 1.0, 1);
     let mut conv = Conv2d::new(16, 32, 4, 2, 1, 2);
-    group.bench_function("conv2d_fwd_16x32x32", |b| {
-        b.iter(|| conv.forward(&x, true))
-    });
+    group.bench_function("conv2d_fwd_16x32x32", |b| b.iter(|| conv.forward(&x, true)));
     let y = conv.forward(&x, true);
     group.bench_function("conv2d_fwd_bwd_16x32x32", |b| {
         b.iter(|| {

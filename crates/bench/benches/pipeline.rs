@@ -28,12 +28,16 @@ fn bench_pipeline(c: &mut Criterion) {
                 ..Default::default()
             };
             let placement = place(&arch, &netlist, &opts).unwrap();
-            let routing =
-                route_on_graph(&arch, &graph, &netlist, &placement, &RouteOptions::default())
-                    .unwrap();
+            let routing = route_on_graph(
+                &arch,
+                &graph,
+                &netlist,
+                &placement,
+                &RouteOptions::default(),
+            )
+            .unwrap();
             let img_place = render_placement(&arch, &netlist, &placement, config.resolution);
-            let img_connect =
-                render_connectivity(&arch, &netlist, &placement, config.resolution);
+            let img_connect = render_connectivity(&arch, &netlist, &placement, config.resolution);
             let img_route = render_congestion(
                 &arch,
                 &netlist,

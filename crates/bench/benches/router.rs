@@ -22,8 +22,14 @@ fn bench_router(c: &mut Criterion) {
 
     group.bench_function("route_prebuilt_graph", |b| {
         b.iter(|| {
-            route_on_graph(&arch, &graph, &netlist, &placement, &RouteOptions::default())
-                .unwrap()
+            route_on_graph(
+                &arch,
+                &graph,
+                &netlist,
+                &placement,
+                &RouteOptions::default(),
+            )
+            .unwrap()
         })
     });
 
@@ -31,9 +37,7 @@ fn bench_router(c: &mut Criterion) {
         b.iter(|| min_channel_width(&arch, &netlist, &placement, &RouteOptions::default()).unwrap())
     });
 
-    group.bench_function("build_route_graph", |b| {
-        b.iter(|| RouteGraph::new(&arch))
-    });
+    group.bench_function("build_route_graph", |b| b.iter(|| RouteGraph::new(&arch)));
 
     group.finish();
 }

@@ -28,8 +28,7 @@ fn main() {
         "{:>6} {:>12} {:>12} {:>12} {:>12} {:>9}",
         "seed", "pred(sel)", "pred(final)", "true(sel)", "true(final)", "win"
     );
-    let mut csv =
-        String::from("seed,pred_selected,pred_final,true_selected,true_final,improved\n");
+    let mut csv = String::from("seed,pred_selected,pred_final,true_selected,true_final,improved\n");
     let mut wins = 0;
     let mut total = 0;
     for seed in [901u64, 902, 903] {
@@ -37,10 +36,9 @@ fn main() {
             seed,
             ..Default::default()
         };
-        let aware = congestion_aware_place(
-            &mut model, &arch, &netlist, &opts, &config, 2_000, 4_000,
-        )
-        .expect("aware placement");
+        let aware =
+            congestion_aware_place(&mut model, &arch, &netlist, &opts, &config, 2_000, 4_000)
+                .expect("aware placement");
         // Ground truth: route the selected snapshot and the blind final
         // placement of an identical annealing run.
         let blind = place(&arch, &netlist, &opts).expect("blind placement");
@@ -68,8 +66,6 @@ fn main() {
         ));
     }
     std::fs::write(out_dir().join("aware_placement.csv"), csv).expect("write csv");
-    println!(
-        "\nforecast-guided selection matched or beat the blind flow on {wins}/{total} runs"
-    );
+    println!("\nforecast-guided selection matched or beat the blind flow on {wins}/{total} runs");
     println!("(no routing inside the selection loop — only for this validation)");
 }

@@ -40,7 +40,10 @@ fn main() {
         .write_pnm(dir.join("truth.ppm"))
         .expect("write truth");
 
-    println!("\nFigure 7 — ablation heat maps on OR1200 (probe placement #{})", probe.meta.index);
+    println!(
+        "\nFigure 7 — ablation heat maps on OR1200 (probe placement #{})",
+        probe.meta.index
+    );
     println!(
         "{:<14} {:>9} {:>9} {:>7} {:>10}",
         "variant", "pixelAcc", "MAE", "SSIM", "meanCong"
@@ -51,19 +54,23 @@ fn main() {
         let mut model = Pix2Pix::new(&cfg, cfg.seed).expect("valid config");
         let _ = model.train(&ds.pairs[..ds.pairs.len() - 1], cfg.epochs);
         let pred = model.forecast_image(&probe.x);
-        pred.write_pnm(dir.join(format!("{name}.ppm"))).expect("write");
+        pred.write_pnm(dir.join(format!("{name}.ppm")))
+            .expect("write");
         let acc = per_pixel_accuracy(&pred, &truth_img, cfg.tolerance).expect("shape");
         let err = mae(&pred, &truth_img).expect("shape");
         let structural = ssim(&pred, &truth_img, 8).expect("shape");
         let cong = metrics::image_mean_congestion(ds.grid_width, ds.grid_height, &pred);
         println!(
             "{:<14} {:>9} {:>9.4} {:>7.3} {:>10.4}",
-            name, pct(acc), err, structural, cong
+            name,
+            pct(acc),
+            err,
+            structural,
+            cong
         );
         accs.push((name, acc));
     }
-    let truth_cong =
-        metrics::image_mean_congestion(ds.grid_width, ds.grid_height, &truth_img);
+    let truth_cong = metrics::image_mean_congestion(ds.grid_width, ds.grid_height, &truth_img);
     println!(
         "{:<14} {:>9} {:>9} {:>7} {:>10.4}",
         "truth", "-", "-", "-", truth_cong

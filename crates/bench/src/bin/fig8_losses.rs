@@ -15,7 +15,10 @@ fn main() {
     let ds = dataset_for("OR1200", &config);
     let dir = out_dir();
 
-    println!("\nFigure 8 — training-loss curves on OR1200 ({} epochs)", config.epochs);
+    println!(
+        "\nFigure 8 — training-loss curves on OR1200 ({} epochs)",
+        config.epochs
+    );
     println!(
         "{:<14} {:>10} {:>10} {:>10} {:>12}",
         "variant", "final G", "final D", "final L1", "late noise"

@@ -31,7 +31,10 @@ fn main() {
     ];
     let results = constrained_exploration(&mut model, &ds, &queries);
 
-    println!("\nFigure 9 — constrained placement exploration on ode ({} placements)", ds.pairs.len());
+    println!(
+        "\nFigure 9 — constrained placement exploration on ode ({} placements)",
+        ds.pairs.len()
+    );
     println!(
         "{:<22} {:>7} {:>10} {:>10} {:>9} {:>10}",
         "objective", "chosen", "predicted", "true", "trueBest", "trueRank"

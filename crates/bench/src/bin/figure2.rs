@@ -39,10 +39,18 @@ fn main() {
         *o = (a - b).abs();
     }
 
-    img_floor.write_pnm(dir.join("a_img_floor.ppm")).expect("write");
-    img_place.write_pnm(dir.join("b_img_place.ppm")).expect("write");
-    img_wires.write_pnm(dir.join("c_routing_result.ppm")).expect("write");
-    img_route.write_pnm(dir.join("d_img_route.ppm")).expect("write");
+    img_floor
+        .write_pnm(dir.join("a_img_floor.ppm"))
+        .expect("write");
+    img_place
+        .write_pnm(dir.join("b_img_place.ppm"))
+        .expect("write");
+    img_wires
+        .write_pnm(dir.join("c_routing_result.ppm"))
+        .expect("write");
+    img_route
+        .write_pnm(dir.join("d_img_route.ppm"))
+        .expect("write");
     diff.write_pnm(dir.join("e_difference.ppm")).expect("write");
 
     // Figure 4: connectivity images of two different placements.
@@ -62,7 +70,10 @@ fn main() {
         .write_pnm(dir.join("fig4_connectivity_b.pgm"))
         .expect("write");
 
-    println!("\nFigure 2 — motivating example (diffeq1 at scale {})", config.design_scale);
+    println!(
+        "\nFigure 2 — motivating example (diffeq1 at scale {})",
+        config.design_scale
+    );
     println!(
         "grid {}x{} tiles, channel width factor {} ({}), peak utilisation {:.2}",
         arch.width(),

@@ -3,12 +3,12 @@
 //! minimum channel width of a default placement, and the calibrated width
 //! (minimum × margin) the dataset fabric actually uses.
 
+use pop_arch::Arch;
 use pop_bench::{config_from_env, out_dir};
 use pop_core::dataset::design_fabric;
 use pop_netlist::{generate, presets};
 use pop_place::{place, PlaceOptions};
 use pop_route::{min_channel_width, RouteOptions};
-use pop_arch::Arch;
 
 fn main() {
     let config = config_from_env();

@@ -27,16 +27,8 @@ fn main() {
         seed: 0xF0E57,
         ..Default::default()
     };
-    let snapshots = realtime_forecast(
-        &mut model,
-        &arch,
-        &netlist,
-        &options,
-        &config,
-        150,
-        60,
-    )
-    .expect("realtime forecast");
+    let snapshots = realtime_forecast(&mut model, &arch, &netlist, &options, &config, 150, 60)
+        .expect("realtime forecast");
 
     println!("\n§5.4 — real-time congestion forecast during annealing (diffeq1)");
     println!(
@@ -61,7 +53,11 @@ fn main() {
     if let (Some(f), Some(l)) = (first, last) {
         println!(
             "\nshape check: predicted congestion {f:.4} -> {l:.4} as placement improves ({})",
-            if l <= f { "falls ✓" } else { "did not fall ✗" }
+            if l <= f {
+                "falls ✓"
+            } else {
+                "did not fall ✗"
+            }
         );
     }
 }

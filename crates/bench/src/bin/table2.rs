@@ -33,7 +33,16 @@ fn main() {
     );
     println!(
         "{:<10} {:>6} {:>5} {:>6} {:>4} | {:>7} {:>7} {:>6} | {:>7} {:>7} {:>6}",
-        "Design", "#LUTs", "#FF", "#Nets", "#P", "Acc.1", "Acc.2", "Top10", "pAcc.1", "pAcc.2",
+        "Design",
+        "#LUTs",
+        "#FF",
+        "#Nets",
+        "#P",
+        "Acc.1",
+        "Acc.2",
+        "Top10",
+        "pAcc.1",
+        "pAcc.2",
         "pTop10"
     );
 
@@ -49,7 +58,9 @@ fn main() {
 
         // Strategy 2: fine-tune on a few pairs of the held-out design and
         // evaluate on the rest.
-        let k = config.finetune_pairs.min(test.pairs.len().saturating_sub(1));
+        let k = config
+            .finetune_pairs
+            .min(test.pairs.len().saturating_sub(1));
         let _ = model.finetune(&test.pairs[..k], config.finetune_epochs);
         let acc2 = metrics::evaluate_accuracy(&mut model, &test.pairs[k..], config.tolerance);
         let top10 = metrics::top10_accuracy(&mut model, test);
@@ -92,5 +103,8 @@ fn main() {
     let path = out_dir().join("table2.csv");
     std::fs::write(&path, csv).expect("write csv");
     println!("\n(pAcc/pTop10 = paper-reported values at full scale; ours are at the");
-    println!(" CPU reproduction scale — compare shapes, not absolutes. CSV: {})", path.display());
+    println!(
+        " CPU reproduction scale — compare shapes, not absolutes. CSV: {})",
+        path.display()
+    );
 }

@@ -65,7 +65,10 @@ pub fn out_dir() -> PathBuf {
 pub fn dataset_for(name: &str, config: &ExperimentConfig) -> DesignDataset {
     let spec = presets::by_name(name).unwrap_or_else(|| panic!("unknown design {name}"));
     let cache = cache_dir();
-    eprintln!("[data] {name}: building or loading (cache: {})", cache.display());
+    eprintln!(
+        "[data] {name}: building or loading (cache: {})",
+        cache.display()
+    );
     build_or_load(&spec, config, Some(&cache)).expect("dataset pipeline")
 }
 

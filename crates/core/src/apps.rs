@@ -6,11 +6,25 @@ use crate::config::ExperimentConfig;
 use crate::dataset::DesignDataset;
 use crate::error::CoreError;
 use crate::features::{assemble_input, tensor_to_image};
+use crate::forecaster::Forecaster;
 use crate::trainer::Pix2Pix;
 use pop_arch::Arch;
 use pop_netlist::Netlist;
+use pop_nn::Tensor;
 use pop_place::{Annealer, PlaceOptions};
 use pop_raster::{render_connectivity, render_placement, Image, Layout, PixelOwner};
+use std::cell::RefCell;
+
+/// Adapts an exclusively-borrowed model to the shared [`Forecaster`]
+/// contract for single-threaded callers (the original `&mut Pix2Pix` app
+/// entry points delegate through this).
+struct ExclusiveForecaster<'a>(RefCell<&'a mut Pix2Pix>);
+
+impl Forecaster for ExclusiveForecaster<'_> {
+    fn forecast(&self, x: &Tensor) -> Result<Tensor, CoreError> {
+        Ok(self.0.borrow_mut().forecast(x))
+    }
+}
 
 /// A floorplan region over which congestion is aggregated — the objectives
 /// of Figure 9 ("min-congestion at the upper side / lower side /
@@ -86,8 +100,7 @@ pub fn region_congestion(
         for px in 0..img.width() {
             if region.contains(px, py, side) {
                 if let PixelOwner::Channel(_) = layout.owner(px, py) {
-                    sum += pop_raster::color::utilization_from_color(img.pixel_rgb8(px, py))
-                        as f64;
+                    sum += pop_raster::color::utilization_from_color(img.pixel_rgb8(px, py)) as f64;
                     count += 1;
                 }
             }
@@ -110,7 +123,11 @@ pub fn constrained_exploration(
     queries: &[(Region, Objective)],
 ) -> Vec<ExplorationResult> {
     // Forecast each placement once; score per query afterwards.
-    let predicted: Vec<Image> = ds.pairs.iter().map(|p| model.forecast_image(&p.x)).collect();
+    let predicted: Vec<Image> = ds
+        .pairs
+        .iter()
+        .map(|p| model.forecast_image(&p.x))
+        .collect();
     let truth: Vec<Image> = ds.pairs.iter().map(|p| tensor_to_image(&p.y)).collect();
 
     let mut results = Vec::with_capacity(queries.len());
@@ -192,6 +209,34 @@ pub fn realtime_forecast(
     snapshot_every: u64,
     max_snapshots: usize,
 ) -> Result<Vec<RealtimeSnapshot>, CoreError> {
+    realtime_forecast_with(
+        &ExclusiveForecaster(RefCell::new(model)),
+        arch,
+        netlist,
+        place_options,
+        config,
+        snapshot_every,
+        max_snapshots,
+    )
+}
+
+/// [`realtime_forecast`] over any shared [`Forecaster`] — the entry point
+/// the serving engine plugs into: an annealer callback can hold a cheap
+/// client handle while a `pop-serve` engine batches its forecasts with
+/// everyone else's.
+///
+/// # Errors
+///
+/// Propagates placement construction and forecast-transport failures.
+pub fn realtime_forecast_with<F: Forecaster>(
+    forecaster: &F,
+    arch: &Arch,
+    netlist: &Netlist,
+    place_options: &PlaceOptions,
+    config: &ExperimentConfig,
+    snapshot_every: u64,
+    max_snapshots: usize,
+) -> Result<Vec<RealtimeSnapshot>, CoreError> {
     let mut annealer = Annealer::new(arch, netlist, place_options)?;
     let mut out = Vec::new();
     while !annealer.is_done() && out.len() < max_snapshots {
@@ -200,9 +245,8 @@ pub fn realtime_forecast(
         let img_connect =
             render_connectivity(arch, netlist, annealer.placement(), config.resolution);
         let x = assemble_input(&img_place, &img_connect, config);
-        let img = model.forecast_image(&x);
-        let predicted =
-            crate::metrics::image_mean_congestion(arch.width(), arch.height(), &img);
+        let img = forecaster.forecast_image(&x)?;
+        let predicted = crate::metrics::image_mean_congestion(arch.width(), arch.height(), &img);
         out.push(RealtimeSnapshot {
             moves: stats.moves,
             cost: stats.cost,
@@ -353,7 +397,9 @@ mod tests {
         use pop_arch::Arch;
         use pop_route::CongestionMap;
         let netlist = pop_netlist::generate(
-            &pop_netlist::presets::by_name("diffeq2").unwrap().scaled(0.01),
+            &pop_netlist::presets::by_name("diffeq2")
+                .unwrap()
+                .scaled(0.01),
         );
         let (c, i, m, x) = netlist.site_demand();
         let arch = Arch::auto_size(c, i, m, x, 8, 1.3).unwrap();

@@ -471,10 +471,7 @@ mod tests {
             assert_eq!(pa.x, pb.x);
             assert_eq!(pa.y, pb.y);
             assert_eq!(pa.meta.place_seed, pb.meta.place_seed);
-            assert_eq!(
-                pa.meta.true_mean_congestion,
-                pb.meta.true_mean_congestion
-            );
+            assert_eq!(pa.meta.true_mean_congestion, pb.meta.true_mean_congestion);
         }
     }
 

@@ -14,7 +14,7 @@ use pop_nn::{BatchNorm2d, Conv2d, Layer, LeakyRelu, Param, Sigmoid, Tensor};
 /// Training consumes raw logits via
 /// [`bce_with_logits`](pop_nn::loss::bce_with_logits); [`Self::probability`]
 /// applies the sigmoid for inference-time readout.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PatchDiscriminator {
     convs: Vec<Conv2d>,
     bns: Vec<Option<BatchNorm2d>>,
@@ -48,7 +48,14 @@ impl PatchDiscriminator {
         let mut cin = in_channels;
         for i in 0..n_strided {
             let cout = base_filters * (1 << i.min(3));
-            convs.push(Conv2d::new(cin, cout, 4, 2, 1, seed.wrapping_add(i as u64 * 13)));
+            convs.push(Conv2d::new(
+                cin,
+                cout,
+                4,
+                2,
+                1,
+                seed.wrapping_add(i as u64 * 13),
+            ));
             bns.push((i != 0).then(|| BatchNorm2d::new(cout)));
             acts.push(Some(LeakyRelu::default()));
             cin = cout;

@@ -55,8 +55,12 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(CoreError::BadConfig("x".into()).to_string().contains("config"));
-        assert!(CoreError::Pipeline("y".into()).to_string().contains("pipeline"));
+        assert!(CoreError::BadConfig("x".into())
+            .to_string()
+            .contains("config"));
+        assert!(CoreError::Pipeline("y".into())
+            .to_string()
+            .contains("pipeline"));
         assert!(CoreError::Cache("z".into()).to_string().contains("cache"));
     }
 

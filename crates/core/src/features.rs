@@ -18,13 +18,13 @@ use pop_raster::{grayscale, Image};
 /// # Panics
 ///
 /// Panics on resolution mismatch between images and config.
-pub fn assemble_input(
-    img_place: &Image,
-    img_connect: &Image,
-    config: &ExperimentConfig,
-) -> Tensor {
+pub fn assemble_input(img_place: &Image, img_connect: &Image, config: &ExperimentConfig) -> Tensor {
     assert_eq!(img_place.width(), config.resolution, "place image width");
-    assert_eq!(img_connect.width(), config.resolution, "connect image width");
+    assert_eq!(
+        img_connect.width(),
+        config.resolution,
+        "connect image width"
+    );
     assert_eq!(img_connect.channels(), 1, "connectivity is one channel");
     let place = if config.grayscale_input {
         grayscale(img_place)

@@ -1,0 +1,147 @@
+//! Shared, non-exclusive inference entry points.
+//!
+//! [`Pix2Pix::forecast`] needs `&mut self` because every [`pop_nn::Layer`]
+//! caches activations for a potential backward pass — fine for training,
+//! hostile to serving, where many callers want forecasts from one trained
+//! model concurrently. This module provides the seam between the two
+//! worlds:
+//!
+//! * [`Forecaster`] — the object-safe "give me a heat map" contract that
+//!   the §5.4 applications ([`crate::apps`]) consume, implemented both by a
+//!   locked model and by `pop-serve`'s batching client;
+//! * [`SharedForecaster`] — a cloneable `Arc<Mutex<Pix2Pix>>` wrapper that
+//!   turns a trained model into a `&self` forecaster usable from any
+//!   thread.
+
+use crate::error::CoreError;
+use crate::features::tensor_to_image;
+use crate::trainer::Pix2Pix;
+use pop_nn::Tensor;
+use pop_raster::Image;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// The inference contract: paint a routing heat map for one input feature
+/// tensor, through a shared (`&self`) receiver.
+pub trait Forecaster {
+    /// Paints the heat map for `x` (inference mode — dropout off,
+    /// batch-norm running statistics).
+    ///
+    /// # Errors
+    ///
+    /// Implementations report transport or model failures as
+    /// [`CoreError::Pipeline`].
+    fn forecast(&self, x: &Tensor) -> Result<Tensor, CoreError>;
+
+    /// [`Forecaster::forecast`] decoded into an image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Forecaster::forecast`] failures.
+    fn forecast_image(&self, x: &Tensor) -> Result<Image, CoreError> {
+        Ok(tensor_to_image(&self.forecast(x)?))
+    }
+}
+
+/// A trained model behind an `Arc<Mutex>`: cloneable, `Send + Sync`, and a
+/// [`Forecaster`] — the simplest way to share one checkpoint between
+/// threads (the serving engine's model registry hands these out).
+#[derive(Debug, Clone)]
+pub struct SharedForecaster {
+    inner: Arc<Mutex<Pix2Pix>>,
+}
+
+impl SharedForecaster {
+    /// Wraps a model for shared use.
+    pub fn new(model: Pix2Pix) -> Self {
+        SharedForecaster {
+            inner: Arc::new(Mutex::new(model)),
+        }
+    }
+
+    /// Exclusive access to the underlying model (training, checkpointing).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a previous holder panicked while holding the lock.
+    pub fn lock(&self) -> MutexGuard<'_, Pix2Pix> {
+        self.inner.lock().expect("model mutex poisoned")
+    }
+
+    /// A private replica of the current model state (for per-worker model
+    /// parallelism — replicas do not share subsequent training updates).
+    pub fn replica(&self) -> Pix2Pix {
+        self.lock().clone()
+    }
+}
+
+impl Forecaster for SharedForecaster {
+    fn forecast(&self, x: &Tensor) -> Result<Tensor, CoreError> {
+        Ok(self.lock().forecast(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExperimentConfig;
+
+    fn tiny_model(seed: u64) -> Pix2Pix {
+        let config = ExperimentConfig {
+            resolution: 16,
+            base_filters: 4,
+            depth: 3,
+            ..ExperimentConfig::test()
+        };
+        Pix2Pix::new(&config, seed).unwrap()
+    }
+
+    #[test]
+    fn shared_forecaster_matches_exclusive_model() {
+        let mut model = tiny_model(3);
+        let x = Tensor::randn([1, 4, 16, 16], 0.0, 0.5, 7);
+        let direct = model.forecast(&x);
+        let shared = SharedForecaster::new(model);
+        assert_eq!(shared.forecast(&x).unwrap(), direct);
+        let img = shared.forecast_image(&x).unwrap();
+        assert_eq!(img.channels(), 3);
+    }
+
+    #[test]
+    fn clones_share_the_same_model() {
+        let shared = SharedForecaster::new(tiny_model(4));
+        let other = shared.clone();
+        let x = Tensor::randn([1, 4, 16, 16], 0.0, 0.5, 8);
+        assert_eq!(shared.forecast(&x).unwrap(), other.forecast(&x).unwrap());
+    }
+
+    #[test]
+    fn replica_is_independent_but_identical() {
+        let shared = SharedForecaster::new(tiny_model(5));
+        let replica = shared.replica();
+        let x = Tensor::randn([1, 4, 16, 16], 0.0, 0.5, 9);
+        let mut replica = replica;
+        assert_eq!(shared.forecast(&x).unwrap(), replica.forecast(&x));
+    }
+
+    #[test]
+    fn usable_from_many_threads() {
+        let shared = SharedForecaster::new(tiny_model(6));
+        let x = Tensor::randn([1, 4, 16, 16], 0.0, 0.5, 10);
+        let expected = shared.forecast(&x).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let f = shared.clone();
+                let x = x.clone();
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..3 {
+                        assert_eq!(f.forecast(&x).unwrap(), expected);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -50,6 +50,7 @@ pub mod dataset;
 mod disc;
 mod error;
 pub mod features;
+mod forecaster;
 pub mod metrics;
 pub mod model_io;
 mod trainer;
@@ -58,5 +59,6 @@ mod unet;
 pub use config::{ExperimentConfig, SkipMode};
 pub use disc::PatchDiscriminator;
 pub use error::CoreError;
+pub use forecaster::{Forecaster, SharedForecaster};
 pub use trainer::{Pix2Pix, TrainHistory};
 pub use unet::UNetGenerator;

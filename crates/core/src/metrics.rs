@@ -33,10 +33,7 @@ pub fn image_mean_congestion(grid_width: usize, grid_height: usize, img: &Image)
     let mut count = 0usize;
     for py in 0..img.height() {
         for px in 0..img.width() {
-            if matches!(
-                layout.owner(px, py),
-                pop_raster::PixelOwner::Channel(_)
-            ) {
+            if matches!(layout.owner(px, py), pop_raster::PixelOwner::Channel(_)) {
                 sum += pop_raster::color::utilization_from_color(img.pixel_rgb8(px, py)) as f64;
                 count += 1;
             }
@@ -224,22 +221,19 @@ mod tests {
         use pop_route::CongestionMap;
         let arch = Arch::builder().interior(6, 6).build().unwrap();
         // Uniform 0.5 utilisation everywhere.
-        let cong =
-            CongestionMap::from_utilization(&arch, vec![0.5; arch.channel_count()]);
+        let cong = CongestionMap::from_utilization(&arch, vec![0.5; arch.channel_count()]);
         let netlist = pop_netlist::generate(
-            &pop_netlist::presets::by_name("diffeq2").unwrap().scaled(0.01),
+            &pop_netlist::presets::by_name("diffeq2")
+                .unwrap()
+                .scaled(0.01),
         );
         // A netlist that fits this fabric is needed only for rendering;
         // reuse the placement machinery.
         let (c, i, m, x) = netlist.site_demand();
         let arch2 = Arch::auto_size(c, i, m, x, 8, 1.3).unwrap();
-        let cong2 = CongestionMap::from_utilization(
-            &arch2,
-            vec![0.5; arch2.channel_count()],
-        );
+        let cong2 = CongestionMap::from_utilization(&arch2, vec![0.5; arch2.channel_count()]);
         let placement = pop_place::place(&arch2, &netlist, &Default::default()).unwrap();
-        let img =
-            pop_raster::render_congestion(&arch2, &netlist, &placement, &cong2, 64);
+        let img = pop_raster::render_congestion(&arch2, &netlist, &placement, &cong2, 64);
         let mean = image_mean_congestion(arch2.width(), arch2.height(), &img);
         assert!((mean - 0.5).abs() < 0.03, "decoded mean {mean}");
         let _ = cong;

@@ -171,6 +171,20 @@ pub fn load_model(model: &mut Pix2Pix, path: &Path) -> Result<(), CoreError> {
     Ok(())
 }
 
+/// Builds a fresh model for `config` and loads the checkpoint at `path`
+/// into it — the one-call form the serving engine's model registry uses.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadConfig`] when the config fails validation and
+/// [`CoreError::Cache`] when the checkpoint is missing, corrupt or was
+/// trained with a different architecture.
+pub fn load_checkpoint(config: &ExperimentConfig, path: &Path) -> Result<Pix2Pix, CoreError> {
+    let mut model = Pix2Pix::new(config, 0)?;
+    load_model(&mut model, path)?;
+    Ok(model)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +237,21 @@ mod tests {
             load_model(&mut other, &path),
             Err(CoreError::Cache(_))
         ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_checkpoint_builds_an_equivalent_model() {
+        let config = cfg();
+        let mut model = Pix2Pix::new(&config, 31).unwrap();
+        let x = Tensor::randn([1, config.input_channels(), 16, 16], 0.0, 0.5, 3);
+        let y = Tensor::randn([1, 3, 16, 16], 0.0, 0.5, 4);
+        model.train_step(&x, &y);
+        let expected = model.forecast(&x);
+        let path = std::env::temp_dir().join("pop_ckpt_test/one_call.ckpt");
+        save_model(&mut model, &path).unwrap();
+        let mut loaded = load_checkpoint(&config, &path).unwrap();
+        assert_eq!(loaded.forecast(&x), expected);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -88,7 +88,7 @@ pub struct StepLosses {
 /// Train/fine-tune on [`Pair`]s, then [`Pix2Pix::forecast_image`] a heat
 /// map from fresh placement features in one forward pass — the operation
 /// the paper times at ~0.09 s/image against minutes of routing.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Pix2Pix {
     gen: UNetGenerator,
     disc: PatchDiscriminator,
@@ -256,6 +256,39 @@ impl Pix2Pix {
     pub fn forecast_image(&mut self, x: &Tensor) -> Image {
         tensor_to_image(&self.forecast(x))
     }
+
+    /// Forecasts many inputs in one batched forward pass: inputs are
+    /// stacked along the batch dimension, painted together, and split back
+    /// per request. In inference mode every layer treats batch elements
+    /// independently, so each returned tensor is bitwise-identical to the
+    /// corresponding single-input [`Pix2Pix::forecast`] — this is the
+    /// compute core of the `pop-serve` micro-batcher.
+    ///
+    /// Returns an empty vector for an empty input slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when inputs disagree on channel/spatial dimensions (see
+    /// [`Tensor::stack_batch`]).
+    pub fn forecast_batch(&mut self, xs: &[&Tensor]) -> Vec<Tensor> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let batch = Tensor::stack_batch(xs);
+        self.gen.forward(&batch, false).split_batch()
+    }
+
+    /// [`Pix2Pix::forecast_batch`] decoded into images.
+    ///
+    /// # Panics
+    ///
+    /// Panics when inputs disagree on channel/spatial dimensions.
+    pub fn forecast_batch_images(&mut self, xs: &[&Tensor]) -> Vec<Image> {
+        self.forecast_batch(xs)
+            .iter()
+            .map(tensor_to_image)
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -325,6 +358,46 @@ mod tests {
         let img = model.forecast_image(&x);
         assert_eq!(img.channels(), 3);
         assert!(img.data().iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn batched_forecast_matches_sequential_bitwise() {
+        let cfg = tiny_config();
+        let pairs: Vec<Pair> = (0..2).map(|s| synthetic_pair(&cfg, s)).collect();
+        let mut model = Pix2Pix::new(&cfg, 11).unwrap();
+        // Train a little so batch-norm running stats are non-trivial.
+        let _ = model.train(&pairs, 2);
+        let xs: Vec<Tensor> = (0..5)
+            .map(|s| Tensor::randn([1, cfg.input_channels(), 16, 16], 0.0, 0.5, 100 + s))
+            .collect();
+        let sequential: Vec<Tensor> = xs.iter().map(|x| model.forecast(x)).collect();
+        let refs: Vec<&Tensor> = xs.iter().collect();
+        let batched = model.forecast_batch(&refs);
+        assert_eq!(batched.len(), 5);
+        for (b, s) in batched.iter().zip(&sequential) {
+            // Bitwise equality: eval-mode layers are batch-independent.
+            assert_eq!(b, s);
+        }
+        let images = model.forecast_batch_images(&refs);
+        for (img, s) in images.iter().zip(&sequential) {
+            assert_eq!(img, &tensor_to_image(s));
+        }
+    }
+
+    #[test]
+    fn forecast_batch_of_nothing_is_empty() {
+        let mut model = Pix2Pix::new(&tiny_config(), 1).unwrap();
+        assert!(model.forecast_batch(&[]).is_empty());
+        assert!(model.forecast_batch_images(&[]).is_empty());
+    }
+
+    #[test]
+    fn cloned_model_forecasts_identically() {
+        let cfg = tiny_config();
+        let mut model = Pix2Pix::new(&cfg, 13).unwrap();
+        let mut twin = model.clone();
+        let x = Tensor::randn([1, cfg.input_channels(), 16, 16], 0.0, 0.5, 14);
+        assert_eq!(model.forecast(&x), twin.forecast(&x));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use pop_nn::{
 };
 
 /// One encoder block: `Conv(4, stride 2, pad 1) → [BatchNorm] → LeakyReLU`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct EncBlock {
     conv: Conv2d,
     bn: Option<BatchNorm2d>,
@@ -49,7 +49,7 @@ impl EncBlock {
 /// One decoder block:
 /// `ConvT(4, stride 2, pad 1) → [BatchNorm] → [Dropout] → ReLU`, or
 /// `ConvT → Tanh` for the output block.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct DecBlock {
     deconv: ConvTranspose2d,
     bn: Option<BatchNorm2d>,
@@ -125,7 +125,7 @@ impl DecBlock {
 /// Channel plan (base filters `f`): encoder `f, 2f, 4f, 8f, 8f, …` capped
 /// at `8f` — for `depth = 8, f = 64` this is precisely the
 /// `64 → 128 → 256 → 512 → 512 → 512 → 512 → 512` column of Figure 5.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct UNetGenerator {
     enc: Vec<EncBlock>,
     dec: Vec<DecBlock>,
@@ -171,7 +171,14 @@ impl UNetGenerator {
         for i in 0..depth {
             let cin = if i == 0 { in_channels } else { enc_ch[i - 1] };
             enc.push(EncBlock {
-                conv: Conv2d::new(cin, enc_ch[i], 4, 2, 1, seed.wrapping_add(i as u64 * 31 + 1)),
+                conv: Conv2d::new(
+                    cin,
+                    enc_ch[i],
+                    4,
+                    2,
+                    1,
+                    seed.wrapping_add(i as u64 * 31 + 1),
+                ),
                 bn: (i != 0 && i != depth - 1).then(|| BatchNorm2d::new(enc_ch[i])),
                 act: LeakyRelu::default(),
             });
@@ -427,10 +434,29 @@ mod tests {
             let _ = g.backward(&grad);
             adam.step(&mut g.params_mut());
         }
-        assert!(
-            last < first * 0.7,
-            "L1 should shrink: {first} -> {last}"
-        );
+        assert!(last < first * 0.7, "L1 should shrink: {first} -> {last}");
+    }
+
+    #[test]
+    fn batched_eval_forward_is_bitwise_identical_to_per_sample() {
+        // The serving engine's correctness hinges on this: stacking inputs
+        // along the batch axis and forwarding once (eval mode, dropout off,
+        // batch-norm running stats) must reproduce each per-sample forward
+        // bit for bit — conv/norm/activation all treat batch elements
+        // independently at inference.
+        for skip in [SkipMode::All, SkipMode::Single, SkipMode::None] {
+            let mut g = tiny(skip);
+            let xs: Vec<Tensor> = (0..4)
+                .map(|s| Tensor::randn([1, 4, 16, 16], 0.0, 1.0, 50 + s))
+                .collect();
+            let singles: Vec<Tensor> = xs.iter().map(|x| g.forward(x, false)).collect();
+            let refs: Vec<&Tensor> = xs.iter().collect();
+            let batched = g.forward(&Tensor::stack_batch(&refs), false);
+            assert_eq!(batched.n(), 4);
+            for (i, (part, single)) in batched.split_batch().iter().zip(&singles).enumerate() {
+                assert_eq!(part, single, "sample {i} diverged under {skip:?}");
+            }
+        }
     }
 
     #[test]

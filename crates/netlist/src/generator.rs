@@ -154,11 +154,18 @@ pub fn generate(spec: &SyntheticSpec) -> Netlist {
         position_of[b] = pos;
     }
 
-    let can_drive =
-        |b: &Block| !matches!(b.kind, BlockKind::Output);
+    let can_drive = |b: &Block| !matches!(b.kind, BlockKind::Output);
     let can_sink = |b: &Block| !matches!(b.kind, BlockKind::Input);
-    let driver_pool: Vec<BlockId> = blocks.iter().filter(|b| can_drive(b)).map(|b| b.id).collect();
-    let sink_pool: Vec<BlockId> = blocks.iter().filter(|b| can_sink(b)).map(|b| b.id).collect();
+    let driver_pool: Vec<BlockId> = blocks
+        .iter()
+        .filter(|b| can_drive(b))
+        .map(|b| b.id)
+        .collect();
+    let sink_pool: Vec<BlockId> = blocks
+        .iter()
+        .filter(|b| can_sink(b))
+        .map(|b| b.id)
+        .collect();
 
     // Pick one sink near `driver` on the affinity line (locality model), or
     // uniformly with probability 1 - locality.
@@ -324,9 +331,7 @@ mod tests {
             match b.kind {
                 BlockKind::Input => {
                     assert!(
-                        nl.nets_of(b.id)
-                            .iter()
-                            .any(|&n| nl.net(n).driver == b.id),
+                        nl.nets_of(b.id).iter().any(|&n| nl.net(n).driver == b.id),
                         "input {} drives nothing",
                         b.name
                     );

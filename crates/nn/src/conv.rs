@@ -1,4 +1,4 @@
-use crate::im2col::{col2im, conv_out_dim, im2col};
+use crate::im2col::{col2im, conv_out_dim, im2col, im2col_strided};
 use crate::linalg::{matmul_nn, matmul_nt, matmul_tn};
 use crate::param::Param;
 use crate::tensor::Tensor;
@@ -18,7 +18,10 @@ pub struct Conv2d {
     weight: Param,
     bias: Param,
     cached_input: Option<Tensor>,
-    cached_cols: Vec<Vec<f32>>,
+    // Interleaved im2col matrix of the last forward: `[ckk, n·ho·wo]` with
+    // sample `b` occupying columns `b·ho·wo .. (b+1)·ho·wo`.
+    cached_cols: Vec<f32>,
+    cached_p_out: usize,
 }
 
 impl Conv2d {
@@ -39,6 +42,7 @@ impl Conv2d {
             bias: Param::new(Tensor::zeros([1, out_c, 1, 1])),
             cached_input: None,
             cached_cols: Vec::new(),
+            cached_p_out: 0,
         }
     }
 
@@ -59,17 +63,23 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         assert_eq!(x.c(), self.in_c, "input channels");
         let [n, _, h, w] = x.shape();
         let ho = conv_out_dim(h, self.k, self.stride, self.pad);
         let wo = conv_out_dim(w, self.k, self.stride, self.pad);
         let ckk = self.in_c * self.k * self.k;
-        let mut y = Tensor::zeros([n, self.out_c, ho, wo]);
-        self.cached_cols.clear();
+        let p_out = ho * wo;
+        let ncols = n * p_out;
+        // Unroll the whole batch into one interleaved [ckk, n·ho·wo] matrix
+        // and run a single matmul. Each output element accumulates over
+        // `ckk` in the same order as a per-sample lowering, so results are
+        // bitwise-identical for any batch size — but the matmul's inner
+        // loop is `n×` longer, which is what makes micro-batched inference
+        // beat sequential single-sample calls on small feature maps.
+        let mut cols = vec![0.0f32; ckk * ncols];
         for b in 0..n {
-            let mut cols = vec![0.0f32; ckk * ho * wo];
-            im2col(
+            im2col_strided(
                 &x.data()[b * self.in_c * h * w..(b + 1) * self.in_c * h * w],
                 self.in_c,
                 h,
@@ -78,26 +88,42 @@ impl Layer for Conv2d {
                 self.stride,
                 self.pad,
                 &mut cols,
+                ncols,
+                b * p_out,
             );
-            let y_n = &mut y.data_mut()
-                [b * self.out_c * ho * wo..(b + 1) * self.out_c * ho * wo];
-            matmul_nn(
-                self.weight.value.data(),
-                &cols,
-                y_n,
-                self.out_c,
-                ckk,
-                ho * wo,
-            );
+        }
+        let mut y_flat = vec![0.0f32; self.out_c * ncols];
+        matmul_nn(
+            self.weight.value.data(),
+            &cols,
+            &mut y_flat,
+            self.out_c,
+            ckk,
+            ncols,
+        );
+        // De-interleave [out_c, n·p] back to NCHW and add the bias.
+        let mut y = Tensor::zeros([n, self.out_c, ho, wo]);
+        for b in 0..n {
             for c in 0..self.out_c {
                 let bv = self.bias.value.data()[c];
-                for v in &mut y_n[c * ho * wo..(c + 1) * ho * wo] {
-                    *v += bv;
+                let src = &y_flat[c * ncols + b * p_out..c * ncols + (b + 1) * p_out];
+                let dst = &mut y.data_mut()[(b * self.out_c + c) * p_out..][..p_out];
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d = s + bv;
                 }
             }
-            self.cached_cols.push(cols);
         }
-        self.cached_input = Some(x.clone());
+        // The caches exist only for a backward pass; inference-mode
+        // forwards (the serving hot path) must not retain the k²-scaled
+        // im2col matrix or an input clone between requests.
+        if train {
+            self.cached_cols = cols;
+            self.cached_p_out = p_out;
+            self.cached_input = Some(x.clone());
+        } else {
+            self.cached_cols = Vec::new();
+            self.cached_input = None;
+        }
         y
     }
 
@@ -109,14 +135,29 @@ impl Layer for Conv2d {
         let [n, _, h, w] = x.shape();
         let [_, _, ho, wo] = grad_out.shape();
         let ckk = self.in_c * self.k * self.k;
+        let p_out = self.cached_p_out;
+        let ncols = n * p_out;
+        let cached_cols = std::mem::take(&mut self.cached_cols);
         let mut dx = Tensor::zeros(x.shape());
+        let mut cols_scratch = vec![0.0f32; if n > 1 { ckk * p_out } else { 0 }];
         for b in 0..n {
-            let dy_n = &grad_out.data()
-                [b * self.out_c * ho * wo..(b + 1) * self.out_c * ho * wo];
+            let dy_n = &grad_out.data()[b * self.out_c * ho * wo..(b + 1) * self.out_c * ho * wo];
+            // Per-sample contiguous view of the interleaved cache (the
+            // cache *is* contiguous when n == 1).
+            let cols_b: &[f32] = if n == 1 {
+                &cached_cols
+            } else {
+                for r in 0..ckk {
+                    cols_scratch[r * p_out..(r + 1) * p_out].copy_from_slice(
+                        &cached_cols[r * ncols + b * p_out..r * ncols + (b + 1) * p_out],
+                    );
+                }
+                &cols_scratch
+            };
             // dW += dY @ colsᵀ.
             matmul_nt(
                 dy_n,
-                &self.cached_cols[b],
+                cols_b,
                 self.weight.grad.data_mut(),
                 self.out_c,
                 ho * wo,
@@ -148,7 +189,6 @@ impl Layer for Conv2d {
                 &mut dx.data_mut()[b * self.in_c * h * w..(b + 1) * self.in_c * h * w],
             );
         }
-        self.cached_cols.clear();
         dx
     }
 
@@ -212,7 +252,7 @@ impl ConvTranspose2d {
 }
 
 impl Layer for ConvTranspose2d {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         assert_eq!(x.c(), self.in_c, "input channels");
         let [n, _, h, w] = x.shape();
         let out = self.output_shape(x.shape());
@@ -220,15 +260,33 @@ impl Layer for ConvTranspose2d {
         // Sanity: the adjoint geometry must invert cleanly.
         debug_assert_eq!(conv_out_dim(ho, self.k, self.stride, self.pad), h);
         let ckk = self.out_c * self.k * self.k;
+        let p_in = h * w;
+        let ncols = n * p_in;
         let mut y = Tensor::zeros(out);
-        for b in 0..n {
-            let x_n = &x.data()[b * self.in_c * h * w..(b + 1) * self.in_c * h * w];
-            // cols = Wᵀ(as [out_c·k·k, in_c]) @ x_n.
-            let mut cols = vec![0.0f32; ckk * h * w];
-            matmul_tn(self.weight.value.data(), x_n, &mut cols, ckk, self.in_c, h * w);
-            let y_n = &mut y.data_mut()[b * self.out_c * ho * wo..(b + 1) * self.out_c * ho * wo];
+        // Batched lowering mirrors Conv2d: interleave the batch into one
+        // [in_c, n·h·w] matrix, run a single `Wᵀ @ X`, then col2im each
+        // sample's column block. Accumulation order per element matches the
+        // per-sample pass exactly, so any batch size is bitwise-identical.
+        if n == 1 {
+            let mut cols = vec![0.0f32; ckk * p_in];
+            matmul_tn(
+                self.weight.value.data(),
+                x.data(),
+                &mut cols,
+                ckk,
+                self.in_c,
+                p_in,
+            );
+            let y_n = &mut y.data_mut()[..self.out_c * ho * wo];
             col2im(
-                &cols, self.out_c, ho, wo, self.k, self.stride, self.pad, y_n,
+                &cols,
+                self.out_c,
+                ho,
+                wo,
+                self.k,
+                self.stride,
+                self.pad,
+                y_n,
             );
             for c in 0..self.out_c {
                 let bv = self.bias.value.data()[c];
@@ -236,8 +294,50 @@ impl Layer for ConvTranspose2d {
                     *v += bv;
                 }
             }
+        } else {
+            let mut xt = vec![0.0f32; self.in_c * ncols];
+            for b in 0..n {
+                for c in 0..self.in_c {
+                    xt[c * ncols + b * p_in..c * ncols + (b + 1) * p_in]
+                        .copy_from_slice(&x.data()[(b * self.in_c + c) * p_in..][..p_in]);
+                }
+            }
+            let mut cols = vec![0.0f32; ckk * ncols];
+            matmul_tn(
+                self.weight.value.data(),
+                &xt,
+                &mut cols,
+                ckk,
+                self.in_c,
+                ncols,
+            );
+            let mut cols_b = vec![0.0f32; ckk * p_in];
+            for b in 0..n {
+                for r in 0..ckk {
+                    cols_b[r * p_in..(r + 1) * p_in]
+                        .copy_from_slice(&cols[r * ncols + b * p_in..r * ncols + (b + 1) * p_in]);
+                }
+                let y_n =
+                    &mut y.data_mut()[b * self.out_c * ho * wo..(b + 1) * self.out_c * ho * wo];
+                col2im(
+                    &cols_b,
+                    self.out_c,
+                    ho,
+                    wo,
+                    self.k,
+                    self.stride,
+                    self.pad,
+                    y_n,
+                );
+                for c in 0..self.out_c {
+                    let bv = self.bias.value.data()[c];
+                    for v in &mut y_n[c * ho * wo..(c + 1) * ho * wo] {
+                        *v += bv;
+                    }
+                }
+            }
         }
-        self.cached_input = Some(x.clone());
+        self.cached_input = if train { Some(x.clone()) } else { None };
         y
     }
 
@@ -251,12 +351,18 @@ impl Layer for ConvTranspose2d {
         let ckk = self.out_c * self.k * self.k;
         let mut dx = Tensor::zeros(x.shape());
         for b in 0..n {
-            let dy_n = &grad_out.data()
-                [b * self.out_c * ho * wo..(b + 1) * self.out_c * ho * wo];
+            let dy_n = &grad_out.data()[b * self.out_c * ho * wo..(b + 1) * self.out_c * ho * wo];
             // dcols = im2col(dY).
             let mut dcols = vec![0.0f32; ckk * h * w];
             im2col(
-                dy_n, self.out_c, ho, wo, self.k, self.stride, self.pad, &mut dcols,
+                dy_n,
+                self.out_c,
+                ho,
+                wo,
+                self.k,
+                self.stride,
+                self.pad,
+                &mut dcols,
             );
             // dX = W @ dcols.
             matmul_nn(
@@ -372,6 +478,69 @@ mod tests {
             (lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0),
             "{lhs} vs {rhs}"
         );
+    }
+
+    #[test]
+    fn batched_forward_is_bitwise_identical_to_per_sample() {
+        let mut conv = Conv2d::new(3, 5, 4, 2, 1, 11);
+        let mut deconv = ConvTranspose2d::new(5, 3, 4, 2, 1, 12);
+        let xs: Vec<Tensor> = (0..4)
+            .map(|s| Tensor::randn([1, 3, 8, 8], 0.0, 1.0, 40 + s))
+            .collect();
+        let conv_singles: Vec<Tensor> = xs.iter().map(|x| conv.forward(x, false)).collect();
+        let deconv_singles: Vec<Tensor> = conv_singles
+            .iter()
+            .map(|y| deconv.forward(y, false))
+            .collect();
+        let refs: Vec<&Tensor> = xs.iter().collect();
+        let batch = Tensor::stack_batch(&refs);
+        let conv_batched = conv.forward(&batch, false);
+        for (i, (part, single)) in conv_batched
+            .split_batch()
+            .iter()
+            .zip(&conv_singles)
+            .enumerate()
+        {
+            assert_eq!(part, single, "conv sample {i}");
+        }
+        let deconv_batched = deconv.forward(&conv_batched, false);
+        for (i, (part, single)) in deconv_batched
+            .split_batch()
+            .iter()
+            .zip(&deconv_singles)
+            .enumerate()
+        {
+            assert_eq!(part, single, "deconv sample {i}");
+        }
+    }
+
+    #[test]
+    fn batched_conv_backward_matches_per_sample_gradients() {
+        // Summed-gradient check: running two samples through one batched
+        // forward/backward must accumulate the same dW/db (and produce the
+        // same dX) as two independent single-sample passes.
+        let xs: Vec<Tensor> = (0..2)
+            .map(|s| Tensor::randn([1, 2, 8, 8], 0.0, 1.0, 60 + s))
+            .collect();
+        let mut single = Conv2d::new(2, 3, 4, 2, 1, 13);
+        let mut dxs = Vec::new();
+        for x in &xs {
+            let y = single.forward(x, true);
+            dxs.push(single.backward(&y));
+        }
+        let mut batched = Conv2d::new(2, 3, 4, 2, 1, 13);
+        let refs: Vec<&Tensor> = xs.iter().collect();
+        let xb = Tensor::stack_batch(&refs);
+        let yb = batched.forward(&xb, true);
+        let dxb = batched.backward(&yb);
+        for (i, (part, dx)) in dxb.split_batch().iter().zip(&dxs).enumerate() {
+            assert_eq!(part, dx, "dx sample {i}");
+        }
+        for (pb, ps) in batched.params_mut().iter().zip(single.params_mut().iter()) {
+            for (a, b) in pb.grad.data().iter().zip(ps.grad.data()) {
+                assert!((a - b).abs() < 1e-4, "grad {a} vs {b}");
+            }
+        }
     }
 
     #[test]

@@ -31,14 +31,48 @@ pub fn im2col(
 ) {
     let ho = conv_out_dim(h, k, stride, pad);
     let wo = conv_out_dim(w, k, stride, pad);
-    assert_eq!(x.len(), c * h * w, "input size");
     assert_eq!(cols.len(), c * k * k * ho * wo, "cols size");
-    let out_plane = ho * wo;
+    im2col_strided(x, c, h, w, k, stride, pad, cols, ho * wo, 0);
+}
+
+/// [`im2col`] writing into a wider interleaved matrix: sample columns land
+/// at `col_offset` inside rows of length `row_stride`.
+///
+/// This is the batched-convolution primitive: unrolling every sample of an
+/// `[N, C, H, W]` batch side by side produces one `[C·k·k, N·Ho·Wo]`
+/// matrix, so the whole batch runs through a single matmul whose inner
+/// loop is `N×` longer — the win that makes micro-batched inference beat
+/// sequential single-sample calls on small feature maps.
+///
+/// # Panics
+///
+/// Panics when `x` does not match `c·h·w`, when the sample's columns
+/// (`col_offset + ho·wo`) overrun `row_stride`, or when `cols` is not
+/// exactly `c·k·k` rows of `row_stride`.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_strided(
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    cols: &mut [f32],
+    row_stride: usize,
+    col_offset: usize,
+) {
+    let ho = conv_out_dim(h, k, stride, pad);
+    let wo = conv_out_dim(w, k, stride, pad);
+    assert_eq!(x.len(), c * h * w, "input size");
+    assert!(col_offset + ho * wo <= row_stride, "columns overrun stride");
+    assert_eq!(cols.len(), c * k * k * row_stride, "cols size");
     for ci in 0..c {
         for ky in 0..k {
             for kx in 0..k {
                 let row = (ci * k + ky) * k + kx;
-                let dst = &mut cols[row * out_plane..(row + 1) * out_plane];
+                let dst = &mut cols
+                    [row * row_stride + col_offset..row * row_stride + col_offset + ho * wo];
                 for oy in 0..ho {
                     let iy = (oy * stride + ky) as isize - pad as isize;
                     if iy < 0 || iy >= h as isize {
@@ -130,6 +164,39 @@ mod tests {
     }
 
     #[test]
+    fn im2col_strided_interleaves_samples() {
+        // Two 1-channel 2x2 samples with k=1 (no-op unroll) side by side.
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        let mut cols = vec![0.0; 8]; // 1 row of stride 8
+        im2col_strided(&a, 1, 2, 2, 1, 1, 0, &mut cols, 8, 0);
+        im2col_strided(&b, 1, 2, 2, 1, 1, 0, &mut cols, 8, 4);
+        assert_eq!(cols, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn im2col_strided_matches_plain_im2col_per_block() {
+        let (c, h, w, k, s, p) = (2, 5, 4, 3, 2, 1);
+        let ho = conv_out_dim(h, k, s, p);
+        let wo = conv_out_dim(w, k, s, p);
+        let plane = ho * wo;
+        let x: Vec<f32> = (0..c * h * w).map(|i| (i as f32 * 0.61).sin()).collect();
+        let mut plain = vec![0.0; c * k * k * plane];
+        im2col(&x, c, h, w, k, s, p, &mut plain);
+        // Interleave the same sample at offset `plane` of a 3-sample-wide
+        // matrix and compare block-wise.
+        let mut wide = vec![-1.0; c * k * k * plane * 3];
+        im2col_strided(&x, c, h, w, k, s, p, &mut wide, plane * 3, plane);
+        for row in 0..c * k * k {
+            assert_eq!(
+                &wide[row * plane * 3 + plane..row * plane * 3 + 2 * plane],
+                &plain[row * plane..(row + 1) * plane],
+                "row {row}"
+            );
+        }
+    }
+
+    #[test]
     fn im2col_knows_padding() {
         // 1 channel, 2x2 input, k=3, s=1, p=1 -> 2x2 output positions.
         let x = vec![1.0, 2.0, 3.0, 4.0];
@@ -157,10 +224,18 @@ mod tests {
             .collect();
         let mut ix = vec![0.0; y.len()];
         im2col(&x, c, h, w, k, s, p, &mut ix);
-        let lhs: f64 = ix.iter().zip(&y).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let lhs: f64 = ix
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
         let mut cy = vec![0.0; x.len()];
         col2im(&y, c, h, w, k, s, p, &mut cy);
-        let rhs: f64 = x.iter().zip(&cy).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let rhs: f64 = x
+            .iter()
+            .zip(&cy)
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
     }
 

@@ -174,8 +174,7 @@ impl Tensor {
         let plane = h * w;
         for b in 0..n {
             let dst = &mut out.data_mut()[b * (c1 + c2) * plane..];
-            dst[..c1 * plane]
-                .copy_from_slice(&self.data[b * c1 * plane..(b + 1) * c1 * plane]);
+            dst[..c1 * plane].copy_from_slice(&self.data[b * c1 * plane..(b + 1) * c1 * plane]);
         }
         for b in 0..n {
             let start = b * (c1 + c2) * plane + c1 * plane;
@@ -211,6 +210,52 @@ impl Tensor {
             }
         }
         (a, b)
+    }
+
+    /// Concatenates tensors along the batch axis — the micro-batching
+    /// primitive of the serving engine: per-request `[1, C, H, W]` inputs
+    /// become one `[N, C, H, W]` forward pass.
+    ///
+    /// Parts may themselves be batched (`n ≥ 1`); batch sizes are summed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parts` is empty or any part's channel/spatial
+    /// dimensions differ from the first part's.
+    pub fn stack_batch(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "stack_batch needs at least one tensor");
+        let [_, c, h, w] = parts[0].shape;
+        let mut n_total = 0usize;
+        for (i, p) in parts.iter().enumerate() {
+            assert_eq!(
+                [p.c(), p.h(), p.w()],
+                [c, h, w],
+                "stack_batch: part {i} has shape {:?}, expected [_, {c}, {h}, {w}]",
+                p.shape
+            );
+            n_total += p.n();
+        }
+        let mut data = Vec::with_capacity(n_total * c * h * w);
+        for p in parts {
+            data.extend_from_slice(p.data());
+        }
+        Tensor::from_vec([n_total, c, h, w], data)
+    }
+
+    /// Splits a batched tensor into `n()` single-sample `[1, C, H, W]`
+    /// tensors — the inverse of [`Tensor::stack_batch`] over singleton
+    /// parts, used to hand each serving request its own output.
+    pub fn split_batch(&self) -> Vec<Tensor> {
+        let [n, c, h, w] = self.shape;
+        let stride = c * h * w;
+        (0..n)
+            .map(|b| {
+                Tensor::from_vec(
+                    [1, c, h, w],
+                    self.data[b * stride..(b + 1) * stride].to_vec(),
+                )
+            })
+            .collect()
     }
 
     /// Element-wise addition into `self`.
@@ -293,8 +338,12 @@ mod tests {
         let t = Tensor::randn([1, 1, 100, 100], 0.0, 0.02, 3);
         let mean = t.mean();
         assert!(mean.abs() < 0.002, "mean {mean}");
-        let var: f32 =
-            t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
+        let var: f32 = t
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         assert!((var.sqrt() - 0.02).abs() < 0.002, "std {}", var.sqrt());
     }
 
@@ -361,6 +410,48 @@ mod tests {
         assert_eq!(fw.at(0, 0, 0, 0), 0.0);
         let fh = t.flipped_h();
         assert_eq!(fh.at(0, 0, 1, 0), 1.0);
+    }
+
+    #[test]
+    fn stack_then_split_roundtrip() {
+        let a = Tensor::randn([1, 3, 4, 4], 0.0, 1.0, 1);
+        let b = Tensor::randn([1, 3, 4, 4], 0.0, 1.0, 2);
+        let c = Tensor::randn([2, 3, 4, 4], 0.0, 1.0, 3);
+        let batch = Tensor::stack_batch(&[&a, &b, &c]);
+        assert_eq!(batch.shape(), [4, 3, 4, 4]);
+        let parts = batch.split_batch();
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+        let c_parts = c.split_batch();
+        assert_eq!(parts[2], c_parts[0]);
+        assert_eq!(parts[3], c_parts[1]);
+    }
+
+    #[test]
+    fn stack_batch_preserves_element_positions() {
+        let mut a = Tensor::zeros([1, 2, 2, 2]);
+        a.set(0, 1, 1, 0, 5.0);
+        let mut b = Tensor::zeros([1, 2, 2, 2]);
+        b.set(0, 0, 0, 1, 9.0);
+        let batch = Tensor::stack_batch(&[&a, &b]);
+        assert_eq!(batch.at(0, 1, 1, 0), 5.0);
+        assert_eq!(batch.at(1, 0, 0, 1), 9.0);
+        assert_eq!(batch.at(1, 1, 1, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stack_batch needs at least one tensor")]
+    fn stack_batch_rejects_empty() {
+        let _ = Tensor::stack_batch(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stack_batch: part 1")]
+    fn stack_batch_rejects_shape_mismatch() {
+        let a = Tensor::zeros([1, 2, 4, 4]);
+        let b = Tensor::zeros([1, 2, 4, 8]);
+        let _ = Tensor::stack_batch(&[&a, &b]);
     }
 
     #[test]

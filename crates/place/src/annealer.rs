@@ -192,11 +192,8 @@ impl<'a> Annealer<'a> {
             return 1.0;
         }
         let mean: f64 = deltas.iter().sum::<f64>() / deltas.len() as f64;
-        let var: f64 = deltas
-            .iter()
-            .map(|d| (d - mean) * (d - mean))
-            .sum::<f64>()
-            / deltas.len() as f64;
+        let var: f64 =
+            deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / deltas.len() as f64;
         (20.0 * var.sqrt()).max(1e-3)
     }
 
@@ -238,9 +235,12 @@ impl<'a> Annealer<'a> {
         let mut new_cost = 0.0f64;
         for i in 0..self.touched.len() {
             let n = self.touched[i];
-            let c = self
-                .model
-                .net_cost(self.arch, self.netlist, &self.placement, self.netlist.net(n));
+            let c = self.model.net_cost(
+                self.arch,
+                self.netlist,
+                &self.placement,
+                self.netlist.net(n),
+            );
             self.net_costs[n.index()] = c;
             new_cost += c as f64;
         }
@@ -255,9 +255,12 @@ impl<'a> Annealer<'a> {
         for i in 0..self.touched.len() {
             let n = self.touched[i];
             let old = self.net_costs[n.index()] as f64;
-            let c = self
-                .model
-                .net_cost(self.arch, self.netlist, &self.placement, self.netlist.net(n));
+            let c = self.model.net_cost(
+                self.arch,
+                self.netlist,
+                &self.placement,
+                self.netlist.net(n),
+            );
             self.net_costs[n.index()] = c;
             delta += c as f64 - old;
         }
@@ -277,10 +280,7 @@ impl<'a> Annealer<'a> {
                 let ty = (cy + self.rng.gen_range(-rlim..=rlim))
                     .clamp(0.0, (self.arch.height() - 1) as f64);
                 // Nearest CLB column to tx.
-                let col_idx = match self
-                    .clb_cols
-                    .binary_search(&(tx.round() as usize))
-                {
+                let col_idx = match self.clb_cols.binary_search(&(tx.round() as usize)) {
                     Ok(i) => i,
                     Err(i) => {
                         if i == 0 {
@@ -306,30 +306,13 @@ impl<'a> Annealer<'a> {
                 ) - self.arch.site(col[0]).y;
                 Some(col[row.min(col.len() - 1)])
             }
-            SiteKind::Io => pick_in_range(
-                &mut self.rng,
-                self.arch,
-                &self.io_sites,
-                cx,
-                cy,
-                rlim,
-            ),
-            SiteKind::Memory => pick_in_range(
-                &mut self.rng,
-                self.arch,
-                &self.mem_sites,
-                cx,
-                cy,
-                rlim,
-            ),
-            SiteKind::Multiplier => pick_in_range(
-                &mut self.rng,
-                self.arch,
-                &self.mult_sites,
-                cx,
-                cy,
-                rlim,
-            ),
+            SiteKind::Io => pick_in_range(&mut self.rng, self.arch, &self.io_sites, cx, cy, rlim),
+            SiteKind::Memory => {
+                pick_in_range(&mut self.rng, self.arch, &self.mem_sites, cx, cy, rlim)
+            }
+            SiteKind::Multiplier => {
+                pick_in_range(&mut self.rng, self.arch, &self.mult_sites, cx, cy, rlim)
+            }
         }
     }
 
@@ -344,8 +327,8 @@ impl<'a> Annealer<'a> {
             self.moves_this_temp += 1;
             budget -= 1;
             if let Some((delta, _site, old_site)) = self.propose(block) {
-                let accept = delta <= 0.0
-                    || self.rng.gen::<f64>() < (-delta / self.temperature).exp();
+                let accept =
+                    delta <= 0.0 || self.rng.gen::<f64>() < (-delta / self.temperature).exp();
                 if accept {
                     self.accepted_this_temp += 1;
                 } else {
@@ -376,8 +359,8 @@ impl<'a> Annealer<'a> {
         // Refresh the exact cost to cancel accumulated float drift.
         self.total_cost = self.net_costs.iter().map(|&c| c as f64).sum();
 
-        let exit_t = self.options.exit_t_factor * self.total_cost
-            / self.netlist.nets().len().max(1) as f64;
+        let exit_t =
+            self.options.exit_t_factor * self.total_cost / self.netlist.nets().len().max(1) as f64;
         if self.temperature < exit_t || self.outer_iters >= self.options.max_outer_iters {
             self.done = true;
         }

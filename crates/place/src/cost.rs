@@ -8,10 +8,10 @@ use pop_netlist::{Net, Netlist};
 /// Index by `min(terminals, 50)`; terminals ≤ 3 need no correction.
 const CROSSING: [f32; 51] = [
     1.0, 1.0, 1.0, 1.0, 1.0828, 1.1536, 1.2206, 1.2823, 1.3385, 1.3991, 1.4493, 1.4974, 1.5455,
-    1.5937, 1.6418, 1.6899, 1.7304, 1.7709, 1.8114, 1.8519, 1.8924, 1.9288, 1.9652, 2.0015,
-    2.0379, 2.0743, 2.1061, 2.1379, 2.1698, 2.2016, 2.2334, 2.2646, 2.2958, 2.3271, 2.3583,
-    2.3895, 2.4187, 2.4479, 2.4772, 2.5064, 2.5356, 2.5610, 2.5864, 2.6117, 2.6371, 2.6625,
-    2.6887, 2.7148, 2.7410, 2.7671, 2.7933,
+    1.5937, 1.6418, 1.6899, 1.7304, 1.7709, 1.8114, 1.8519, 1.8924, 1.9288, 1.9652, 2.0015, 2.0379,
+    2.0743, 2.1061, 2.1379, 2.1698, 2.2016, 2.2334, 2.2646, 2.2958, 2.3271, 2.3583, 2.3895, 2.4187,
+    2.4479, 2.4772, 2.5064, 2.5356, 2.5610, 2.5864, 2.6117, 2.6371, 2.6625, 2.6887, 2.7148, 2.7410,
+    2.7671, 2.7933,
 ];
 
 /// Returns `q(n)` for a net with `terminals` terminals.
@@ -109,7 +109,7 @@ pub fn wirelength(arch: &Arch, netlist: &Netlist, p: &Placement) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pop_netlist::{NetId, BlockId};
+    use pop_netlist::{BlockId, NetId};
 
     #[test]
     fn crossing_factors_monotone() {

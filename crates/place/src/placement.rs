@@ -94,11 +94,7 @@ impl Placement {
     ///
     /// Returns [`PlaceError::Illegal`] for malformed text, out-of-range
     /// ids, or a placement violating any invariant.
-    pub fn from_text(
-        text: &str,
-        arch: &Arch,
-        netlist: &Netlist,
-    ) -> Result<Placement, PlaceError> {
+    pub fn from_text(text: &str, arch: &Arch, netlist: &Netlist) -> Result<Placement, PlaceError> {
         let bad = |reason: String| PlaceError::Illegal {
             block: BlockId(0),
             reason,
@@ -227,8 +223,7 @@ mod tests {
         let netlist = generate(&presets::by_name("diffeq2").unwrap().scaled(0.02));
         let (c, i, m, x) = netlist.site_demand();
         let arch = Arch::auto_size(c, i, m, x, 12, 1.3).unwrap();
-        let placement =
-            crate::place(&arch, &netlist, &crate::PlaceOptions::default()).unwrap();
+        let placement = crate::place(&arch, &netlist, &crate::PlaceOptions::default()).unwrap();
         let text = placement.to_text();
         let back = Placement::from_text(&text, &arch, &netlist).unwrap();
         assert_eq!(placement, back);
@@ -241,10 +236,10 @@ mod tests {
         let (c, i, m, x) = netlist.site_demand();
         let arch = Arch::auto_size(c, i, m, x, 12, 1.3).unwrap();
         for bad in [
-            "0 999999\n",       // site out of range
-            "0 zero\n",         // non-numeric
-            "garbage\n",        // malformed
-            "",                 // nothing placed
+            "0 999999\n", // site out of range
+            "0 zero\n",   // non-numeric
+            "garbage\n",  // malformed
+            "",           // nothing placed
         ] {
             assert!(
                 Placement::from_text(bad, &arch, &netlist).is_err(),

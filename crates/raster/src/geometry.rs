@@ -49,9 +49,7 @@ impl Layout {
             side >= grid_w && side >= grid_h,
             "side {side} too small for {grid_w}x{grid_h} grid"
         );
-        let lines = |n: usize| -> Vec<usize> {
-            (0..=n).map(|i| i * side / n).collect()
-        };
+        let lines = |n: usize| -> Vec<usize> { (0..=n).map(|i| i * side / n).collect() };
         let lines_x = lines(grid_w);
         let lines_y = lines(grid_h);
         // Gutter: about a third of the smallest span, at least one pixel
@@ -73,7 +71,11 @@ impl Layout {
             })
             .min()
             .unwrap_or(1);
-        let gutter = if min_span >= 3 { min_span / 3 } else { usize::from(min_span >= 2) };
+        let gutter = if min_span >= 3 {
+            min_span / 3
+        } else {
+            usize::from(min_span >= 2)
+        };
         Layout {
             grid_w,
             grid_h,
@@ -161,7 +163,8 @@ impl Layout {
         let x1 = (self.lines_x[x + 1] - self.gutter.min(self.lines_x[x + 1] - x0 - 1)).max(x0 + 1);
         let iy = self.grid_h - 1 - y;
         let y0 = self.lines_y[iy];
-        let y1 = (self.lines_y[iy + 1] - self.gutter.min(self.lines_y[iy + 1] - y0 - 1)).max(y0 + 1);
+        let y1 =
+            (self.lines_y[iy + 1] - self.gutter.min(self.lines_y[iy + 1] - y0 - 1)).max(y0 + 1);
         (x0, y0, x1, y1)
     }
 

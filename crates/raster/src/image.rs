@@ -50,7 +50,10 @@ impl fmt::Display for ImageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ImageError::ShapeMismatch { expected, found } => {
-                write!(f, "image shape mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "image shape mismatch: expected {expected}, found {found}"
+                )
             }
             ImageError::Io(e) => write!(f, "image io error: {e}"),
         }
@@ -214,9 +217,7 @@ impl Image {
     }
 
     pub(crate) fn check_same_shape(&self, other: &Image) -> Result<(), ImageError> {
-        if (self.width, self.height, self.channels)
-            != (other.width, other.height, other.channels)
-        {
+        if (self.width, self.height, self.channels) != (other.width, other.height, other.channels) {
             return Err(ImageError::ShapeMismatch {
                 expected: format!("{}x{}x{}", self.width, self.height, self.channels),
                 found: format!("{}x{}x{}", other.width, other.height, other.channels),
@@ -300,7 +301,9 @@ mod tests {
         let dir = std::env::temp_dir().join("pop_raster_test");
         std::fs::create_dir_all(&dir).unwrap();
         let p3 = dir.join("t.ppm");
-        Image::filled_rgb(3, 2, Rgb8::new(1, 2, 3)).write_pnm(&p3).unwrap();
+        Image::filled_rgb(3, 2, Rgb8::new(1, 2, 3))
+            .write_pnm(&p3)
+            .unwrap();
         let bytes = std::fs::read(&p3).unwrap();
         assert!(bytes.starts_with(b"P6\n3 2\n255\n"));
         assert_eq!(bytes.len(), "P6\n3 2\n255\n".len() + 18);

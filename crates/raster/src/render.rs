@@ -20,9 +20,7 @@ pub fn render_floorplan(arch: &Arch, side: usize) -> Image {
                     TileKind::Memory => color::LIGHTYELLOW,
                     TileKind::Multiplier => color::PINK,
                 },
-                PixelOwner::Channel(_) | PixelOwner::Junction | PixelOwner::Outside => {
-                    color::WHITE
-                }
+                PixelOwner::Channel(_) | PixelOwner::Junction | PixelOwner::Outside => color::WHITE,
             };
             img.set_rgb8(px, py, c);
         }
@@ -348,8 +346,7 @@ mod tests {
             for px in 0..side {
                 if let crate::geometry::PixelOwner::Channel(ch) = layout.owner(px, py) {
                     let truth = routing.congestion().utilization(&arch, ch).clamp(0.0, 1.0);
-                    let decoded =
-                        crate::color::utilization_from_color(img.pixel_rgb8(px, py));
+                    let decoded = crate::color::utilization_from_color(img.pixel_rgb8(px, py));
                     assert!(
                         (decoded - truth).abs() < 0.02,
                         "({px},{py}) {ch:?}: {decoded} vs {truth}"
@@ -374,7 +371,10 @@ mod tests {
         let layout = Layout::new(arch.width(), arch.height(), side);
         for py in 0..side {
             for px in 0..side {
-                if !matches!(layout.owner(px, py), crate::geometry::PixelOwner::Channel(_)) {
+                if !matches!(
+                    layout.owner(px, py),
+                    crate::geometry::PixelOwner::Channel(_)
+                ) {
                     assert_eq!(img.pixel_rgb8(px, py), base.pixel_rgb8(px, py));
                 }
             }
@@ -384,8 +384,7 @@ mod tests {
     #[test]
     fn net_palette_is_deterministic_and_varied() {
         assert_eq!(net_palette_color(3), net_palette_color(3));
-        let distinct: std::collections::HashSet<_> =
-            (0..20).map(net_palette_color).collect();
+        let distinct: std::collections::HashSet<_> = (0..20).map(net_palette_color).collect();
         assert!(distinct.len() >= 18, "palette should spread colours");
     }
 

@@ -53,15 +53,11 @@ impl RouteGraph {
         // of row j meets the vertical channel of column i.
         for i in 0..width - 1 {
             for j in 0..height - 1 {
-                let incident: Vec<usize> = [
-                    chanx(i, j),
-                    chanx(i + 1, j),
-                    chany(i, j),
-                    chany(i, j + 1),
-                ]
-                .into_iter()
-                .flatten()
-                .collect();
+                let incident: Vec<usize> =
+                    [chanx(i, j), chanx(i + 1, j), chany(i, j), chany(i, j + 1)]
+                        .into_iter()
+                        .flatten()
+                        .collect();
                 for a in 0..incident.len() {
                     for b in a + 1..incident.len() {
                         adj[incident[a]].push(incident[b] as u32);

@@ -43,7 +43,7 @@ mod rudy;
 pub use congestion::CongestionMap;
 pub use graph::RouteGraph;
 pub use pathfinder::{
-    min_channel_width, route, route_on_graph, verify_routes, RouteError, RouteOptions,
-    RouteResult, RoutedNet,
+    min_channel_width, route, route_on_graph, verify_routes, RouteError, RouteOptions, RouteResult,
+    RoutedNet,
 };
 pub use rudy::{calibrate_rudy, rudy_estimate};

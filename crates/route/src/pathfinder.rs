@@ -215,10 +215,7 @@ impl<'a> Router<'a> {
         for sink_idx in order {
             let sinks = &sink_sets[sink_idx];
             // Already reached by the existing tree?
-            if sinks
-                .iter()
-                .any(|&s| self.tree_stamp[s] == self.tree_epoch)
-            {
+            if sinks.iter().any(|&s| self.tree_stamp[s] == self.tree_epoch) {
                 continue;
             }
             let target = sink_pos[sink_idx];
@@ -600,13 +597,8 @@ mod tests {
     #[test]
     fn min_channel_width_is_tight() {
         let (arch, netlist, placement) = setup();
-        let (w, result) = min_channel_width(
-            &arch,
-            &netlist,
-            &placement,
-            &RouteOptions::default(),
-        )
-        .unwrap();
+        let (w, result) =
+            min_channel_width(&arch, &netlist, &placement, &RouteOptions::default()).unwrap();
         assert!(result.success);
         assert!(w >= 1);
         // One less must fail (tightness), unless already at 1.
@@ -655,9 +647,7 @@ mod tests {
             let before = nodes.len();
             nodes.dedup();
             assert_eq!(nodes.len(), before, "net {} repeats a segment", r.net);
-            assert!(nodes
-                .iter()
-                .all(|&n| (n as usize) < arch.channel_count()));
+            assert!(nodes.iter().all(|&n| (n as usize) < arch.channel_count()));
         }
     }
 

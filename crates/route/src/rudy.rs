@@ -64,11 +64,19 @@ pub fn rudy_estimate(
     for ch in arch.channels() {
         let (a, b) = match ch {
             ChannelId::Horizontal { x, y } => {
-                let above = if y + 1 < gh { demand[(y + 1) * gw + x] } else { 0.0 };
+                let above = if y + 1 < gh {
+                    demand[(y + 1) * gw + x]
+                } else {
+                    0.0
+                };
                 (demand[y * gw + x], above)
             }
             ChannelId::Vertical { x, y } => {
-                let right = if x + 1 < gw { demand[y * gw + x + 1] } else { 0.0 };
+                let right = if x + 1 < gw {
+                    demand[y * gw + x + 1]
+                } else {
+                    0.0
+                };
                 (demand[y * gw + x], right)
             }
         };

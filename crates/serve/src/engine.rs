@@ -1,0 +1,380 @@
+//! The forecast-serving engine: a worker pool draining the request queue
+//! in shape-coalesced micro-batches, plus the blocking client handle.
+
+use crate::error::ServeError;
+use crate::queue::{Request, RequestQueue};
+use crate::stats::{ServeStats, StatsSnapshot};
+use pop_core::features::tensor_to_image;
+use pop_core::{CoreError, Forecaster, Pix2Pix, SharedForecaster};
+use pop_nn::Tensor;
+use pop_raster::Image;
+use std::panic::AssertUnwindSafe;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`ForecastEngine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Largest batch one forward pass serves (`N` of the stacked tensor).
+    pub max_batch: usize,
+    /// How long a worker holds a batch open for stragglers past the first
+    /// request. Zero batches only what is already queued.
+    pub max_wait: Duration,
+    /// Bound of the request queue — the backpressure threshold.
+    pub queue_capacity: usize,
+    /// Worker threads. Each worker owns a private replica of the model, so
+    /// distinct batches run genuinely in parallel.
+    pub workers: usize,
+    /// Artificial delay added to every forward pass — a load-shaping /
+    /// testing knob simulating a slower model (leave zero in production).
+    pub forward_delay: Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        EngineConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 256,
+            workers: parallelism.min(4),
+            forward_delay: Duration::ZERO,
+        }
+    }
+}
+
+impl EngineConfig {
+    fn validate(&self) -> Result<(), ServeError> {
+        if self.max_batch == 0 || self.queue_capacity == 0 || self.workers == 0 {
+            return Err(ServeError::BadConfig(
+                "max_batch, queue_capacity and workers must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The input geometry the engine accepts, derived from the served model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct InputSpec {
+    channels: usize,
+    resolution: usize,
+}
+
+impl InputSpec {
+    fn check(&self, x: &Tensor) -> Result<(), ServeError> {
+        let want = [1, self.channels, self.resolution, self.resolution];
+        if x.shape() != want {
+            return Err(ServeError::BadInput(format!(
+                "expected shape {:?}, got {:?}",
+                want,
+                x.shape()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A multi-threaded, micro-batching forecast server over one trained
+/// [`Pix2Pix`] checkpoint.
+///
+/// Requests submitted through [`ForecastClient`]s land in a bounded queue;
+/// each worker pops the oldest request plus any shape-compatible pending
+/// ones (up to [`EngineConfig::max_batch`], waiting at most
+/// [`EngineConfig::max_wait`] for stragglers), stacks them along the batch
+/// dimension, runs one generator forward on its private model replica, and
+/// splits the painted heat maps back per request. Inference-mode layers
+/// treat batch elements independently, so every answer is bitwise-identical
+/// to an exclusive single-request [`Pix2Pix::forecast`].
+///
+/// Dropping the engine closes the queue, drains already-accepted requests
+/// and joins the workers.
+#[derive(Debug)]
+pub struct ForecastEngine {
+    queue: Arc<RequestQueue>,
+    stats: Arc<ServeStats>,
+    spec: InputSpec,
+    config: EngineConfig,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ForecastEngine {
+    /// Starts an engine serving `model`, replicating it once per worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for a zero `max_batch`,
+    /// `queue_capacity` or `workers`.
+    pub fn start(model: Pix2Pix, config: EngineConfig) -> Result<Self, ServeError> {
+        config.validate()?;
+        let spec = InputSpec {
+            channels: model.config().input_channels(),
+            resolution: model.config().resolution,
+        };
+        let queue = Arc::new(RequestQueue::new(config.queue_capacity));
+        let stats = Arc::new(ServeStats::default());
+        let mut replicas: Vec<Pix2Pix> = Vec::with_capacity(config.workers);
+        for _ in 1..config.workers {
+            replicas.push(model.clone());
+        }
+        replicas.push(model);
+        let workers = replicas
+            .into_iter()
+            .enumerate()
+            .map(|(i, replica)| {
+                let queue = Arc::clone(&queue);
+                let stats = Arc::clone(&stats);
+                let cfg = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("pop-serve-{i}"))
+                    .spawn(move || worker_loop(replica, queue, stats, cfg))
+                    .expect("failed to spawn serve worker")
+            })
+            .collect();
+        Ok(ForecastEngine {
+            queue,
+            stats,
+            spec,
+            config,
+            workers,
+        })
+    }
+
+    /// Starts an engine over a [`SharedForecaster`] (e.g. handed out by the
+    /// [`ModelRegistry`](crate::ModelRegistry)), replicating its current
+    /// weights per worker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ForecastEngine::start`] validation failures.
+    pub fn start_shared(
+        model: &SharedForecaster,
+        config: EngineConfig,
+    ) -> Result<Self, ServeError> {
+        Self::start(model.replica(), config)
+    }
+
+    /// A cheap cloneable handle for submitting requests.
+    pub fn client(&self) -> ForecastClient {
+        ForecastClient {
+            queue: Arc::clone(&self.queue),
+            stats: Arc::clone(&self.stats),
+            spec: self.spec,
+        }
+    }
+
+    /// Live telemetry.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The configuration the engine runs with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Current request-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Graceful shutdown: stops accepting requests, serves everything
+    /// already queued, joins the workers and returns the final counters.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.close_and_join();
+        self.stats.snapshot()
+    }
+
+    fn close_and_join(&mut self) {
+        self.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ForecastEngine {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn worker_loop(
+    mut model: Pix2Pix,
+    queue: Arc<RequestQueue>,
+    stats: Arc<ServeStats>,
+    cfg: EngineConfig,
+) {
+    while let Some(batch) = queue.pop_batch(cfg.max_batch, cfg.max_wait) {
+        if !cfg.forward_delay.is_zero() {
+            std::thread::sleep(cfg.forward_delay);
+        }
+        let inputs: Vec<&Tensor> = batch.iter().map(|r| &r.input).collect();
+        let started = Instant::now();
+        // A panicking forward (impossible for spec-checked inputs, but the
+        // model is swappable) must not wedge the whole engine: convert it
+        // into per-request errors and keep serving. Eval-mode forwards
+        // rebuild every layer cache from scratch, so the replica stays
+        // usable afterwards.
+        let outputs = std::panic::catch_unwind(AssertUnwindSafe(|| model.forecast_batch(&inputs)));
+        let forward_us = started.elapsed().as_micros() as u64;
+        stats.record_batch(batch.len(), forward_us);
+        match outputs {
+            Ok(outputs) => {
+                for (req, out) in batch.into_iter().zip(outputs) {
+                    let latency_us = req.enqueued.elapsed().as_micros() as u64;
+                    stats.record_request_done(true, latency_us);
+                    let _ = req.respond.send(Ok(out));
+                }
+            }
+            Err(panic) => {
+                let msg = panic_message(&panic);
+                for req in batch {
+                    let latency_us = req.enqueued.elapsed().as_micros() as u64;
+                    stats.record_request_done(false, latency_us);
+                    let _ = req
+                        .respond
+                        .send(Err(ServeError::Model(format!("forward panicked: {msg}"))));
+                }
+            }
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+/// A pending forecast: redeem with [`PendingForecast::wait`].
+#[derive(Debug)]
+#[must_use = "a pending forecast does nothing until waited on"]
+pub struct PendingForecast {
+    rx: mpsc::Receiver<Result<Tensor, ServeError>>,
+}
+
+impl PendingForecast {
+    /// Blocks until the engine answers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ShuttingDown`] when the engine terminated
+    /// before answering, or the error the worker reported.
+    pub fn wait(self) -> Result<Tensor, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::ShuttingDown)?
+    }
+
+    /// [`PendingForecast::wait`] decoded into an image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PendingForecast::wait`] failures.
+    pub fn wait_image(self) -> Result<Image, ServeError> {
+        Ok(tensor_to_image(&self.wait()?))
+    }
+}
+
+/// A cheap, cloneable, thread-safe handle onto a [`ForecastEngine`].
+///
+/// `forecast` is the blocking request-response call the annealer callback
+/// uses; `submit`/`try_submit` expose the asynchronous and backpressure
+/// halves separately.
+#[derive(Debug, Clone)]
+pub struct ForecastClient {
+    queue: Arc<RequestQueue>,
+    stats: Arc<ServeStats>,
+    spec: InputSpec,
+}
+
+impl ForecastClient {
+    fn make_request(&self, x: &Tensor) -> Result<(Request, PendingForecast), ServeError> {
+        self.spec.check(x)?;
+        let (tx, rx) = mpsc::channel();
+        Ok((
+            Request {
+                input: x.clone(),
+                enqueued: Instant::now(),
+                respond: tx,
+            },
+            PendingForecast { rx },
+        ))
+    }
+
+    /// Enqueues a forecast, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadInput`] for a shape the served model cannot
+    /// take and [`ServeError::ShuttingDown`] after engine shutdown.
+    pub fn submit(&self, x: &Tensor) -> Result<PendingForecast, ServeError> {
+        let (req, pending) = self.make_request(x)?;
+        self.queue.push(req)?;
+        self.stats
+            .submitted
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(pending)
+    }
+
+    /// Enqueues a forecast without blocking — the backpressure-aware path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::QueueFull`] when the bounded queue is
+    /// saturated, plus every [`ForecastClient::submit`] error.
+    pub fn try_submit(&self, x: &Tensor) -> Result<PendingForecast, ServeError> {
+        let (req, pending) = self.make_request(x)?;
+        match self.queue.try_push(req) {
+            Ok(()) => {
+                self.stats
+                    .submitted
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Ok(pending)
+            }
+            Err(e) => {
+                if e == ServeError::QueueFull {
+                    self.stats
+                        .rejected
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Blocking request-response: submit, wait, decode to an image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission and transport failures.
+    pub fn forecast(&self, x: &Tensor) -> Result<Image, ServeError> {
+        self.submit(x)?.wait_image()
+    }
+
+    /// Blocking request-response returning the raw `[-1, 1]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission and transport failures.
+    pub fn forecast_tensor(&self, x: &Tensor) -> Result<Tensor, ServeError> {
+        self.submit(x)?.wait()
+    }
+}
+
+/// The engine client plugs directly into the §5.4 applications
+/// ([`pop_core::apps::realtime_forecast_with`]): an annealer thread holds a
+/// `ForecastClient` while the engine batches its snapshots with everyone
+/// else's traffic.
+impl Forecaster for ForecastClient {
+    fn forecast(&self, x: &Tensor) -> Result<Tensor, CoreError> {
+        self.forecast_tensor(x)
+            .map_err(|e| CoreError::Pipeline(e.to_string()))
+    }
+}

@@ -1,0 +1,348 @@
+//! `pop-serve` — a batched congestion-forecast serving engine.
+//!
+//! The paper's headline application is congestion forecasting fast enough
+//! to run *inside* the placement loop (§5.4). A production deployment of
+//! that idea serves many concurrent forecast streams — one per annealer,
+//! per design-space-exploration worker, per user — against a handful of
+//! trained checkpoints. This crate is the architectural seam for that
+//! scale-out:
+//!
+//! * [`ForecastEngine`] — a worker pool over a **bounded request queue**
+//!   with a **dynamic micro-batcher**: each worker pops the oldest request
+//!   plus up to [`EngineConfig::max_batch`] shape-compatible pending
+//!   requests (holding the batch open at most [`EngineConfig::max_wait`]
+//!   for stragglers), stacks them along the `nn::Tensor` batch dimension,
+//!   runs **one** generator forward on a private model replica, and splits
+//!   the painted heat maps back per request. Inference-mode layers treat
+//!   batch elements independently, so every answer is bitwise-identical to
+//!   an exclusive [`Pix2Pix::forecast`](pop_core::Pix2Pix::forecast) call.
+//! * [`ForecastClient`] — the cheap, cloneable blocking handle:
+//!   [`forecast`](ForecastClient::forecast) for request-response,
+//!   [`submit`](ForecastClient::submit) /
+//!   [`try_submit`](ForecastClient::try_submit) for pipelined use with
+//!   explicit backpressure ([`ServeError::QueueFull`]). It implements
+//!   [`pop_core::Forecaster`], so
+//!   [`pop_core::apps::realtime_forecast_with`] can run the §5.4 demo
+//!   through the engine unchanged.
+//! * [`ModelRegistry`] — an LRU cache of loaded checkpoints keyed by path,
+//!   so one process serves several trained models (the paper trains one per
+//!   held-out design) via [`pop_core::model_io`].
+//! * [`StatsSnapshot`] — per-request latency plus aggregate throughput /
+//!   batch-occupancy counters.
+//!
+//! # Example
+//!
+//! ```
+//! use pop_core::{ExperimentConfig, Pix2Pix};
+//! use pop_nn::Tensor;
+//! use pop_serve::{EngineConfig, ForecastEngine};
+//!
+//! let config = ExperimentConfig { resolution: 16, base_filters: 4, depth: 3,
+//!                                 ..ExperimentConfig::test() };
+//! let model = Pix2Pix::new(&config, 1)?;
+//! let engine = ForecastEngine::start(model, EngineConfig::default())?;
+//! let client = engine.client();
+//!
+//! let x = Tensor::randn([1, config.input_channels(), 16, 16], 0.0, 0.5, 7);
+//! let heat = client.forecast(&x)?;
+//! assert_eq!(heat.width(), 16);
+//!
+//! let stats = engine.shutdown();
+//! assert_eq!(stats.completed, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod engine;
+mod error;
+mod queue;
+mod registry;
+mod stats;
+
+pub use engine::{EngineConfig, ForecastClient, ForecastEngine, PendingForecast};
+pub use error::ServeError;
+pub use registry::ModelRegistry;
+pub use stats::{ServeStats, StatsSnapshot};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pop_core::{model_io, ExperimentConfig, Forecaster, Pix2Pix};
+    use pop_nn::Tensor;
+    use std::sync::{Arc, Barrier};
+    use std::time::Duration;
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            resolution: 16,
+            base_filters: 4,
+            depth: 3,
+            ..ExperimentConfig::test()
+        }
+    }
+
+    fn tiny_model(seed: u64) -> Pix2Pix {
+        Pix2Pix::new(&tiny_config(), seed).unwrap()
+    }
+
+    fn input(seed: u64) -> Tensor {
+        Tensor::randn([1, tiny_config().input_channels(), 16, 16], 0.0, 0.5, seed)
+    }
+
+    #[test]
+    fn batched_engine_matches_sequential_forecasts() {
+        // The acceptance gate: an N>=4 batched pass through the engine
+        // returns the same images as exclusive sequential calls.
+        let mut reference = tiny_model(3);
+        let xs: Vec<Tensor> = (0..6).map(|s| input(100 + s)).collect();
+        let expected: Vec<_> = xs.iter().map(|x| reference.forecast_image(x)).collect();
+
+        let engine = ForecastEngine::start(
+            tiny_model(3),
+            EngineConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(50),
+                workers: 2,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let client = engine.client();
+        // Submit everything first so the batcher can coalesce, then wait.
+        let pending: Vec<_> = xs.iter().map(|x| client.submit(x).unwrap()).collect();
+        let got: Vec<_> = pending
+            .into_iter()
+            .map(|p| p.wait_image().unwrap())
+            .collect();
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(g, e);
+        }
+        let stats = engine.shutdown();
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.failed, 0);
+        assert!(stats.mean_batch_occupancy >= 1.0);
+    }
+
+    #[test]
+    fn concurrent_identical_submissions_are_deterministic() {
+        let engine = ForecastEngine::start(
+            tiny_model(5),
+            EngineConfig {
+                max_batch: 4,
+                max_wait: Duration::from_millis(10),
+                workers: 3,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let x = input(42);
+        let expected = engine.client().forecast(&x).unwrap();
+        let barrier = Arc::new(Barrier::new(6));
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let client = engine.client();
+                let x = x.clone();
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let mut out = Vec::new();
+                    for _ in 0..4 {
+                        out.push(client.forecast(&x).unwrap());
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for img in h.join().unwrap() {
+                assert_eq!(img, expected, "every thread sees identical forecasts");
+            }
+        }
+        let stats = engine.shutdown();
+        assert_eq!(stats.completed, 25);
+    }
+
+    #[test]
+    fn try_submit_bounces_when_saturated_and_submit_blocks() {
+        // One slow worker (500 ms per forward) guarantees the queue fills:
+        // r0 is in flight, r1/r2 occupy the two queue slots, r3 must bounce.
+        let engine = ForecastEngine::start(
+            tiny_model(6),
+            EngineConfig {
+                max_batch: 1,
+                max_wait: Duration::ZERO,
+                queue_capacity: 2,
+                workers: 1,
+                forward_delay: Duration::from_millis(500),
+            },
+        )
+        .unwrap();
+        let client = engine.client();
+        let x = input(1);
+        let p0 = client.try_submit(&x).unwrap();
+        // Give the worker time to take r0 out of the queue.
+        while engine.queue_depth() > 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let p1 = client.try_submit(&x).unwrap();
+        let p2 = client.try_submit(&x).unwrap();
+        let err = client.try_submit(&x).unwrap_err();
+        assert_eq!(err, ServeError::QueueFull);
+        assert_eq!(engine.stats().rejected, 1);
+        // The blocking path rides out the backpressure instead.
+        let p3 = client.submit(&x).unwrap();
+        for p in [p0, p1, p2, p3] {
+            p.wait_image().unwrap();
+        }
+        let stats = engine.shutdown();
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.rejected, 1);
+    }
+
+    #[test]
+    fn micro_batcher_coalesces_under_load() {
+        // While the single worker sleeps through the first forward, four
+        // more requests arrive; they must be served as one batch.
+        let engine = ForecastEngine::start(
+            tiny_model(7),
+            EngineConfig {
+                max_batch: 8,
+                max_wait: Duration::ZERO,
+                queue_capacity: 16,
+                workers: 1,
+                forward_delay: Duration::from_millis(300),
+            },
+        )
+        .unwrap();
+        let client = engine.client();
+        let x = input(2);
+        let first = client.submit(&x).unwrap();
+        while engine.queue_depth() > 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let rest: Vec<_> = (0..4).map(|_| client.submit(&x).unwrap()).collect();
+        first.wait().unwrap();
+        for p in rest {
+            p.wait().unwrap();
+        }
+        let stats = engine.shutdown();
+        assert_eq!(stats.completed, 5);
+        assert_eq!(stats.batches, 2, "r0 alone, then the coalesced four");
+        assert_eq!(stats.max_batch, 4);
+        assert!((stats.mean_batch_occupancy - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_input_is_rejected_before_queueing() {
+        let engine = ForecastEngine::start(tiny_model(8), EngineConfig::default()).unwrap();
+        let client = engine.client();
+        let wrong_res = Tensor::zeros([1, 4, 8, 8]);
+        assert!(matches!(
+            client.forecast(&wrong_res),
+            Err(ServeError::BadInput(_))
+        ));
+        let wrong_batch = Tensor::zeros([2, 4, 16, 16]);
+        assert!(matches!(
+            client.try_submit(&wrong_batch),
+            Err(ServeError::BadInput(_))
+        ));
+        assert_eq!(engine.stats().submitted, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_requests_then_rejects() {
+        let engine = ForecastEngine::start(
+            tiny_model(9),
+            EngineConfig {
+                workers: 1,
+                forward_delay: Duration::from_millis(50),
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let client = engine.client();
+        let x = input(3);
+        let pending: Vec<_> = (0..3).map(|_| client.submit(&x).unwrap()).collect();
+        let stats = engine.shutdown();
+        assert_eq!(stats.completed, 3, "accepted requests are served");
+        for p in pending {
+            p.wait().unwrap();
+        }
+        assert!(matches!(client.submit(&x), Err(ServeError::ShuttingDown)));
+    }
+
+    #[test]
+    fn client_serves_the_realtime_app_through_the_forecaster_trait() {
+        let engine = ForecastEngine::start(tiny_model(10), EngineConfig::default()).unwrap();
+        let client = engine.client();
+        let x = input(4);
+        let via_trait = Forecaster::forecast(&client, &x).unwrap();
+        assert_eq!(via_trait, client.forecast_tensor(&x).unwrap());
+    }
+
+    #[test]
+    fn registry_caches_and_evicts_lru() {
+        let dir = std::env::temp_dir().join("pop_serve_registry_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = tiny_config();
+        let paths: Vec<_> = (0..3).map(|i| dir.join(format!("m{i}.ckpt"))).collect();
+        for (i, path) in paths.iter().enumerate() {
+            let mut model = tiny_model(20 + i as u64);
+            model_io::save_model(&mut model, path).unwrap();
+        }
+
+        let registry = ModelRegistry::new(2);
+        let a = registry.get_or_load(&config, &paths[0]).unwrap();
+        let _b = registry.get_or_load(&config, &paths[1]).unwrap();
+        assert_eq!(registry.loads(), 2);
+        // Touch A so B becomes the LRU entry, then load C: B is evicted.
+        let a2 = registry.get_or_load(&config, &paths[0]).unwrap();
+        let _c = registry.get_or_load(&config, &paths[2]).unwrap();
+        assert_eq!(registry.len(), 2);
+        assert!(registry.contains(&paths[0]), "recently used survives");
+        assert!(!registry.contains(&paths[1]), "LRU entry evicted");
+        assert!(registry.contains(&paths[2]));
+        assert_eq!(registry.loads(), 3);
+        assert_eq!(registry.hits(), 1);
+
+        // Cached lookups return the *same* shared model.
+        let x = input(5);
+        assert_eq!(a.forecast(&x).unwrap(), a2.forecast(&x).unwrap());
+        // Reloading the evicted checkpoint still works and forecasts
+        // identically to a fresh load (weights come from the same file).
+        let b2 = registry.get_or_load(&config, &paths[1]).unwrap();
+        let mut direct = model_io::load_checkpoint(&config, &paths[1]).unwrap();
+        assert_eq!(b2.forecast(&x).unwrap(), direct.forecast(&x));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn registry_rejects_missing_checkpoints() {
+        let registry = ModelRegistry::new(1);
+        let err = registry
+            .get_or_load(&tiny_config(), std::path::Path::new("/nonexistent/m.ckpt"))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Model(_)));
+        assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn engine_starts_from_registry_models() {
+        let dir = std::env::temp_dir().join("pop_serve_registry_engine_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = tiny_config();
+        let path = dir.join("m.ckpt");
+        let mut model = tiny_model(30);
+        model_io::save_model(&mut model, &path).unwrap();
+
+        let registry = ModelRegistry::new(4);
+        let shared = registry.get_or_load(&config, &path).unwrap();
+        let engine = ForecastEngine::start_shared(&shared, EngineConfig::default()).unwrap();
+        let x = input(6);
+        assert_eq!(
+            engine.client().forecast(&x).unwrap(),
+            model.forecast_image(&x)
+        );
+        engine.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

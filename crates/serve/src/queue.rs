@@ -1,0 +1,301 @@
+//! The bounded MPMC request queue at the heart of the micro-batcher.
+//!
+//! Producers are [`ForecastClient`](crate::ForecastClient)s — `try_push`
+//! bounces with [`ServeError::QueueFull`] (backpressure), `push` blocks for
+//! space. Consumers are engine workers calling [`RequestQueue::pop_batch`],
+//! which coalesces up to `max_batch` *shape-compatible* pending requests
+//! into one batch, waiting up to `max_wait` past the first request for
+//! stragglers so a lone request still sees bounded latency.
+
+use crate::error::ServeError;
+use pop_nn::Tensor;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One in-flight forecast request.
+#[derive(Debug)]
+pub(crate) struct Request {
+    /// The `[1, C, H, W]` input features.
+    pub input: Tensor,
+    /// When the request entered the queue (latency accounting).
+    pub enqueued: Instant,
+    /// Where the worker sends the painted heat map.
+    pub respond: mpsc::Sender<Result<Tensor, ServeError>>,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    deque: VecDeque<Request>,
+    closed: bool,
+}
+
+/// Bounded multi-producer / multi-consumer queue with batch-coalescing pop.
+#[derive(Debug)]
+pub(crate) struct RequestQueue {
+    capacity: usize,
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl RequestQueue {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        RequestQueue {
+            capacity,
+            state: Mutex::new(QueueState::default()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state.lock().expect("queue mutex poisoned")
+    }
+
+    /// Non-blocking enqueue: the backpressure path.
+    pub fn try_push(&self, req: Request) -> Result<(), ServeError> {
+        let mut st = self.lock();
+        if st.closed {
+            return Err(ServeError::ShuttingDown);
+        }
+        if st.deque.len() >= self.capacity {
+            return Err(ServeError::QueueFull);
+        }
+        st.deque.push_back(req);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking enqueue: waits for queue space (or shutdown).
+    pub fn push(&self, req: Request) -> Result<(), ServeError> {
+        let mut st = self.lock();
+        while !st.closed && st.deque.len() >= self.capacity {
+            st = self.not_full.wait(st).expect("queue mutex poisoned");
+        }
+        if st.closed {
+            return Err(ServeError::ShuttingDown);
+        }
+        st.deque.push_back(req);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next batch: the oldest request plus up to
+    /// `max_batch - 1` further pending requests with the same input shape,
+    /// waiting at most `max_wait` past the first pop for more to arrive.
+    /// Requests with other shapes stay queued in order for a later batch.
+    ///
+    /// Returns `None` once the queue is closed *and* drained — the worker
+    /// shutdown signal.
+    pub fn pop_batch(&self, max_batch: usize, max_wait: Duration) -> Option<Vec<Request>> {
+        let max_batch = max_batch.max(1);
+        let mut st = self.lock();
+        loop {
+            if let Some(first) = st.deque.pop_front() {
+                fn take_matching(
+                    batch: &mut Vec<Request>,
+                    st: &mut QueueState,
+                    shape: [usize; 4],
+                    max_batch: usize,
+                ) {
+                    let mut i = 0;
+                    while batch.len() < max_batch && i < st.deque.len() {
+                        if st.deque[i].input.shape() == shape {
+                            // `remove` preserves FIFO order of the rest.
+                            batch.push(st.deque.remove(i).expect("index in bounds"));
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+                let shape = first.input.shape();
+                let mut batch = vec![first];
+                take_matching(&mut batch, &mut st, shape, max_batch);
+                // Hold the pop open briefly for stragglers: bounded extra
+                // latency for the first request, much higher occupancy
+                // under concurrent load.
+                if batch.len() < max_batch && !max_wait.is_zero() && !st.closed {
+                    let deadline = Instant::now() + max_wait;
+                    while batch.len() < max_batch && !st.closed {
+                        let now = Instant::now();
+                        let Some(left) = deadline.checked_duration_since(now) else {
+                            break;
+                        };
+                        if left.is_zero() {
+                            break;
+                        }
+                        let (next, timeout) = self
+                            .not_empty
+                            .wait_timeout(st, left)
+                            .expect("queue mutex poisoned");
+                        st = next;
+                        take_matching(&mut batch, &mut st, shape, max_batch);
+                        // A wakeup may have been for a shape this batch
+                        // cannot take: pass the baton so an idle worker
+                        // serves it instead of waiting out our deadline.
+                        if !st.deque.is_empty() {
+                            self.not_empty.notify_one();
+                        }
+                        if timeout.timed_out() {
+                            break;
+                        }
+                    }
+                }
+                // Mismatched-shape requests may remain; their producers'
+                // notifications were consumed above, so re-notify before
+                // handing the batch to the model.
+                let leftover = !st.deque.is_empty();
+                drop(st);
+                if leftover {
+                    self.not_empty.notify_one();
+                }
+                // Freed capacity: wake blocked producers.
+                self.not_full.notify_all();
+                return Some(batch);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("queue mutex poisoned");
+        }
+    }
+
+    /// Stops accepting new requests and wakes every waiter; queued requests
+    /// remain poppable so workers drain gracefully.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.lock().deque.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn req(shape: [usize; 4]) -> (Request, mpsc::Receiver<Result<Tensor, ServeError>>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Request {
+                input: Tensor::zeros(shape),
+                enqueued: Instant::now(),
+                respond: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn try_push_bounces_when_saturated() {
+        let q = RequestQueue::new(2);
+        let (a, _ra) = req([1, 2, 4, 4]);
+        let (b, _rb) = req([1, 2, 4, 4]);
+        let (c, _rc) = req([1, 2, 4, 4]);
+        q.try_push(a).unwrap();
+        q.try_push(b).unwrap();
+        assert_eq!(q.try_push(c).unwrap_err(), ServeError::QueueFull);
+        assert_eq!(q.len(), 2);
+        // Space frees after a pop.
+        let batch = q.pop_batch(1, Duration::ZERO).unwrap();
+        assert_eq!(batch.len(), 1);
+        let (d, _rd) = req([1, 2, 4, 4]);
+        q.try_push(d).unwrap();
+    }
+
+    #[test]
+    fn pop_batch_coalesces_available_requests() {
+        let q = RequestQueue::new(8);
+        for _ in 0..5 {
+            let (r, _rx) = req([1, 2, 4, 4]);
+            q.try_push(r).unwrap();
+        }
+        let batch = q.pop_batch(4, Duration::ZERO).unwrap();
+        assert_eq!(batch.len(), 4);
+        let rest = q.pop_batch(4, Duration::ZERO).unwrap();
+        assert_eq!(rest.len(), 1);
+    }
+
+    #[test]
+    fn pop_batch_keeps_mismatched_shapes_for_later() {
+        let q = RequestQueue::new(8);
+        let (a, _ra) = req([1, 2, 4, 4]);
+        let (b, _rb) = req([1, 2, 8, 8]);
+        let (c, _rc) = req([1, 2, 4, 4]);
+        q.try_push(a).unwrap();
+        q.try_push(b).unwrap();
+        q.try_push(c).unwrap();
+        // First batch: the two 4x4 requests, coalesced around the front.
+        let batch = q.pop_batch(4, Duration::ZERO).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert!(batch.iter().all(|r| r.input.shape() == [1, 2, 4, 4]));
+        // The 8x8 request is still queued, in order.
+        let batch = q.pop_batch(4, Duration::ZERO).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].input.shape(), [1, 2, 8, 8]);
+    }
+
+    #[test]
+    fn pop_batch_waits_for_stragglers() {
+        let q = Arc::new(RequestQueue::new(8));
+        let (a, _ra) = req([1, 1, 4, 4]);
+        q.try_push(a).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                let (b, rx) = req([1, 1, 4, 4]);
+                q.try_push(b).unwrap();
+                rx
+            })
+        };
+        // Generous window: the straggler lands well inside it.
+        let batch = q.pop_batch(2, Duration::from_millis(2000)).unwrap();
+        assert_eq!(batch.len(), 2);
+        let _rx = producer.join().unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_signals_shutdown() {
+        let q = RequestQueue::new(4);
+        let (a, _ra) = req([1, 1, 4, 4]);
+        q.try_push(a).unwrap();
+        q.close();
+        let (b, _rb) = req([1, 1, 4, 4]);
+        assert_eq!(q.try_push(b).unwrap_err(), ServeError::ShuttingDown);
+        // The queued request is still served...
+        assert_eq!(q.pop_batch(4, Duration::ZERO).unwrap().len(), 1);
+        // ...and only then do consumers see shutdown.
+        assert!(q.pop_batch(4, Duration::ZERO).is_none());
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let q = Arc::new(RequestQueue::new(1));
+        let (a, _ra) = req([1, 1, 4, 4]);
+        q.try_push(a).unwrap();
+        let pusher = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let (b, rx) = req([1, 1, 4, 4]);
+                q.push(b).unwrap();
+                rx
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        // The pusher is blocked; free a slot and it completes.
+        let _ = q.pop_batch(1, Duration::ZERO).unwrap();
+        let _rx = pusher.join().unwrap();
+        assert_eq!(q.len(), 1);
+    }
+}

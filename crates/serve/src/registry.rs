@@ -1,0 +1,155 @@
+//! The model registry: an LRU cache of loaded checkpoints, so one serving
+//! process can answer forecasts for several trained models (the Table 2
+//! flow trains one checkpoint per held-out design) without re-reading
+//! weights from disk on every request.
+
+use crate::error::ServeError;
+use pop_core::{model_io, ExperimentConfig, SharedForecaster};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+#[derive(Debug)]
+struct Entry {
+    model: SharedForecaster,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    map: HashMap<PathBuf, Entry>,
+    tick: u64,
+    loads: u64,
+    hits: u64,
+}
+
+/// A bounded, thread-safe cache of [`SharedForecaster`]s keyed by
+/// checkpoint path.
+///
+/// [`ModelRegistry::get_or_load`] returns the cached model or loads it via
+/// [`pop_core::model_io::load_checkpoint`]; when the cache exceeds its
+/// capacity the least-recently-used checkpoint is evicted. Handed-out
+/// [`SharedForecaster`]s are reference-counted, so eviction never
+/// invalidates a model an engine is still serving.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    capacity: usize,
+    inner: Mutex<RegistryInner>,
+}
+
+impl ModelRegistry {
+    /// Creates a registry caching at most `capacity` loaded checkpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "registry capacity must be positive");
+        ModelRegistry {
+            capacity,
+            inner: Mutex::new(RegistryInner::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner.lock().expect("registry mutex poisoned")
+    }
+
+    /// Returns the model stored at `path`, loading (and caching) it on the
+    /// first request. `config` must describe the checkpoint's architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Model`] when the checkpoint is missing,
+    /// corrupt or of a mismatched architecture.
+    pub fn get_or_load(
+        &self,
+        config: &ExperimentConfig,
+        path: &Path,
+    ) -> Result<SharedForecaster, ServeError> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.map.get_mut(path) {
+            entry.last_used = tick;
+            let model = entry.model.clone();
+            inner.hits += 1;
+            return Ok(model);
+        }
+        // Miss: load while holding the lock so concurrent requests for the
+        // same checkpoint do not stampede the disk. This serializes cold
+        // loads behind one lock — acceptable while checkpoints are a few
+        // MB (millisecond loads); switch to per-entry locks if they grow.
+        let model = model_io::load_checkpoint(config, path)
+            .map_err(|e| ServeError::Model(e.to_string()))?;
+        let shared = SharedForecaster::new(model);
+        inner.loads += 1;
+        inner.map.insert(
+            path.to_path_buf(),
+            Entry {
+                model: shared.clone(),
+                last_used: tick,
+            },
+        );
+        Self::evict_lru(&mut inner, self.capacity);
+        Ok(shared)
+    }
+
+    /// Caches an already-built model under `path` (pre-warming, or serving
+    /// a freshly trained model that was never written to disk).
+    pub fn insert(&self, path: &Path, model: SharedForecaster) {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(
+            path.to_path_buf(),
+            Entry {
+                model,
+                last_used: tick,
+            },
+        );
+        Self::evict_lru(&mut inner, self.capacity);
+    }
+
+    fn evict_lru(inner: &mut RegistryInner, capacity: usize) {
+        while inner.map.len() > capacity {
+            let lru = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(p, _)| p.clone())
+                .expect("non-empty map");
+            inner.map.remove(&lru);
+        }
+    }
+
+    /// Whether `path` is currently cached.
+    pub fn contains(&self, path: &Path) -> bool {
+        self.lock().map.contains_key(path)
+    }
+
+    /// Number of cached checkpoints.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Checkpoints loaded from disk so far (cache misses).
+    pub fn loads(&self) -> u64 {
+        self.lock().loads
+    }
+
+    /// Requests answered from cache.
+    pub fn hits(&self) -> u64 {
+        self.lock().hits
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}

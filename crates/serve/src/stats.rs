@@ -1,0 +1,141 @@
+//! Serving telemetry: lock-free counters the engine updates on the hot
+//! path, snapshotted on demand.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Aggregate counters shared by the queue, workers and clients. All fields
+/// are monotone; readers take a [`StatsSnapshot`].
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Requests accepted into the queue.
+    pub(crate) submitted: AtomicU64,
+    /// Requests rejected with [`QueueFull`](crate::ServeError::QueueFull).
+    pub(crate) rejected: AtomicU64,
+    /// Requests completed successfully.
+    pub(crate) completed: AtomicU64,
+    /// Requests that failed inside a worker.
+    pub(crate) failed: AtomicU64,
+    /// Forward passes executed.
+    pub(crate) batches: AtomicU64,
+    /// Requests served across all forward passes (`Σ` batch sizes).
+    pub(crate) batched_requests: AtomicU64,
+    /// Largest batch observed.
+    pub(crate) max_batch: AtomicU64,
+    /// Total enqueue→response latency, microseconds.
+    pub(crate) latency_us_total: AtomicU64,
+    /// Worst single-request latency, microseconds.
+    pub(crate) latency_us_max: AtomicU64,
+    /// Total time spent inside generator forward passes, microseconds.
+    pub(crate) forward_us_total: AtomicU64,
+}
+
+impl ServeStats {
+    pub(crate) fn record_batch(&self, batch_size: usize, forward_us: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(batch_size as u64, Ordering::Relaxed);
+        self.max_batch
+            .fetch_max(batch_size as u64, Ordering::Relaxed);
+        self.forward_us_total
+            .fetch_add(forward_us, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_request_done(&self, ok: bool, latency_us: u64) {
+        if ok {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency_us_total
+            .fetch_add(latency_us, Ordering::Relaxed);
+        self.latency_us_max.fetch_max(latency_us, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let failed = self.failed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched_requests = self.batched_requests.load(Ordering::Relaxed);
+        let done = completed + failed;
+        StatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed,
+            failed,
+            batches,
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            mean_batch_occupancy: if batches == 0 {
+                0.0
+            } else {
+                batched_requests as f64 / batches as f64
+            },
+            mean_latency_us: if done == 0 {
+                0.0
+            } else {
+                self.latency_us_total.load(Ordering::Relaxed) as f64 / done as f64
+            },
+            max_latency_us: self.latency_us_max.load(Ordering::Relaxed),
+            forward_us_total: self.forward_us_total.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of [`ServeStats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsSnapshot {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests bounced with `QueueFull`.
+    pub rejected: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests answered with an error.
+    pub failed: u64,
+    /// Forward passes executed.
+    pub batches: u64,
+    /// Largest coalesced batch.
+    pub max_batch: u64,
+    /// Mean requests per forward pass (the micro-batcher's figure of merit).
+    pub mean_batch_occupancy: f64,
+    /// Mean enqueue→response latency in microseconds.
+    pub mean_latency_us: f64,
+    /// Worst-case single-request latency in microseconds.
+    pub max_latency_us: u64,
+    /// Cumulative time inside generator forwards, microseconds.
+    pub forward_us_total: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_derives_means() {
+        let s = ServeStats::default();
+        s.submitted.store(10, Ordering::Relaxed);
+        s.record_batch(4, 1000);
+        s.record_batch(2, 500);
+        for _ in 0..4 {
+            s.record_request_done(true, 100);
+        }
+        s.record_request_done(false, 300);
+        let snap = s.snapshot();
+        assert_eq!(snap.submitted, 10);
+        assert_eq!(snap.completed, 4);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.batches, 2);
+        assert_eq!(snap.max_batch, 4);
+        assert!((snap.mean_batch_occupancy - 3.0).abs() < 1e-9);
+        assert!((snap.mean_latency_us - 140.0).abs() < 1e-9);
+        assert_eq!(snap.max_latency_us, 300);
+        assert_eq!(snap.forward_us_total, 1500);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_means() {
+        let snap = ServeStats::default().snapshot();
+        assert_eq!(snap.mean_batch_occupancy, 0.0);
+        assert_eq!(snap.mean_latency_us, 0.0);
+    }
+}

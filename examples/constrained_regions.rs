@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..ExperimentConfig::test()
     };
     let spec = presets::by_name("ode").expect("preset exists");
-    println!("building {} placements of {}…", config.pairs_per_design, spec.name);
+    println!(
+        "building {} placements of {}…",
+        config.pairs_per_design, spec.name
+    );
     let ds = dataset::build_design_dataset(&spec, &config)?;
 
     let mut model = Pix2Pix::new(&config, 13)?;
@@ -33,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let results = constrained_exploration(&mut model, &ds, &queries);
 
-    println!("\n{:<22} {:>7} {:>11} {:>9} {:>9}", "objective", "chosen", "predicted", "true", "trueRank");
+    println!(
+        "\n{:<22} {:>7} {:>11} {:>9} {:>9}",
+        "objective", "chosen", "predicted", "true", "trueRank"
+    );
     for r in &results {
         println!(
             "{:<22} {:>7} {:>11.4} {:>9.4} {:>9}",

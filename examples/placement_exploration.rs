@@ -16,8 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..ExperimentConfig::test()
     };
     let spec = presets::by_name("diffeq2").expect("preset exists");
-    println!("building {} placements of {} (place + route + rasterise)…",
-        config.pairs_per_design, spec.name);
+    println!(
+        "building {} placements of {} (place + route + rasterise)…",
+        config.pairs_per_design, spec.name
+    );
     let ds = dataset::build_design_dataset(&spec, &config)?;
 
     // Train on the sweep (in a real flow this model would come from other
@@ -44,10 +46,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{:>6} {:>12.4} {:>10.4}", i, pred, truth);
     }
 
-    let pred_scores: Vec<f32> = ds.pairs.iter().enumerate().map(|(i, _)| {
-        scored.iter().find(|s| s.0 == i).unwrap().1
-    }).collect();
-    let true_scores: Vec<f32> = ds.pairs.iter().map(|p| p.meta.true_mean_congestion).collect();
+    let pred_scores: Vec<f32> = ds
+        .pairs
+        .iter()
+        .enumerate()
+        .map(|(i, _)| scored.iter().find(|s| s.0 == i).unwrap().1)
+        .collect();
+    let true_scores: Vec<f32> = ds
+        .pairs
+        .iter()
+        .map(|p| p.meta.true_mean_congestion)
+        .collect();
     let overlap = metrics::top_k_overlap(&pred_scores, &true_scores, 3);
     println!("\ntop-3 overlap with ground truth: {:.0}%", overlap * 100.0);
     Ok(())

@@ -67,10 +67,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         history.l1.last().unwrap()
     );
     let acc = metrics::evaluate_accuracy(&mut model, test, config.tolerance);
-    println!("per-pixel accuracy on 2 held-out placements: {:.1}%", acc * 100.0);
+    println!(
+        "per-pixel accuracy on 2 held-out placements: {:.1}%",
+        acc * 100.0
+    );
     model
         .forecast_image(&test[0].x)
         .write_pnm(out.join("forecast.ppm"))?;
-    println!("forecast heat map written to {}/forecast.ppm", out.display());
+    println!(
+        "forecast heat map written to {}/forecast.ppm",
+        out.display()
+    );
     Ok(())
 }

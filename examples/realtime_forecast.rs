@@ -2,13 +2,19 @@
 //! demo): the annealer runs, and every few thousand moves the cGAN paints
 //! the expected routing heat map of the *current*, still-moving placement.
 //!
+//! The forecasts are served through a `pop-serve` engine: the annealer loop
+//! only holds a cheap [`ForecastClient`](pop::serve::ForecastClient), so
+//! any number of concurrent placement runs could share the model while the
+//! micro-batcher coalesces their requests.
+//!
 //! Run with: `cargo run --release --example realtime_forecast`
 
 use painting_on_placement as pop;
-use pop::core::apps::realtime_forecast;
+use pop::core::apps::realtime_forecast_with;
 use pop::core::{dataset, ExperimentConfig, Pix2Pix};
 use pop::netlist::presets;
 use pop::place::PlaceOptions;
+use pop::serve::{EngineConfig, ForecastEngine};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = ExperimentConfig {
@@ -21,9 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut model = Pix2Pix::new(&config, 17)?;
     let _ = model.train(&ds.pairs, config.epochs);
 
+    let engine = ForecastEngine::start(model, EngineConfig::default())?;
+
     let (arch, netlist, _) = dataset::design_fabric(&spec, &config)?;
-    let snapshots = realtime_forecast(
-        &mut model,
+    let snapshots = realtime_forecast_with(
+        &engine.client(),
         &arch,
         &netlist,
         &PlaceOptions {
@@ -36,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     println!("\nforecasting while the design is being placed:");
-    println!("{:>9} {:>13} {:>13} {:>10}", "moves", "place cost", "temperature", "predCong");
+    println!(
+        "{:>9} {:>13} {:>13} {:>10}",
+        "moves", "place cost", "temperature", "predCong"
+    );
     for s in &snapshots {
         let bar_len = (s.predicted_mean_congestion * 60.0).round() as usize;
         println!(
@@ -51,6 +62,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\n{} snapshots — predicted congestion falls as the annealer optimises.",
         snapshots.len()
+    );
+    let stats = engine.shutdown();
+    println!(
+        "served {} forecasts in {} batches (mean latency {:.1} ms)",
+        stats.completed,
+        stats.batches,
+        stats.mean_latency_us / 1e3
     );
     Ok(())
 }

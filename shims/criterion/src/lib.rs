@@ -1,0 +1,231 @@
+//! Offline drop-in replacement for the subset of the `criterion` bench API
+//! used by this workspace's `benches/`.
+//!
+//! The build environment has no access to crates.io, so benches link against
+//! this minimal harness instead: it runs each benchmark body `sample_size`
+//! times after one warm-up pass and prints min / mean / max wall-clock time
+//! per iteration. There is no statistical analysis, outlier rejection or
+//! HTML report — the numbers are honest but coarse. The public surface
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, finish}`, `Bencher::iter`,
+//! `black_box`) matches criterion 0.5 closely enough that swapping the real
+//! crate back in is a one-line `Cargo.toml` change.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value laundering, re-exported for bench bodies.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== bench group: {name} ==");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<S, F>(&mut self, name: S, f: F) -> &mut Self
+    where
+        S: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name.as_ref(), self.default_sample_size, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark body.
+    pub fn bench_function<S, F>(&mut self, name: S, f: F) -> &mut Self
+    where
+        S: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name.as_ref(), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is incremental).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        timed: false,
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    // Warm-up pass (untimed).
+    f(&mut b);
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        b.timed = true;
+        b.elapsed = Duration::ZERO;
+        b.iters = 0;
+        f(&mut b);
+        if b.iters > 0 {
+            per_iter.push(b.elapsed.as_secs_f64() / b.iters as f64);
+        }
+    }
+    if per_iter.is_empty() {
+        println!("{name:<40} (no iterations)");
+        return;
+    }
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!(
+        "{name:<40} min {} | mean {} | max {}  ({} samples)",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max),
+        per_iter.len()
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:8.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:8.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:8.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:8.3} s ")
+    }
+}
+
+/// Timing handle passed to benchmark bodies.
+#[derive(Debug)]
+pub struct Bencher {
+    timed: bool,
+    elapsed: Duration,
+    iters: u64,
+}
+
+/// Setup-cost hint, mirroring `criterion::BatchSize` (ignored by the shim's
+/// timing model — setup simply runs untimed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is small.
+    SmallInput,
+    /// Setup output is large.
+    LargeInput,
+    /// Setup output is one routine's worth of work.
+    PerIteration,
+}
+
+impl Bencher {
+    /// Times one execution of `f` (criterion's `iter`).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        let dt = start.elapsed();
+        std::hint::black_box(&out);
+        if self.timed {
+            self.elapsed += dt;
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` on a fresh untimed `setup` product (criterion's
+    /// `iter_batched`).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        let out = routine(input);
+        let dt = start.elapsed();
+        std::hint::black_box(&out);
+        if self.timed {
+            self.elapsed += dt;
+            self.iters += 1;
+        }
+    }
+}
+
+/// Declares a bench entry point, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_harness_runs_bodies() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.finish();
+        // 1 warm-up + 3 samples, one iteration each.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn time_formatting_covers_scales() {
+        assert!(fmt_time(5e-9).contains("ns"));
+        assert!(fmt_time(5e-5).contains("µs"));
+        assert!(fmt_time(5e-2).contains("ms"));
+        assert!(fmt_time(2.0).contains("s"));
+    }
+}

@@ -1,0 +1,275 @@
+//! Offline drop-in replacement for the subset of the `proptest` API used by
+//! this workspace's property tests.
+//!
+//! The build environment has no access to crates.io, so `tests/properties.rs`
+//! links against this shim: strategies are plain samplers over a seeded RNG,
+//! the [`proptest!`] macro expands each property into a `#[test]` that runs
+//! `ProptestConfig::cases` sampled cases, and the `prop_assert*` macros
+//! defer to the standard assertion macros. There is **no shrinking** and no
+//! failure persistence — a failing case reports the assertion message only.
+//! The surface (`Strategy`, `prop_map`, tuple strategies, range strategies,
+//! `proptest::collection::vec`, `ProptestConfig::with_cases`) matches real
+//! proptest closely enough that swapping the real crate back in is a
+//! one-line `Cargo.toml` change.
+
+use std::ops::Range;
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::{Rng, RngCore, SeedableRng, StdRng};
+}
+
+use rand::{Rng, StdRng};
+
+/// Per-property configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test values, mirroring `proptest::strategy::Strategy`.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a strategy
+/// is just a sampler.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps sampled values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A strategy that always yields a clone of one value, mirroring
+/// `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{StdRng, Strategy};
+
+    /// A strategy producing `Vec`s of `len` samples of `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    /// Builds a [`VecStrategy`] of exactly `len` elements (matching real
+    /// proptest's `vec(strategy, n)` for a `usize` size).
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            (0..self.len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The glob import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Boolean property assertion (no shrinking; defers to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality property assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality property assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Expands property functions into `#[test]`s that run sampled cases.
+///
+/// Supported grammar (the subset this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     /// docs
+///     #[test]
+///     fn prop_name(x in 0usize..10, v in strategy_expr()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            // Seed differs per property so sibling tests draw distinct
+            // streams, but is fixed across runs for reproducibility.
+            let mut __seed = 0xA11CE_u64;
+            for b in stringify!($name).bytes() {
+                __seed = __seed.wrapping_mul(31).wrapping_add(b as u64);
+            }
+            let mut __rng = <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(__seed);
+            for __case in 0..__cfg.cases {
+                let ($($arg,)+) = ($( $crate::Strategy::sample(&($strat), &mut __rng), )+);
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_and_maps_sample_in_bounds() {
+        let mut rng = crate::StdRng::seed_from_u64(1);
+        let s = (0usize..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!(v < 20 && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn tuple_and_vec_strategies_compose() {
+        let mut rng = crate::StdRng::seed_from_u64(2);
+        let s = (0u64..5, 0.0f32..1.0);
+        let (a, b) = s.sample(&mut rng);
+        assert!(a < 5 && (0.0..1.0).contains(&b));
+        let v = collection::vec(0.0f32..1.0, 7).sample(&mut rng);
+        assert_eq!(v.len(), 7);
+        assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro wires strategies into the test body.
+        #[test]
+        fn macro_expansion_works(x in 1usize..100, y in 0.0f64..1.0) {
+            prop_assert!(x >= 1);
+            prop_assert!(x < 100);
+            prop_assert!((0.0..1.0).contains(&y));
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x as f64 + 2.0, y);
+        }
+    }
+}

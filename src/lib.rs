@@ -12,7 +12,11 @@
 //! * [`raster`] — placement / connectivity / congestion image rendering;
 //! * [`nn`] — the pure-Rust neural-network substrate;
 //! * [`core`] — the paper's contribution: the cGAN congestion forecaster,
-//!   its trainer, dataset pipeline, metrics and applications.
+//!   its trainer, dataset pipeline, metrics and applications;
+//! * [`serve`] — the batched forecast-serving engine: micro-batching
+//!   worker pool, LRU model registry, backpressured clients and serving
+//!   telemetry for running many concurrent forecast streams against
+//!   trained checkpoints.
 //!
 //! # Quickstart
 //!
@@ -35,6 +39,27 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+//! # Serving forecasts
+//!
+//! Trained models are served through [`serve::ForecastEngine`], which
+//! coalesces concurrent requests into batched forward passes:
+//!
+//! ```
+//! use painting_on_placement as pop;
+//! use pop::core::{ExperimentConfig, Pix2Pix};
+//! use pop::nn::Tensor;
+//! use pop::serve::{EngineConfig, ForecastEngine};
+//!
+//! let config = ExperimentConfig { resolution: 16, base_filters: 4, depth: 3,
+//!                                 ..ExperimentConfig::test() };
+//! let engine = ForecastEngine::start(Pix2Pix::new(&config, 1)?, EngineConfig::default())?;
+//! let client = engine.client(); // cloneable; share freely across threads
+//! let x = Tensor::randn([1, config.input_channels(), 16, 16], 0.0, 0.5, 7);
+//! let heat = client.forecast(&x)?;
+//! assert_eq!(heat.width(), 16);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
 pub use pop_arch as arch;
 pub use pop_core as core;
 pub use pop_netlist as netlist;
@@ -42,3 +67,4 @@ pub use pop_nn as nn;
 pub use pop_place as place;
 pub use pop_raster as raster;
 pub use pop_route as route;
+pub use pop_serve as serve;

@@ -19,7 +19,10 @@ fn base_config() -> ExperimentConfig {
 fn skip_modes_change_the_model() {
     let config = base_config();
     let mk = |skip: SkipMode| {
-        let cfg = ExperimentConfig { skip, ..config.clone() };
+        let cfg = ExperimentConfig {
+            skip,
+            ..config.clone()
+        };
         Pix2Pix::new(&cfg, 3).unwrap()
     };
     let mut all = mk(SkipMode::All);
@@ -28,17 +31,22 @@ fn skip_modes_change_the_model() {
     let pa = all.generator_mut().parameter_count();
     let ps = single.generator_mut().parameter_count();
     let pn = none.generator_mut().parameter_count();
-    assert!(pa > ps && ps > pn, "skips add concat width: {pa} > {ps} > {pn}");
+    assert!(
+        pa > ps && ps > pn,
+        "skips add concat width: {pa} > {ps} > {pn}"
+    );
 }
 
 #[test]
 fn skip_ablations_produce_different_forecasts() {
     let config = base_config();
-    let ds = dataset::build_design_dataset(&presets::by_name("diffeq1").unwrap(), &config)
-        .unwrap();
+    let ds = dataset::build_design_dataset(&presets::by_name("diffeq1").unwrap(), &config).unwrap();
     let mut outputs = Vec::new();
     for skip in [SkipMode::All, SkipMode::Single, SkipMode::None] {
-        let cfg = ExperimentConfig { skip, ..config.clone() };
+        let cfg = ExperimentConfig {
+            skip,
+            ..config.clone()
+        };
         let mut model = Pix2Pix::new(&cfg, 5).unwrap();
         let _ = model.train(&ds.pairs, 2);
         outputs.push(model.forecast(&ds.pairs[0].x));
@@ -50,8 +58,7 @@ fn skip_ablations_produce_different_forecasts() {
 #[test]
 fn l1_ablation_changes_objective() {
     let config = base_config();
-    let ds = dataset::build_design_dataset(&presets::by_name("diffeq2").unwrap(), &config)
-        .unwrap();
+    let ds = dataset::build_design_dataset(&presets::by_name("diffeq2").unwrap(), &config).unwrap();
     let mut with_l1 = Pix2Pix::new(&config, 7).unwrap();
     let h_with = with_l1.train(&ds.pairs, 2);
 
@@ -79,12 +86,10 @@ fn grayscale_ablation_shrinks_input() {
     let mut rgb_model = Pix2Pix::new(&config, 9).unwrap();
     let mut gray_model = Pix2Pix::new(&gray, 9).unwrap();
     assert!(
-        rgb_model.generator_mut().parameter_count()
-            > gray_model.generator_mut().parameter_count()
+        rgb_model.generator_mut().parameter_count() > gray_model.generator_mut().parameter_count()
     );
     // And the dataset produces matching tensors.
-    let ds = dataset::build_design_dataset(&presets::by_name("diffeq1").unwrap(), &gray)
-        .unwrap();
+    let ds = dataset::build_design_dataset(&presets::by_name("diffeq1").unwrap(), &gray).unwrap();
     assert_eq!(ds.pairs[0].x.shape()[1], 2);
     let y = gray_model.generator_mut().forward(&ds.pairs[0].x, false);
     assert_eq!(y.shape(), ds.pairs[0].y.shape());

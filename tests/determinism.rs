@@ -38,8 +38,7 @@ fn model_training_is_deterministic() {
         epochs: 2,
         ..ExperimentConfig::test()
     };
-    let ds = dataset::build_design_dataset(&presets::by_name("diffeq2").unwrap(), &config)
-        .unwrap();
+    let ds = dataset::build_design_dataset(&presets::by_name("diffeq2").unwrap(), &config).unwrap();
 
     let mut m1 = Pix2Pix::new(&config, 77).unwrap();
     let h1 = m1.train(&ds.pairs, 2);

@@ -11,15 +11,15 @@ use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = SyntheticSpec> {
     (
-        10usize..80,   // luts
-        0usize..30,    // ffs
-        10usize..60,   // nets
-        2usize..6,     // inputs
-        2usize..6,     // outputs
-        0usize..2,     // memories
-        0usize..3,     // multipliers
-        0u64..1000,    // seed
-        0.0f64..1.0,   // locality
+        10usize..80, // luts
+        0usize..30,  // ffs
+        10usize..60, // nets
+        2usize..6,   // inputs
+        2usize..6,   // outputs
+        0usize..2,   // memories
+        0usize..3,   // multipliers
+        0u64..1000,  // seed
+        0.0f64..1.0, // locality
     )
         .prop_map(
             |(luts, ffs, nets, inputs, outputs, memories, multipliers, seed, locality)| {
