@@ -239,10 +239,38 @@ impl Arch {
         channel_width: usize,
         slack: f64,
     ) -> Result<Arch, ArchError> {
+        Arch::auto_size_with_aspect(clbs, ios, mems, mults, channel_width, slack, 1.0)
+    }
+
+    /// [`Arch::auto_size`] with a target interior aspect ratio
+    /// `width / height`. `aspect = 1.0` reproduces `auto_size` exactly
+    /// (square interiors); `aspect = 2.0` searches interiors roughly twice
+    /// as wide as tall. Used by scenario generation to widen the placement
+    /// distribution beyond square fabrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `aspect` is not a positive finite number.
+    pub fn auto_size_with_aspect(
+        clbs: usize,
+        ios: usize,
+        mems: usize,
+        mults: usize,
+        channel_width: usize,
+        slack: f64,
+        aspect: f64,
+    ) -> Result<Arch, ArchError> {
+        assert!(
+            aspect.is_finite() && aspect > 0.0,
+            "aspect ratio must be positive and finite"
+        );
         let need = |cap: usize, n: usize| cap as f64 >= (n as f64 * slack).ceil();
-        for side in 4..=512 {
+        let sqrt_aspect = aspect.sqrt();
+        for side in 4..=512usize {
+            let w = (((side as f64) * sqrt_aspect).round() as usize).clamp(4, 512);
+            let h = (((side as f64) / sqrt_aspect).round() as usize).clamp(4, 512);
             let mut b = Arch::builder();
-            b.interior(side, side).channel_width(channel_width);
+            b.interior(w, h).channel_width(channel_width);
             if mems == 0 {
                 b.memory_columns(None, 2);
             }
@@ -584,6 +612,31 @@ mod tests {
         assert!(a.io_capacity_total() >= 36);
         assert!(a.memory_capacity() >= 2);
         assert!(a.multiplier_capacity() >= 2);
+    }
+
+    #[test]
+    fn auto_size_with_aspect_widens_the_interior() {
+        // aspect 1.0 is exactly auto_size.
+        let square = Arch::auto_size(100, 30, 2, 2, 16, 1.2).unwrap();
+        let same = Arch::auto_size_with_aspect(100, 30, 2, 2, 16, 1.2, 1.0).unwrap();
+        assert_eq!(square, same);
+        // A 4:1 aspect produces a clearly wider-than-tall fabric that still
+        // fits the demand.
+        let wide = Arch::auto_size_with_aspect(100, 30, 2, 2, 16, 1.2, 4.0).unwrap();
+        assert!(
+            wide.width() > wide.height(),
+            "{}x{}",
+            wide.width(),
+            wide.height()
+        );
+        assert!(wide.clb_capacity() as f64 >= 120.0);
+        assert!(wide.io_capacity_total() >= 36);
+    }
+
+    #[test]
+    #[should_panic(expected = "aspect ratio")]
+    fn auto_size_rejects_nonpositive_aspect() {
+        let _ = Arch::auto_size_with_aspect(10, 4, 0, 0, 8, 1.2, 0.0);
     }
 
     #[test]

@@ -51,6 +51,15 @@ pub struct ExperimentConfig {
     pub design_scale: f64,
     /// Channel-width margin over the calibrated minimum (VTR-style 1.3×).
     pub channel_width_margin: f64,
+    /// Site-capacity headroom of the auto-sized fabric (VPR-style 1.3 =
+    /// 30 % spare sites). Scenario generation exposes this as a *target
+    /// utilization*: `fabric_slack = 1 / target_utilization`, so denser
+    /// fabrics produce hotter congestion distributions.
+    pub fabric_slack: f64,
+    /// Interior aspect ratio (width / height) of the auto-sized fabric
+    /// (1.0 = square, the paper's setting). Scenario generation sweeps this
+    /// to diversify placement geometry.
+    pub fabric_aspect: f64,
     /// Pairs taken from the held-out design for strategy-2 fine-tuning
     /// (paper: 10).
     pub finetune_pairs: usize,
@@ -79,6 +88,8 @@ impl ExperimentConfig {
             pairs_per_design: 200,
             design_scale: 1.0,
             channel_width_margin: 1.3,
+            fabric_slack: 1.3,
+            fabric_aspect: 1.0,
             finetune_pairs: 10,
             finetune_epochs: 25,
             tolerance: 16.0 / 255.0,
@@ -149,6 +160,18 @@ impl ExperimentConfig {
         if !(self.lambda_connect.is_finite() && self.lambda_l1.is_finite()) {
             return Err(CoreError::BadConfig("non-finite lambda".into()));
         }
+        if !(self.fabric_slack.is_finite() && self.fabric_slack >= 1.0) {
+            return Err(CoreError::BadConfig(format!(
+                "fabric_slack {} must be a finite value >= 1.0",
+                self.fabric_slack
+            )));
+        }
+        if !(self.fabric_aspect.is_finite() && self.fabric_aspect > 0.0) {
+            return Err(CoreError::BadConfig(format!(
+                "fabric_aspect {} must be positive and finite",
+                self.fabric_aspect
+            )));
+        }
         Ok(())
     }
 
@@ -204,6 +227,12 @@ mod tests {
         assert!(c.validate().is_err());
         let mut c = ExperimentConfig::test();
         c.base_filters = 0;
+        assert!(c.validate().is_err());
+        let mut c = ExperimentConfig::test();
+        c.fabric_slack = 0.8; // would undersize the fabric below demand
+        assert!(c.validate().is_err());
+        let mut c = ExperimentConfig::test();
+        c.fabric_aspect = f64::NAN;
         assert!(c.validate().is_err());
     }
 

@@ -8,10 +8,20 @@
 //! options, route every placement, rasterise `img_place`/`img_connect`/
 //! `img_route` and assemble tensors.
 //!
+//! The stages are exposed individually — [`DesignContext::prepare`] for the
+//! per-design half (netlist, calibration, routing graph) and
+//! [`DesignContext::generate_pair`] for the per-placement half (place,
+//! route, rasterise, tensors) — because two callers share them:
+//! [`build_design_dataset`] runs them as a plain sequential loop, and the
+//! `pop-pipeline` crate runs the *same* functions on staged worker pools.
+//! Both paths are therefore bitwise-identical by construction (wall-clock
+//! `PairMeta` timing fields aside; see [`Pair::without_timings`]).
+//!
 //! Generated datasets can be cached on disk ([`save_dataset`] /
-//! [`load_dataset`]) in a little-endian binary format keyed by a config
-//! fingerprint, because routing hundreds of placements dominates experiment
-//! wall-time.
+//! [`load_dataset`]) in a little-endian binary format keyed by a
+//! fingerprint of *every* scenario parameter that affects the data (full
+//! synthetic spec + config + cache format version), because routing
+//! hundreds of placements dominates experiment wall-time.
 
 use crate::config::ExperimentConfig;
 use crate::error::CoreError;
@@ -19,9 +29,9 @@ use crate::features::{assemble_input, assemble_target};
 use pop_arch::Arch;
 use pop_netlist::{generate, Netlist, SyntheticSpec};
 use pop_nn::Tensor;
-use pop_place::{place, sweep::SweepSpec};
+use pop_place::{place, sweep::SweepSpec, PlaceOptions, Placement};
 use pop_raster::{render_congestion, render_connectivity, render_placement};
-use pop_route::{min_channel_width, route_on_graph, RouteGraph, RouteOptions};
+use pop_route::{min_channel_width, route_on_graph, RouteGraph, RouteOptions, RouteResult};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -73,6 +83,27 @@ pub struct Pair {
     pub meta: PairMeta,
 }
 
+impl Pair {
+    /// A copy with the wall-clock `PairMeta` timing fields zeroed.
+    ///
+    /// Everything else in a [`Pair`] is a deterministic function of spec +
+    /// config + seed; only `route_micros` / `place_micros` vary run to run.
+    /// Determinism tests (and the pipeline-vs-sequential golden test)
+    /// compare `without_timings` copies with plain `==`, which is then a
+    /// bitwise comparison.
+    pub fn without_timings(&self) -> Pair {
+        Pair {
+            x: self.x.clone(),
+            y: self.y.clone(),
+            meta: PairMeta {
+                route_micros: 0,
+                place_micros: 0,
+                ..self.meta.clone()
+            },
+        }
+    }
+}
+
 /// All pairs generated for one design, plus the fabric they share.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DesignDataset {
@@ -101,7 +132,18 @@ pub fn design_fabric(
     let scaled = spec.scaled(config.design_scale);
     let netlist = generate(&scaled);
     let (clbs, ios, mems, mults) = netlist.site_demand();
-    let probe_arch = Arch::auto_size(clbs, ios, mems, mults, 8, 1.3)?;
+    let auto_size = |width| {
+        Arch::auto_size_with_aspect(
+            clbs,
+            ios,
+            mems,
+            mults,
+            width,
+            config.fabric_slack,
+            config.fabric_aspect,
+        )
+    };
+    let probe_arch = auto_size(8)?;
     let probe_placement = place(&probe_arch, &netlist, &Default::default())?;
     let (min_w, _) = min_channel_width(
         &probe_arch,
@@ -110,13 +152,178 @@ pub fn design_fabric(
         &RouteOptions::default(),
     )?;
     let width = ((min_w as f64 * config.channel_width_margin).ceil() as usize).max(4);
-    let arch = Arch::auto_size(clbs, ios, mems, mults, width, 1.3)?;
+    let arch = auto_size(width)?;
     Ok((arch, netlist, width))
+}
+
+/// The per-design state every placement of that design shares: the scaled
+/// netlist, the calibrated fabric and its routing graph.
+///
+/// Prepared once per design ([`DesignContext::prepare`] — the expensive
+/// fabric-calibration stage), then each placement index is materialised
+/// independently via [`DesignContext::generate_pair`]. The sequential
+/// [`build_design_dataset`] and the parallel `pop-pipeline` generator are
+/// both thin drivers over these two calls.
+#[derive(Debug, Clone)]
+pub struct DesignContext {
+    /// The (unscaled) spec the context was prepared from.
+    pub spec: SyntheticSpec,
+    /// The experiment configuration (resolution, sweep seed, λ, …).
+    pub config: ExperimentConfig,
+    /// Calibrated fabric.
+    pub arch: Arch,
+    /// The scaled netlist placed on it.
+    pub netlist: Netlist,
+    /// Routing-resource graph of `arch` (shared by every route call).
+    pub graph: RouteGraph,
+    /// Calibrated channel width of the fabric.
+    pub channel_width: usize,
+}
+
+impl DesignContext {
+    /// Runs the per-design stages: netlist generation, fabric calibration
+    /// and routing-graph construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] for an invalid config and
+    /// propagates substrate failures.
+    pub fn prepare(spec: &SyntheticSpec, config: &ExperimentConfig) -> Result<Self, CoreError> {
+        config.validate()?;
+        let (arch, netlist, channel_width) = design_fabric(spec, config)?;
+        let graph = RouteGraph::new(&arch);
+        Ok(DesignContext {
+            spec: spec.clone(),
+            config: config.clone(),
+            arch,
+            netlist,
+            graph,
+            channel_width,
+        })
+    }
+
+    /// The deterministic placement-option sweep of this design:
+    /// `config.pairs_per_design` option sets seeded from `config.seed`.
+    pub fn sweep_options(&self) -> Vec<PlaceOptions> {
+        let sweep = SweepSpec {
+            base_seed: self.config.seed,
+            ..SweepSpec::quick()
+        };
+        sweep.take(self.config.pairs_per_design)
+    }
+
+    /// Placement stage: anneals one placement of the design under `popts`,
+    /// returning it with the wall-clock microseconds spent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement failures.
+    pub fn place_stage(&self, popts: &PlaceOptions) -> Result<(Placement, u64), CoreError> {
+        let t0 = Instant::now();
+        let placement = place(&self.arch, &self.netlist, popts)?;
+        Ok((placement, t0.elapsed().as_micros() as u64))
+    }
+
+    /// Routing stage: routes a placement on the shared graph (the
+    /// ground-truth collection step the paper's speedup is measured
+    /// against), returning the result with the wall-clock microseconds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing failures.
+    pub fn route_stage(&self, placement: &Placement) -> Result<(RouteResult, u64), CoreError> {
+        let t1 = Instant::now();
+        let routing = route_on_graph(
+            &self.arch,
+            &self.graph,
+            &self.netlist,
+            placement,
+            &RouteOptions::default(),
+        )?;
+        Ok((routing, t1.elapsed().as_micros() as u64))
+    }
+
+    /// Rasterisation + tensor-assembly stage: renders the three images of a
+    /// placed-and-routed design and assembles the training pair.
+    #[allow(clippy::too_many_arguments)] // the full provenance of one pair
+    pub fn raster_stage(
+        &self,
+        index: usize,
+        popts: &PlaceOptions,
+        placement: &Placement,
+        routing: &RouteResult,
+        place_micros: u64,
+        route_micros: u64,
+    ) -> Pair {
+        let config = &self.config;
+        let img_place = render_placement(&self.arch, &self.netlist, placement, config.resolution);
+        let img_connect =
+            render_connectivity(&self.arch, &self.netlist, placement, config.resolution);
+        let img_route = render_congestion(
+            &self.arch,
+            &self.netlist,
+            placement,
+            routing.congestion(),
+            config.resolution,
+        );
+        let x = assemble_input(&img_place, &img_connect, config);
+        let y = assemble_target(&img_route);
+        Pair {
+            x,
+            y,
+            meta: PairMeta {
+                design: self.spec.name.clone(),
+                index,
+                place_seed: popts.seed,
+                true_mean_congestion: routing.congestion().mean_utilization(),
+                true_max_congestion: routing.congestion().max_utilization(),
+                route_micros,
+                place_micros,
+            },
+        }
+    }
+
+    /// Runs the per-placement stages for sweep entry `index`:
+    /// [`place_stage`](DesignContext::place_stage) →
+    /// [`route_stage`](DesignContext::route_stage) →
+    /// [`raster_stage`](DesignContext::raster_stage).
+    ///
+    /// Deterministic in `(context, index, popts)` except for the wall-clock
+    /// timing fields of [`PairMeta`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement/routing failures as [`CoreError::Pipeline`].
+    pub fn generate_pair(&self, index: usize, popts: &PlaceOptions) -> Result<Pair, CoreError> {
+        let (placement, place_micros) = self.place_stage(popts)?;
+        let (routing, route_micros) = self.route_stage(&placement)?;
+        Ok(self.raster_stage(
+            index,
+            popts,
+            &placement,
+            &routing,
+            place_micros,
+            route_micros,
+        ))
+    }
+
+    /// Assembles pairs (in sweep order) into a [`DesignDataset`].
+    pub fn into_dataset(self, pairs: Vec<Pair>) -> DesignDataset {
+        DesignDataset {
+            name: self.spec.name,
+            pairs,
+            channel_width: self.channel_width,
+            grid_width: self.arch.width(),
+            grid_height: self.arch.height(),
+        }
+    }
 }
 
 /// Generates the dataset for one design preset under `config`
 /// (`config.pairs_per_design` placements from the option sweep, each routed
-/// and rasterised).
+/// and rasterised) — the sequential reference driver over
+/// [`DesignContext`]; the parallel `pop-pipeline` generator produces
+/// bitwise-identical output from the same stages.
 ///
 /// # Errors
 ///
@@ -125,56 +332,12 @@ pub fn build_design_dataset(
     spec: &SyntheticSpec,
     config: &ExperimentConfig,
 ) -> Result<DesignDataset, CoreError> {
-    config.validate()?;
-    let (arch, netlist, channel_width) = design_fabric(spec, config)?;
-    let graph = RouteGraph::new(&arch);
-    let route_opts = RouteOptions::default();
-    let sweep = SweepSpec {
-        base_seed: config.seed,
-        ..SweepSpec::quick()
-    };
+    let ctx = DesignContext::prepare(spec, config)?;
     let mut pairs = Vec::with_capacity(config.pairs_per_design);
-    for (index, popts) in sweep.take(config.pairs_per_design).into_iter().enumerate() {
-        let t0 = Instant::now();
-        let placement = place(&arch, &netlist, &popts)?;
-        let place_micros = t0.elapsed().as_micros() as u64;
-
-        let t1 = Instant::now();
-        let routing = route_on_graph(&arch, &graph, &netlist, &placement, &route_opts)?;
-        let route_micros = t1.elapsed().as_micros() as u64;
-
-        let img_place = render_placement(&arch, &netlist, &placement, config.resolution);
-        let img_connect = render_connectivity(&arch, &netlist, &placement, config.resolution);
-        let img_route = render_congestion(
-            &arch,
-            &netlist,
-            &placement,
-            routing.congestion(),
-            config.resolution,
-        );
-        let x = assemble_input(&img_place, &img_connect, config);
-        let y = assemble_target(&img_route);
-        pairs.push(Pair {
-            x,
-            y,
-            meta: PairMeta {
-                design: spec.name.clone(),
-                index,
-                place_seed: popts.seed,
-                true_mean_congestion: routing.congestion().mean_utilization(),
-                true_max_congestion: routing.congestion().max_utilization(),
-                route_micros,
-                place_micros,
-            },
-        });
+    for (index, popts) in ctx.sweep_options().iter().enumerate() {
+        pairs.push(ctx.generate_pair(index, popts)?);
     }
-    Ok(DesignDataset {
-        name: spec.name.clone(),
-        pairs,
-        channel_width,
-        grid_width: arch.width(),
-        grid_height: arch.height(),
-    })
+    Ok(ctx.into_dataset(pairs))
 }
 
 /// pix2pix-style flip augmentation: returns the originals followed by
@@ -234,22 +397,45 @@ pub fn leave_one_out<'a>(
 // Disk cache.
 // ---------------------------------------------------------------------------
 
-const MAGIC: &[u8; 8] = b"POPDS002";
+/// Bumped whenever the on-disk layout *or* the fingerprint recipe changes,
+/// so caches written by older builds can never be silently loaded.
+pub const CACHE_FORMAT_VERSION: u32 = 3;
 
-/// Fingerprint of everything that affects generated data.
-fn fingerprint(spec_seed: u64, config: &ExperimentConfig) -> u64 {
+const MAGIC: &[u8; 8] = b"POPDS003";
+
+/// Fingerprint of everything that affects generated data: the cache format
+/// version, the full synthetic spec (scenario generation varies fanout,
+/// locality and seeds — not just the preset seed) and every config knob on
+/// the data path (including the fabric slack/aspect scenario parameters).
+fn fingerprint(spec: &SyntheticSpec, config: &ExperimentConfig) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut eat = |v: u64| {
         h ^= v;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     };
-    eat(spec_seed);
+    eat(CACHE_FORMAT_VERSION as u64);
+    for b in spec.name.bytes() {
+        eat(b as u64);
+    }
+    eat(spec.luts as u64);
+    eat(spec.ffs as u64);
+    eat(spec.nets as u64);
+    eat(spec.inputs as u64);
+    eat(spec.outputs as u64);
+    eat(spec.memories as u64);
+    eat(spec.multipliers as u64);
+    eat(spec.luts_per_clb as u64);
+    eat(spec.mean_fanout.to_bits());
+    eat(spec.locality.to_bits());
+    eat(spec.seed);
     eat(config.resolution as u64);
     eat(config.pairs_per_design as u64);
     eat(config.design_scale.to_bits());
     eat(config.lambda_connect.to_bits() as u64);
     eat(u64::from(config.grayscale_input));
     eat(config.channel_width_margin.to_bits());
+    eat(config.fabric_slack.to_bits());
+    eat(config.fabric_aspect.to_bits());
     eat(config.seed);
     h
 }
@@ -314,8 +500,8 @@ fn read_tensor(r: &mut impl Read) -> std::io::Result<Tensor> {
     Ok(Tensor::from_vec(shape, data))
 }
 
-/// Writes a dataset to `dir/<design>.popds`, keyed by the config
-/// fingerprint.
+/// Writes a dataset to `dir/<design>.popds`, keyed by the scenario
+/// fingerprint of `spec` + `config`.
 ///
 /// # Errors
 ///
@@ -323,13 +509,13 @@ fn read_tensor(r: &mut impl Read) -> std::io::Result<Tensor> {
 pub fn save_dataset(
     dir: &Path,
     ds: &DesignDataset,
-    spec_seed: u64,
+    spec: &SyntheticSpec,
     config: &ExperimentConfig,
 ) -> Result<(), CoreError> {
     std::fs::create_dir_all(dir)?;
     let mut w = std::io::BufWriter::new(std::fs::File::create(cache_path(dir, &ds.name))?);
     w.write_all(MAGIC)?;
-    write_u64(&mut w, fingerprint(spec_seed, config))?;
+    write_u64(&mut w, fingerprint(spec, config))?;
     write_u32(&mut w, ds.pairs.len() as u32)?;
     write_u32(&mut w, ds.channel_width as u32)?;
     write_u32(&mut w, ds.grid_width as u32)?;
@@ -349,17 +535,18 @@ pub fn save_dataset(
 }
 
 /// Loads a cached dataset if present and fingerprint-compatible; `Ok(None)`
-/// when absent or stale.
+/// when absent or stale (older format version, or *any* scenario parameter
+/// differs from what the cache was generated with).
 ///
 /// # Errors
 ///
 /// Returns [`CoreError::Cache`] on I/O failure of an existing file.
 pub fn load_dataset(
     dir: &Path,
-    design: &str,
-    spec_seed: u64,
+    spec: &SyntheticSpec,
     config: &ExperimentConfig,
 ) -> Result<Option<DesignDataset>, CoreError> {
+    let design = spec.name.as_str();
     let path = cache_path(dir, design);
     if !path.exists() {
         return Ok(None);
@@ -370,7 +557,7 @@ pub fn load_dataset(
     if &magic != MAGIC {
         return Ok(None);
     }
-    if read_u64(&mut r)? != fingerprint(spec_seed, config) {
+    if read_u64(&mut r)? != fingerprint(spec, config) {
         return Ok(None);
     }
     let n = read_u32(&mut r)? as usize;
@@ -421,13 +608,13 @@ pub fn build_or_load(
     cache_dir: Option<&Path>,
 ) -> Result<DesignDataset, CoreError> {
     if let Some(dir) = cache_dir {
-        if let Some(ds) = load_dataset(dir, &spec.name, spec.seed, config)? {
+        if let Some(ds) = load_dataset(dir, spec, config)? {
             return Ok(ds);
         }
     }
     let ds = build_design_dataset(spec, config)?;
     if let Some(dir) = cache_dir {
-        save_dataset(dir, &ds, spec.seed, config)?;
+        save_dataset(dir, &ds, spec, config)?;
     }
     Ok(ds)
 }
@@ -498,17 +685,118 @@ mod tests {
         let ds = build_design_dataset(&spec, &config).unwrap();
         let dir = std::env::temp_dir().join("pop_core_cache_test");
         let _ = std::fs::remove_dir_all(&dir);
-        save_dataset(&dir, &ds, spec.seed, &config).unwrap();
-        let loaded = load_dataset(&dir, "diffeq2", spec.seed, &config)
+        save_dataset(&dir, &ds, &spec, &config).unwrap();
+        let loaded = load_dataset(&dir, &spec, &config)
             .unwrap()
             .expect("cache hit");
         assert_eq!(ds, loaded);
+        // Every PairMeta field survives the round trip, including the
+        // wall-clock provenance (the paper's speedup denominators).
+        for (orig, back) in ds.pairs.iter().zip(&loaded.pairs) {
+            assert_eq!(orig.meta.design, back.meta.design);
+            assert_eq!(orig.meta.index, back.meta.index);
+            assert_eq!(orig.meta.place_seed, back.meta.place_seed);
+            assert_eq!(
+                orig.meta.true_mean_congestion.to_bits(),
+                back.meta.true_mean_congestion.to_bits()
+            );
+            assert_eq!(
+                orig.meta.true_max_congestion.to_bits(),
+                back.meta.true_max_congestion.to_bits()
+            );
+            assert_eq!(orig.meta.route_micros, back.meta.route_micros);
+            assert_eq!(orig.meta.place_micros, back.meta.place_micros);
+        }
         // Stale fingerprint misses.
         let mut other = config.clone();
         other.resolution = 64;
-        assert!(load_dataset(&dir, "diffeq2", spec.seed, &other)
-            .unwrap()
-            .is_none());
+        assert!(load_dataset(&dir, &spec, &other).unwrap().is_none());
+    }
+
+    #[test]
+    fn cache_misses_when_any_scenario_parameter_changes() {
+        let config = cfg();
+        let spec = presets::by_name("diffeq2").unwrap();
+        let ds = build_design_dataset(&spec, &config).unwrap();
+        let dir = std::env::temp_dir().join("pop_core_cache_scenario_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        save_dataset(&dir, &ds, &spec, &config).unwrap();
+
+        // Spec-side scenario knobs (same name → same cache file, but the
+        // data would differ): fanout profile, locality, seed, net budget.
+        for mutate in [
+            |s: &mut pop_netlist::SyntheticSpec| s.mean_fanout += 0.5,
+            |s: &mut pop_netlist::SyntheticSpec| s.locality = 0.1,
+            |s: &mut pop_netlist::SyntheticSpec| s.seed ^= 1,
+            |s: &mut pop_netlist::SyntheticSpec| s.nets += 1,
+        ] {
+            let mut other = spec.clone();
+            mutate(&mut other);
+            assert!(
+                load_dataset(&dir, &other, &config).unwrap().is_none(),
+                "stale cache served for mutated spec"
+            );
+        }
+        // Config-side scenario knobs: fabric density and aspect.
+        for mutate in [
+            |c: &mut ExperimentConfig| c.fabric_slack = 1.1,
+            |c: &mut ExperimentConfig| c.fabric_aspect = 2.0,
+            |c: &mut ExperimentConfig| c.seed += 1,
+        ] {
+            let mut other = config.clone();
+            mutate(&mut other);
+            assert!(
+                load_dataset(&dir, &spec, &other).unwrap().is_none(),
+                "stale cache served for mutated config"
+            );
+        }
+        // The untouched scenario still hits.
+        assert!(load_dataset(&dir, &spec, &config).unwrap().is_some());
+    }
+
+    #[test]
+    fn staged_context_reproduces_the_dataset_driver() {
+        // The invariant the parallel pipeline rests on: driving the
+        // DesignContext stages by hand (in any grouping) produces the same
+        // pairs as build_design_dataset.
+        let config = cfg();
+        let spec = presets::by_name("diffeq2").unwrap();
+        let whole = build_design_dataset(&spec, &config).unwrap();
+        let ctx = DesignContext::prepare(&spec, &config).unwrap();
+        let opts = ctx.sweep_options();
+        assert_eq!(opts.len(), config.pairs_per_design);
+        // Generate out of order to prove order-independence.
+        let mut staged: Vec<(usize, Pair)> = opts
+            .iter()
+            .enumerate()
+            .rev()
+            .map(|(i, o)| (i, ctx.generate_pair(i, o).unwrap()))
+            .collect();
+        staged.sort_by_key(|(i, _)| *i);
+        for ((_, s), w) in staged.iter().zip(&whole.pairs) {
+            assert_eq!(s.without_timings(), w.without_timings());
+        }
+        let ds = ctx.into_dataset(staged.into_iter().map(|(_, p)| p).collect());
+        assert_eq!(ds.name, whole.name);
+        assert_eq!(ds.channel_width, whole.channel_width);
+        assert_eq!(
+            (ds.grid_width, ds.grid_height),
+            (whole.grid_width, whole.grid_height)
+        );
+    }
+
+    #[test]
+    fn without_timings_zeroes_only_the_clock_fields() {
+        let config = cfg();
+        let ds = build_design_dataset(&presets::by_name("diffeq2").unwrap(), &config).unwrap();
+        let p = &ds.pairs[0];
+        let t = p.without_timings();
+        assert_eq!(t.meta.route_micros, 0);
+        assert_eq!(t.meta.place_micros, 0);
+        assert_eq!(t.x, p.x);
+        assert_eq!(t.y, p.y);
+        assert_eq!(t.meta.design, p.meta.design);
+        assert_eq!(t.meta.place_seed, p.meta.place_seed);
     }
 
     #[test]

@@ -15,6 +15,11 @@ use pop_raster::{grayscale, Image};
 /// config's §5.2 ablation flag is set. `img_connect` must be 1-channel and
 /// of the same resolution.
 ///
+/// Images are CHW and tensors NCHW, so assembly is two flat slice maps —
+/// no per-pixel triple indexing and no copy of `img_place` unless the
+/// grayscale ablation actually needs one. This is the hot loop of dataset
+/// generation (once per placement) and of every serving request.
+///
 /// # Panics
 ///
 /// Panics on resolution mismatch between images and config.
@@ -26,66 +31,42 @@ pub fn assemble_input(img_place: &Image, img_connect: &Image, config: &Experimen
         "connect image width"
     );
     assert_eq!(img_connect.channels(), 1, "connectivity is one channel");
-    let place = if config.grayscale_input {
-        grayscale(img_place)
+    let gray;
+    let place: &Image = if config.grayscale_input {
+        gray = grayscale(img_place);
+        &gray
     } else {
-        img_place.clone()
+        img_place
     };
     let w = config.resolution;
     let pc = place.channels();
-    let mut x = Tensor::zeros([1, pc + 1, w, w]);
+    let lambda = config.lambda_connect;
+    let mut data = Vec::with_capacity((pc + 1) * w * w);
     // Place channels → [-1, 1].
-    for c in 0..pc {
-        for y in 0..w {
-            for xx in 0..w {
-                x.set(0, c, y, xx, place.get(xx, y, c) * 2.0 - 1.0);
-            }
-        }
-    }
+    data.extend(place.data().iter().map(|&v| v * 2.0 - 1.0));
     // Connectivity channel scaled by λ (kept in [0, λ] as in the paper's
     // `λ · img_connect`).
-    for y in 0..w {
-        for xx in 0..w {
-            x.set(
-                0,
-                pc,
-                y,
-                xx,
-                config.lambda_connect * img_connect.get(xx, y, 0),
-            );
-        }
-    }
-    x
+    data.extend(img_connect.data().iter().map(|&v| lambda * v));
+    Tensor::from_vec([1, pc + 1, w, w], data)
 }
 
 /// Converts the ground-truth heat map image into the generator target
-/// (`[-1, 1]` per channel).
+/// (`[-1, 1]` per channel). Flat CHW→NCHW map, like [`assemble_input`].
 pub fn assemble_target(img_route: &Image) -> Tensor {
     let (w, h, c) = (img_route.width(), img_route.height(), img_route.channels());
-    let mut t = Tensor::zeros([1, c, h, w]);
-    for ci in 0..c {
-        for y in 0..h {
-            for x in 0..w {
-                t.set(0, ci, y, x, img_route.get(x, y, ci) * 2.0 - 1.0);
-            }
-        }
-    }
-    t
+    let data = img_route.data().iter().map(|&v| v * 2.0 - 1.0).collect();
+    Tensor::from_vec([1, c, h, w], data)
 }
 
 /// Converts a generator output tensor back into an image (values clamped
-/// into `[0, 1]`).
+/// into `[0, 1]`). Only batch element 0 is decoded.
 pub fn tensor_to_image(t: &Tensor) -> Image {
     let [_, c, h, w] = t.shape();
-    let mut img = Image::zeros(w, h, c);
-    for ci in 0..c {
-        for y in 0..h {
-            for x in 0..w {
-                img.set(x, y, ci, ((t.at(0, ci, y, x) + 1.0) * 0.5).clamp(0.0, 1.0));
-            }
-        }
-    }
-    img
+    let data = t.data()[..c * h * w]
+        .iter()
+        .map(|&v| ((v + 1.0) * 0.5).clamp(0.0, 1.0))
+        .collect();
+    Image::from_data(w, h, c, data)
 }
 
 #[cfg(test)]

@@ -212,32 +212,70 @@ impl Pix2Pix {
         }
         let mut order: Vec<usize> = (0..pairs.len()).collect();
         for _epoch in 0..epochs {
-            // Fisher-Yates with the trainer's RNG: deterministic by seed.
-            for i in (1..order.len()).rev() {
-                let j = self.rng.gen_range(0..=i);
-                order.swap(i, j);
-            }
-            let mut sum_g = 0.0f64;
-            let mut sum_d = 0.0f64;
-            let mut sum_l1 = 0.0f64;
-            for &idx in &order {
-                let losses = self.train_step(&pairs[idx].x, &pairs[idx].y);
-                let g_total = losses.g_gan
-                    + if self.config.use_l1 {
-                        self.config.lambda_l1 * losses.g_l1
-                    } else {
-                        0.0
-                    };
-                sum_g += g_total as f64;
-                sum_d += losses.d_loss as f64;
-                sum_l1 += losses.g_l1 as f64;
-            }
-            let n = pairs.len() as f64;
-            history.generator_loss.push((sum_g / n) as f32);
-            history.discriminator_loss.push((sum_d / n) as f32);
-            history.l1.push((sum_l1 / n) as f32);
+            self.train_one_epoch(pairs, &mut order, &mut history);
         }
         history
+    }
+
+    /// Trains one epoch per yielded pair set — the consumer half of a
+    /// background-prefetch pipeline: while this method trains on epoch `N`,
+    /// the producer (e.g. `pop_pipeline::EpochPrefetcher`) is already
+    /// generating epoch `N + 1`'s pairs on its worker pools. Empty yields
+    /// are skipped; the returned history has one entry per non-empty epoch.
+    pub fn train_stream<I>(&mut self, epochs: I) -> TrainHistory
+    where
+        I: IntoIterator<Item = Vec<Pair>>,
+    {
+        let mut history = TrainHistory::default();
+        // The shuffle order persists across equally-sized epochs, exactly
+        // like `train_refs` — streaming the same pair set each epoch
+        // reproduces `train` bitwise. A size change resets it.
+        let mut order: Vec<usize> = Vec::new();
+        for pairs in epochs {
+            if pairs.is_empty() {
+                continue;
+            }
+            let refs: Vec<&Pair> = pairs.iter().collect();
+            if order.len() != refs.len() {
+                order = (0..refs.len()).collect();
+            }
+            self.train_one_epoch(&refs, &mut order, &mut history);
+        }
+        history
+    }
+
+    /// Shuffles `order` with the trainer's RNG (deterministic by seed),
+    /// trains one pass and appends the epoch means to `history`.
+    fn train_one_epoch(
+        &mut self,
+        pairs: &[&Pair],
+        order: &mut [usize],
+        history: &mut TrainHistory,
+    ) {
+        // Fisher-Yates with the trainer's RNG: deterministic by seed.
+        for i in (1..order.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut sum_g = 0.0f64;
+        let mut sum_d = 0.0f64;
+        let mut sum_l1 = 0.0f64;
+        for &idx in order.iter() {
+            let losses = self.train_step(&pairs[idx].x, &pairs[idx].y);
+            let g_total = losses.g_gan
+                + if self.config.use_l1 {
+                    self.config.lambda_l1 * losses.g_l1
+                } else {
+                    0.0
+                };
+            sum_g += g_total as f64;
+            sum_d += losses.d_loss as f64;
+            sum_l1 += losses.g_l1 as f64;
+        }
+        let n = pairs.len() as f64;
+        history.generator_loss.push((sum_g / n) as f32);
+        history.discriminator_loss.push((sum_d / n) as f32);
+        history.l1.push((sum_l1 / n) as f32);
     }
 
     /// Strategy 2 of §5.1: update a trained model with a few pairs from the
@@ -345,6 +383,24 @@ mod tests {
         let last = *history.l1.last().unwrap();
         assert!(last < first, "l1 {first} -> {last}");
         assert!(history.to_csv().lines().count() == 7);
+    }
+
+    #[test]
+    fn train_stream_matches_train_for_identical_epochs() {
+        // Feeding the same pair set once per epoch through the streaming
+        // API consumes the trainer RNG identically to `train`, so the loss
+        // history is bitwise-equal.
+        let cfg = tiny_config();
+        let pairs: Vec<Pair> = (0..3).map(|s| synthetic_pair(&cfg, s)).collect();
+        let mut batch = Pix2Pix::new(&cfg, 21).unwrap();
+        let h_batch = batch.train(&pairs, 3);
+        let mut stream = Pix2Pix::new(&cfg, 21).unwrap();
+        let h_stream = stream.train_stream((0..3).map(|_| pairs.clone()));
+        assert_eq!(h_batch, h_stream);
+        // Empty yields are skipped, not recorded.
+        let mut skip = Pix2Pix::new(&cfg, 22).unwrap();
+        let h = skip.train_stream(vec![pairs.clone(), Vec::new(), pairs.clone()]);
+        assert_eq!(h.generator_loss.len(), 2);
     }
 
     #[test]

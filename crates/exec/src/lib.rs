@@ -1,0 +1,26 @@
+//! `pop-exec` — the workspace's shared concurrency substrate.
+//!
+//! Two production subsystems move work between threads: the forecast
+//! serving engine (`pop-serve`) and the dataset-generation pipeline
+//! (`pop-pipeline`). Both are built from the same two primitives, extracted
+//! here so there is exactly one queue/pool implementation to reason about:
+//!
+//! * [`BoundedQueue`] — a bounded multi-producer / multi-consumer queue
+//!   with blocking and non-blocking enqueue (backpressure), a blocking
+//!   [`pop`](BoundedQueue::pop), and the batch-coalescing
+//!   [`pop_batch_by`](BoundedQueue::pop_batch_by) the serving engine's
+//!   micro-batcher is made of. [`close`](BoundedQueue::close) stops intake
+//!   while letting consumers drain — the graceful-shutdown protocol.
+//! * [`WorkerPool`] — a handful of named `std::thread` workers joined on
+//!   drop, so a stage cannot leak threads past its owner.
+//!
+//! The idiom shared by both users: producers `push` (or `try_push` and
+//! treat [`PushError::Full`] as backpressure), each worker loops on a
+//! blocking pop until the queue is closed *and* drained, and the owner
+//! closes the queue then joins the pool.
+
+mod pool;
+mod queue;
+
+pub use pool::WorkerPool;
+pub use queue::{BoundedQueue, PushError};

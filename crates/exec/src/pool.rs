@@ -1,0 +1,122 @@
+//! A small named worker pool over `std::thread`, joined on drop.
+
+use std::thread::JoinHandle;
+
+/// A fixed set of named worker threads.
+///
+/// Each worker runs one closure to completion (the idiom: loop on a
+/// blocking [`BoundedQueue`](crate::BoundedQueue) pop until the queue is
+/// closed and drained). The pool joins every worker on [`WorkerPool::join`]
+/// or on drop, so a stage cannot leak threads past its owner. Worker
+/// panics are contained: join reports how many workers panicked instead of
+/// unwinding into the owner.
+#[derive(Debug)]
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads named `<name>-<index>`, each running the
+    /// closure produced by `make(index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the OS refuses to spawn a thread.
+    pub fn spawn<F>(name: &str, workers: usize, mut make: impl FnMut(usize) -> F) -> Self
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let handles = (0..workers)
+            .map(|i| {
+                let body = make(i);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(body)
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        WorkerPool { handles }
+    }
+
+    /// Number of workers still owned by the pool.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// True when the pool has been joined (or was spawned empty).
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Waits for every worker to finish; returns how many panicked.
+    pub fn join(&mut self) -> usize {
+        let mut panicked = 0;
+        for h in self.handles.drain(..) {
+            if h.join().is_err() {
+                panicked += 1;
+            }
+        }
+        panicked
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        let _ = self.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BoundedQueue;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn workers_drain_a_queue_to_completion() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let sum = Arc::new(AtomicUsize::new(0));
+        let mut pool = WorkerPool::spawn("drain-test", 3, |_| {
+            let q = Arc::clone(&q);
+            let sum = Arc::clone(&sum);
+            move || {
+                while let Some(v) = q.pop() {
+                    sum.fetch_add(v, Ordering::Relaxed);
+                }
+            }
+        });
+        assert_eq!(pool.len(), 3);
+        for v in 1..=100usize {
+            q.push(v).unwrap();
+        }
+        q.close();
+        assert_eq!(pool.join(), 0);
+        assert!(pool.is_empty());
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn join_counts_panicked_workers() {
+        let mut pool = WorkerPool::spawn("panic-test", 2, |i| {
+            move || {
+                if i == 0 {
+                    // One worker fails; the pool must still join cleanly.
+                    panic!("deliberate test panic");
+                }
+            }
+        });
+        assert_eq!(pool.join(), 1);
+    }
+
+    #[test]
+    fn workers_are_named_after_the_pool() {
+        let mut pool = WorkerPool::spawn("name-test", 1, |_| {
+            move || {
+                let name = std::thread::current().name().map(str::to_owned);
+                assert_eq!(name.as_deref(), Some("name-test-0"));
+            }
+        });
+        assert_eq!(pool.join(), 0);
+    }
+}

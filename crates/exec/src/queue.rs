@@ -1,0 +1,414 @@
+//! The bounded MPMC queue shared by the serving engine and the
+//! data-generation pipeline.
+//!
+//! Producers use [`BoundedQueue::try_push`] (bounces with
+//! [`PushError::Full`] — backpressure) or [`BoundedQueue::push`] (blocks
+//! for space). Consumers use the blocking [`BoundedQueue::pop`] for plain
+//! work distribution, or [`BoundedQueue::pop_batch_by`] to coalesce up to
+//! `max_batch` key-compatible pending items into one batch, waiting up to
+//! `max_wait` past the first item for stragglers — the serving engine's
+//! micro-batcher.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why an enqueue was refused. The rejected item is handed back so the
+/// caller can retry, reroute or drop it explicitly.
+pub enum PushError<T> {
+    /// The queue is at capacity (only [`BoundedQueue::try_push`] returns
+    /// this — the backpressure signal).
+    Full(T),
+    /// The queue was [`close`](BoundedQueue::close)d and accepts no new
+    /// items.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// Recovers the rejected item.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(item) | PushError::Closed(item) => item,
+        }
+    }
+
+    /// True for the capacity-pressure variant.
+    pub fn is_full(&self) -> bool {
+        matches!(self, PushError::Full(_))
+    }
+}
+
+impl<T> fmt::Debug for PushError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PushError::Full(_) => write!(f, "PushError::Full(..)"),
+            PushError::Closed(_) => write!(f, "PushError::Closed(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for PushError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PushError::Full(_) => write!(f, "queue is full"),
+            PushError::Closed(_) => write!(f, "queue is closed"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    deque: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded multi-producer / multi-consumer queue with graceful shutdown
+/// and an optional batch-coalescing pop.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            capacity,
+            state: Mutex::new(QueueState {
+                deque: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
+        self.state.lock().expect("queue mutex poisoned")
+    }
+
+    /// Non-blocking enqueue: the backpressure path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`]; the item rides back in the error.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut st = self.lock();
+        if st.closed {
+            return Err(PushError::Closed(item));
+        }
+        if st.deque.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        st.deque.push_back(item);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking enqueue: waits for queue space (or shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError::Closed`] when the queue shuts down before (or
+    /// while) waiting for space.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut st = self.lock();
+        while !st.closed && st.deque.len() >= self.capacity {
+            st = self.not_full.wait(st).expect("queue mutex poisoned");
+        }
+        if st.closed {
+            return Err(PushError::Closed(item));
+        }
+        st.deque.push_back(item);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking dequeue of one item; `None` once the queue is closed *and*
+    /// drained — the worker shutdown signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = st.deque.pop_front() {
+                drop(st);
+                self.not_full.notify_all();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("queue mutex poisoned");
+        }
+    }
+
+    /// Dequeues the next batch: the oldest item plus up to `max_batch - 1`
+    /// further pending items whose `key` equals the first item's, waiting
+    /// at most `max_wait` past the first pop for more to arrive. Items with
+    /// other keys stay queued in order for a later batch.
+    ///
+    /// Returns `None` once the queue is closed *and* drained.
+    pub fn pop_batch_by<K, F>(&self, max_batch: usize, max_wait: Duration, key: F) -> Option<Vec<T>>
+    where
+        K: PartialEq,
+        F: Fn(&T) -> K,
+    {
+        let max_batch = max_batch.max(1);
+        let mut st = self.lock();
+        loop {
+            if let Some(first) = st.deque.pop_front() {
+                fn take_matching<T, K: PartialEq>(
+                    batch: &mut Vec<T>,
+                    st: &mut QueueState<T>,
+                    key: &K,
+                    key_of: &impl Fn(&T) -> K,
+                    max_batch: usize,
+                ) {
+                    let mut i = 0;
+                    while batch.len() < max_batch && i < st.deque.len() {
+                        if key_of(&st.deque[i]) == *key {
+                            // `remove` preserves FIFO order of the rest.
+                            batch.push(st.deque.remove(i).expect("index in bounds"));
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+                let batch_key = key(&first);
+                let mut batch = vec![first];
+                take_matching(&mut batch, &mut st, &batch_key, &key, max_batch);
+                // Hold the pop open briefly for stragglers: bounded extra
+                // latency for the first item, much higher occupancy under
+                // concurrent load.
+                if batch.len() < max_batch && !max_wait.is_zero() && !st.closed {
+                    let deadline = Instant::now() + max_wait;
+                    while batch.len() < max_batch && !st.closed {
+                        let now = Instant::now();
+                        let Some(left) = deadline.checked_duration_since(now) else {
+                            break;
+                        };
+                        if left.is_zero() {
+                            break;
+                        }
+                        let (next, timeout) = self
+                            .not_empty
+                            .wait_timeout(st, left)
+                            .expect("queue mutex poisoned");
+                        st = next;
+                        take_matching(&mut batch, &mut st, &batch_key, &key, max_batch);
+                        // A wakeup may have been for a key this batch
+                        // cannot take: pass the baton so an idle consumer
+                        // serves it instead of waiting out our deadline.
+                        if !st.deque.is_empty() {
+                            self.not_empty.notify_one();
+                        }
+                        if timeout.timed_out() {
+                            break;
+                        }
+                    }
+                }
+                // Mismatched-key items may remain; their producers'
+                // notifications were consumed above, so re-notify before
+                // returning the batch.
+                let leftover = !st.deque.is_empty();
+                drop(st);
+                if leftover {
+                    self.not_empty.notify_one();
+                }
+                // Freed capacity: wake blocked producers.
+                self.not_full.notify_all();
+                return Some(batch);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("queue mutex poisoned");
+        }
+    }
+
+    /// Stops accepting new items and wakes every waiter; queued items
+    /// remain poppable so consumers drain gracefully.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.lock().deque.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The capacity the queue was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn try_push_bounces_when_saturated_and_frees_after_pop() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let err = q.try_push(3).unwrap_err();
+        assert!(err.is_full());
+        assert_eq!(err.into_inner(), 3);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_drains_in_fifo_order_then_signals_shutdown() {
+        let q = BoundedQueue::new(4);
+        for i in 0..3 {
+            q.push(i).unwrap();
+        }
+        q.close();
+        assert!(matches!(q.try_push(9), Err(PushError::Closed(9))));
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(1u32).unwrap();
+        let pusher = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(2).unwrap())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(1));
+        pusher.join().unwrap();
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn push_returns_closed_while_waiting() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(1u32).unwrap();
+        let pusher = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(2))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(matches!(pusher.join().unwrap(), Err(PushError::Closed(2))));
+    }
+
+    #[test]
+    fn pop_batch_by_coalesces_matching_keys() {
+        let q = BoundedQueue::new(8);
+        for item in [4usize, 4, 8, 4, 8] {
+            q.try_push(item).unwrap();
+        }
+        // First batch: the three 4s, coalesced around the front.
+        let batch = q.pop_batch_by(4, Duration::ZERO, |&v| v).unwrap();
+        assert_eq!(batch, vec![4, 4, 4]);
+        // The 8s are still queued, in order.
+        let batch = q.pop_batch_by(4, Duration::ZERO, |&v| v).unwrap();
+        assert_eq!(batch, vec![8, 8]);
+        q.close();
+        assert!(q.pop_batch_by(4, Duration::ZERO, |&v| v).is_none());
+    }
+
+    #[test]
+    fn pop_batch_by_respects_max_batch() {
+        let q = BoundedQueue::new(8);
+        for _ in 0..5 {
+            q.try_push(7u8).unwrap();
+        }
+        assert_eq!(q.pop_batch_by(4, Duration::ZERO, |&v| v).unwrap().len(), 4);
+        assert_eq!(q.pop_batch_by(4, Duration::ZERO, |&v| v).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn pop_batch_by_waits_for_stragglers() {
+        let q = Arc::new(BoundedQueue::new(8));
+        q.try_push(1u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                q.try_push(1).unwrap();
+            })
+        };
+        // Generous window: the straggler lands well inside it.
+        let batch = q
+            .pop_batch_by(2, Duration::from_millis(2000), |&v| v)
+            .unwrap();
+        assert_eq!(batch.len(), 2);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_move_every_item() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let producers: Vec<_> = (0..3)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..20u64 {
+                        q.push(p * 100 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut want: Vec<u64> = (0..3)
+            .flat_map(|p| (0..20).map(move |i| p * 100 + i))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(all, want);
+    }
+}

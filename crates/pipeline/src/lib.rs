@@ -1,0 +1,149 @@
+//! `pop-pipeline` — the streaming, multi-threaded scenario/data-generation
+//! pipeline.
+//!
+//! Dataset generation is the wall-clock bottleneck of every experiment:
+//! routing hundreds of placements dominates experiment time. This crate
+//! turns the sequential netlist → place → route → raster → tensor loop of
+//! `pop_core::dataset` into a staged, streaming generator on the shared
+//! `pop-exec` concurrency substrate (the same bounded-queue + worker-pool
+//! machinery the serving engine runs on):
+//!
+//! * [`ScenarioSpec`] — corpora are described *declaratively*: design
+//!   preset, scale, resolution, target fabric utilization, aspect ratio,
+//!   net-degree profile, seed ranges. The [`scenario::registry`] ships
+//!   named scenarios ("smoke", "dense", "wide", "highfanout", …).
+//! * [`generate_corpus`] — four stages (fabric prep / place / route /
+//!   raster+tensors), each on its own worker pool, connected by bounded
+//!   queues; the collector reassembles pairs by `(job, sweep index)`, so
+//!   output is **bitwise-identical** to the sequential path
+//!   ([`generate_corpus_sequential`]) for identical seeds — both drive the
+//!   very same `DesignContext` stage functions.
+//! * [`EpochPrefetcher`] — a background iterator generating epoch `N + 1`'s
+//!   pairs (fresh placement seeds every epoch) while epoch `N` trains;
+//!   plug it into [`Pix2Pix::train_stream`](pop_core::Pix2Pix::train_stream).
+//!
+//! # Example
+//!
+//! ```
+//! use pop_pipeline::{generate_corpus, scenario, PipelineOptions};
+//!
+//! let smoke = scenario::by_name("smoke").unwrap();
+//! let corpus = generate_corpus(&[smoke], &PipelineOptions::with_workers(2))?;
+//! assert_eq!(corpus.len(), 1);
+//! assert_eq!(corpus[0].pairs.len(), 2);
+//! # Ok::<(), pop_pipeline::PipelineError>(())
+//! ```
+
+mod error;
+mod prefetch;
+mod run;
+pub mod scenario;
+
+pub use error::PipelineError;
+pub use prefetch::EpochPrefetcher;
+pub use run::{
+    expand, generate_corpus, generate_corpus_sequential, generate_jobs, PipelineOptions,
+};
+pub use scenario::{DesignJob, ScenarioSpec};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pop_core::dataset::DesignDataset;
+
+    fn tiny(name: &str, design: &str, pairs: usize) -> ScenarioSpec {
+        ScenarioSpec {
+            name: name.into(),
+            design: design.into(),
+            design_scale: 0.01,
+            resolution: 16,
+            pairs_per_design: pairs,
+            ..ScenarioSpec::default()
+        }
+    }
+
+    /// Asserts both corpora are identical up to wall-clock timing fields;
+    /// everything else must be bitwise-equal.
+    fn assert_corpora_identical(parallel: &[DesignDataset], sequential: &[DesignDataset]) {
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(sequential) {
+            assert_eq!(p.name, s.name);
+            assert_eq!(p.channel_width, s.channel_width);
+            assert_eq!((p.grid_width, p.grid_height), (s.grid_width, s.grid_height));
+            assert_eq!(p.pairs.len(), s.pairs.len());
+            for (pp, sp) in p.pairs.iter().zip(&s.pairs) {
+                assert_eq!(pp.without_timings(), sp.without_timings());
+            }
+        }
+    }
+
+    #[test]
+    fn golden_parallel_output_is_bitwise_identical_to_sequential() {
+        // The acceptance gate: a multi-design, multi-scenario corpus
+        // generated on 4 workers equals the sequential reference exactly.
+        let scenarios = vec![
+            tiny("golden-a", "diffeq2", 3),
+            ScenarioSpec {
+                target_utilization: 0.9,
+                aspect_ratio: 2.0,
+                ..tiny("golden-b", "diffeq1", 2)
+            },
+        ];
+        let sequential = generate_corpus_sequential(&scenarios).unwrap();
+        let parallel = generate_corpus(&scenarios, &PipelineOptions::with_workers(4)).unwrap();
+        assert_corpora_identical(&parallel, &sequential);
+        // And again: the pipeline itself is deterministic run-to-run.
+        let parallel2 = generate_corpus(&scenarios, &PipelineOptions::with_workers(3)).unwrap();
+        assert_corpora_identical(&parallel2, &sequential);
+    }
+
+    #[test]
+    fn variant_scenarios_expand_and_generate() {
+        let scenario = ScenarioSpec {
+            variants: 2,
+            ..tiny("vars", "diffeq2", 2)
+        };
+        let corpus = generate_corpus(&[scenario], &PipelineOptions::with_workers(2)).unwrap();
+        assert_eq!(corpus.len(), 2);
+        assert_ne!(corpus[0].name, corpus[1].name);
+        // Different netlist seeds must produce different data.
+        assert_ne!(corpus[0].pairs[0].x, corpus[1].pairs[0].x);
+    }
+
+    #[test]
+    fn empty_corpus_and_bad_scenarios() {
+        assert!(generate_corpus(&[], &PipelineOptions::default())
+            .unwrap()
+            .is_empty());
+        let bad = ScenarioSpec {
+            design: "nosuch".into(),
+            ..ScenarioSpec::default()
+        };
+        assert!(matches!(
+            generate_corpus(&[bad], &PipelineOptions::default()),
+            Err(PipelineError::BadScenario(_))
+        ));
+    }
+
+    #[test]
+    fn stage_failures_surface_as_core_errors() {
+        // A job doctored with an invalid config fails in the prep stage
+        // and must surface as the original core error, not hang.
+        let mut jobs = expand(&[tiny("bad-config", "diffeq2", 2)]).unwrap();
+        jobs[0].config.resolution = 48; // not a power of two
+        assert!(matches!(
+            generate_jobs(jobs, &PipelineOptions::with_workers(2)),
+            Err(PipelineError::Core(_))
+        ));
+    }
+
+    #[test]
+    fn options_default_to_available_parallelism() {
+        let opts = PipelineOptions::default();
+        assert!(opts.workers >= 1);
+        assert!(opts.queue_depth >= 2);
+        let four = PipelineOptions::with_workers(4);
+        assert_eq!(four.workers, 4);
+        assert_eq!(four.queue_depth, 8);
+    }
+}

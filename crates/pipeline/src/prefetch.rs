@@ -1,0 +1,201 @@
+//! Background epoch prefetch: generate epoch `N + 1`'s pairs while epoch
+//! `N` trains.
+//!
+//! [`EpochPrefetcher`] runs the parallel corpus generator on a background
+//! thread and yields one `Vec<Pair>` per epoch through a bounded channel
+//! (depth = how many epochs may be pre-generated ahead of the trainer).
+//! Each epoch shifts every scenario's placement-sweep seed past the
+//! previous epoch's range, so the trainer sees *fresh placements of the
+//! same designs* every epoch — the corpus-diversity knob the fixed-preset
+//! flow never had. Feed it straight into
+//! [`Pix2Pix::train_stream`](pop_core::Pix2Pix::train_stream).
+
+use crate::error::PipelineError;
+use crate::run::{expand, generate_jobs, PipelineOptions};
+use crate::scenario::{DesignJob, ScenarioSpec};
+use pop_core::dataset::Pair;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+/// A background iterator of per-epoch training pairs.
+///
+/// Dropping the prefetcher early (e.g. the trainer stopped) disconnects
+/// the channel; the generator thread notices on its next send and exits.
+#[derive(Debug)]
+pub struct EpochPrefetcher {
+    rx: Option<mpsc::Receiver<Result<Vec<Pair>, PipelineError>>>,
+    producer: Option<JoinHandle<()>>,
+}
+
+impl EpochPrefetcher {
+    /// Starts generating `epochs` corpora from `scenarios` in the
+    /// background, keeping at most `depth` finished epochs buffered.
+    /// Epoch `e` uses sweep seeds shifted by `e * pairs_per_design`, so
+    /// consecutive epochs draw disjoint placement seeds.
+    pub fn start(
+        scenarios: Vec<ScenarioSpec>,
+        opts: PipelineOptions,
+        epochs: usize,
+        depth: usize,
+    ) -> Self {
+        let (tx, rx) = mpsc::sync_channel(depth.max(1));
+        let producer = std::thread::Builder::new()
+            .name("pop-pipe-prefetch".into())
+            .spawn(move || {
+                for epoch in 0..epochs {
+                    let result = shifted_jobs(&scenarios, epoch)
+                        .and_then(|jobs| generate_jobs(jobs, &opts))
+                        .map(|datasets| {
+                            datasets
+                                .into_iter()
+                                .flat_map(|d| d.pairs)
+                                .collect::<Vec<Pair>>()
+                        });
+                    let failed = result.is_err();
+                    if tx.send(result).is_err() {
+                        return; // consumer hung up — stop generating
+                    }
+                    if failed {
+                        return; // error delivered; nothing sensible follows
+                    }
+                }
+            })
+            .expect("failed to spawn prefetch thread");
+        EpochPrefetcher {
+            rx: Some(rx),
+            producer: Some(producer),
+        }
+    }
+
+    /// Convenience consumer: unwraps errors into the first failure and
+    /// collects the remaining epochs eagerly (mostly for tests; training
+    /// should iterate lazily to overlap generation with optimisation).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first generation failure.
+    pub fn collect_epochs(self) -> Result<Vec<Vec<Pair>>, PipelineError> {
+        self.collect()
+    }
+}
+
+/// Expands scenarios into jobs whose *placement-sweep* seeds are advanced
+/// past every earlier epoch. Only `config.seed` shifts — the netlist
+/// variant derivation (the scenario seed) stays fixed, so every epoch
+/// re-places the *same* designs rather than inventing new ones.
+fn shifted_jobs(scenarios: &[ScenarioSpec], epoch: usize) -> Result<Vec<DesignJob>, PipelineError> {
+    let mut jobs = expand(scenarios)?;
+    for job in &mut jobs {
+        job.config.seed = job
+            .config
+            .seed
+            .wrapping_add(epoch as u64 * job.config.pairs_per_design as u64);
+    }
+    Ok(jobs)
+}
+
+impl Iterator for EpochPrefetcher {
+    type Item = Result<Vec<Pair>, PipelineError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.rx.as_ref()?.recv().ok()
+    }
+}
+
+impl Drop for EpochPrefetcher {
+    fn drop(&mut self) {
+        // Disconnect first so a blocked producer send unblocks, then join.
+        self.rx = None;
+        if let Some(h) = self.producer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::by_name;
+
+    fn tiny() -> ScenarioSpec {
+        ScenarioSpec {
+            pairs_per_design: 2,
+            ..by_name("smoke").unwrap()
+        }
+    }
+
+    #[test]
+    fn epochs_arrive_in_order_with_fresh_placements() {
+        let prefetcher =
+            EpochPrefetcher::start(vec![tiny()], PipelineOptions::with_workers(2), 2, 1);
+        let epochs = prefetcher.collect_epochs().unwrap();
+        assert_eq!(epochs.len(), 2);
+        for pairs in &epochs {
+            assert_eq!(pairs.len(), 2);
+        }
+        // Epoch 1 must not reuse epoch 0's placement seeds.
+        let seeds0: Vec<u64> = epochs[0].iter().map(|p| p.meta.place_seed).collect();
+        let seeds1: Vec<u64> = epochs[1].iter().map(|p| p.meta.place_seed).collect();
+        assert!(
+            seeds0.iter().all(|s| !seeds1.contains(s)),
+            "{seeds0:?} vs {seeds1:?}"
+        );
+        // And each epoch matches a sequential build of the shifted jobs.
+        let direct_pairs: Vec<_> = shifted_jobs(&[tiny()], 1)
+            .unwrap()
+            .iter()
+            .flat_map(|job| {
+                pop_core::dataset::build_design_dataset(&job.spec, &job.config)
+                    .unwrap()
+                    .pairs
+            })
+            .collect();
+        for (a, b) in epochs[1].iter().zip(&direct_pairs) {
+            assert_eq!(a.without_timings(), b.without_timings());
+        }
+    }
+
+    #[test]
+    fn epoch_shift_replaces_placements_not_designs() {
+        // Multi-variant scenarios must re-place the *same* netlists each
+        // epoch: the shift may only touch the placement-sweep seed.
+        let scenario = ScenarioSpec {
+            variants: 3,
+            ..tiny()
+        };
+        let epoch0 = shifted_jobs(std::slice::from_ref(&scenario), 0).unwrap();
+        let epoch1 = shifted_jobs(std::slice::from_ref(&scenario), 1).unwrap();
+        for (a, b) in epoch0.iter().zip(&epoch1) {
+            assert_eq!(
+                a.spec, b.spec,
+                "netlist variants must be stable across epochs"
+            );
+            assert_ne!(a.config.seed, b.config.seed, "sweep seeds must advance");
+        }
+    }
+
+    #[test]
+    fn early_drop_stops_the_producer() {
+        let mut prefetcher =
+            EpochPrefetcher::start(vec![tiny()], PipelineOptions::with_workers(2), 50, 1);
+        let first = prefetcher.next().unwrap().unwrap();
+        assert_eq!(first.len(), 2);
+        // Dropping after one epoch must not hang on the remaining 49.
+        drop(prefetcher);
+    }
+
+    #[test]
+    fn generation_failure_is_yielded_then_ends_the_stream() {
+        let bad = ScenarioSpec {
+            design: "nosuch".into(),
+            ..tiny()
+        };
+        let mut prefetcher =
+            EpochPrefetcher::start(vec![bad], PipelineOptions::with_workers(1), 3, 1);
+        assert!(matches!(
+            prefetcher.next(),
+            Some(Err(PipelineError::BadScenario(_)))
+        ));
+        assert!(prefetcher.next().is_none());
+    }
+}

@@ -1,0 +1,376 @@
+//! The staged, streaming corpus generator.
+//!
+//! Four stages, each on its own [`WorkerPool`], connected by bounded
+//! [`BoundedQueue`]s (backpressure keeps memory flat while designs
+//! stream through):
+//!
+//! ```text
+//! jobs ─▶ [prep: netlist + fabric calibration] ─▶ [place] ─▶ [route] ─▶ [raster + tensors] ─▶ collector
+//! ```
+//!
+//! Every stage calls the *same* `pop_core::dataset::DesignContext` stage
+//! functions the sequential `build_design_dataset` driver uses, and the
+//! collector reassembles pairs by `(job, sweep index)` — so the output is
+//! bitwise-identical to the sequential path for identical seeds, regardless
+//! of scheduling (wall-clock `PairMeta` timings aside).
+
+use crate::error::PipelineError;
+use crate::scenario::{DesignJob, ScenarioSpec};
+use pop_core::dataset::{build_design_dataset, DesignContext, DesignDataset, Pair};
+use pop_core::CoreError;
+use pop_exec::{BoundedQueue, WorkerPool};
+use pop_place::{PlaceOptions, Placement};
+use pop_route::RouteResult;
+use std::sync::{mpsc, Arc};
+
+/// Tuning knobs of the parallel generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineOptions {
+    /// Worker threads per heavy stage (placement and routing pools each get
+    /// this many; rasterisation gets half, preparation is capped by the
+    /// number of designs).
+    pub workers: usize,
+    /// Depth of the bounded inter-stage queues — the backpressure window.
+    pub queue_depth: usize,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        PipelineOptions {
+            workers: parallelism.min(8),
+            queue_depth: 2 * parallelism.clamp(1, 8),
+        }
+    }
+}
+
+impl PipelineOptions {
+    /// A pool sized for `workers` threads per heavy stage.
+    pub fn with_workers(workers: usize) -> Self {
+        PipelineOptions {
+            workers: workers.max(1),
+            queue_depth: 2 * workers.max(1),
+        }
+    }
+}
+
+struct PlaceTask {
+    job: usize,
+    index: usize,
+    ctx: Arc<DesignContext>,
+    popts: PlaceOptions,
+}
+
+struct RouteTask {
+    job: usize,
+    index: usize,
+    ctx: Arc<DesignContext>,
+    popts: PlaceOptions,
+    placement: Placement,
+    place_micros: u64,
+}
+
+struct RasterTask {
+    job: usize,
+    index: usize,
+    ctx: Arc<DesignContext>,
+    popts: PlaceOptions,
+    placement: Placement,
+    routing: RouteResult,
+    place_micros: u64,
+    route_micros: u64,
+}
+
+enum Event {
+    Context {
+        job: usize,
+        ctx: Arc<DesignContext>,
+    },
+    Pair {
+        job: usize,
+        index: usize,
+        pair: Box<Pair>,
+    },
+    Failed {
+        job: usize,
+        error: CoreError,
+    },
+}
+
+/// Expands scenarios into concrete generation jobs, in scenario order.
+///
+/// # Errors
+///
+/// Propagates scenario validation failures.
+pub fn expand(scenarios: &[ScenarioSpec]) -> Result<Vec<DesignJob>, PipelineError> {
+    let mut jobs = Vec::new();
+    for s in scenarios {
+        jobs.extend(s.jobs()?);
+    }
+    Ok(jobs)
+}
+
+/// Generates every job's dataset on the staged parallel pipeline,
+/// returning datasets in job order.
+///
+/// # Errors
+///
+/// Returns the first stage failure in job order, or
+/// [`PipelineError::Incomplete`] when a worker died without delivering.
+pub fn generate_jobs(
+    jobs: Vec<DesignJob>,
+    opts: &PipelineOptions,
+) -> Result<Vec<DesignDataset>, PipelineError> {
+    let njobs = jobs.len();
+    if njobs == 0 {
+        return Ok(Vec::new());
+    }
+    let workers = opts.workers.max(1);
+    let depth = opts.queue_depth.max(1);
+    let expected: Vec<usize> = jobs.iter().map(|j| j.config.pairs_per_design).collect();
+    let names: Vec<String> = jobs.iter().map(|j| j.spec.name.clone()).collect();
+
+    let q_prep: Arc<BoundedQueue<(usize, DesignJob)>> = Arc::new(BoundedQueue::new(njobs));
+    let q_place: Arc<BoundedQueue<PlaceTask>> = Arc::new(BoundedQueue::new(depth));
+    let q_route: Arc<BoundedQueue<RouteTask>> = Arc::new(BoundedQueue::new(depth));
+    let q_raster: Arc<BoundedQueue<RasterTask>> = Arc::new(BoundedQueue::new(depth));
+    let (tx, rx) = mpsc::channel::<Event>();
+
+    // Seed the first stage up front (capacity == njobs, so this never
+    // blocks) and close it: prep workers drain it and exit.
+    for (job, j) in jobs.into_iter().enumerate() {
+        q_prep
+            .push((job, j))
+            .unwrap_or_else(|_| unreachable!("prep queue sized to all jobs"));
+    }
+    q_prep.close();
+
+    // Every stage call is wrapped in `catch_unwind` (stage state is
+    // immutable `&self`, so unwinding cannot corrupt it): a panicking stage
+    // becomes a per-job failure instead of killing the worker. This is
+    // load-bearing for shutdown — if a stage's *last* worker died, upstream
+    // workers would block forever in `push` on a queue nobody pops and
+    // nobody has closed yet, and the stage-by-stage join below would hang.
+    fn run_stage<T>(
+        op: impl FnOnce() -> Result<T, CoreError> + std::panic::UnwindSafe,
+    ) -> Result<T, CoreError> {
+        match std::panic::catch_unwind(op) {
+            Ok(result) => result,
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".into());
+                Err(CoreError::Pipeline(format!("stage panicked: {msg}")))
+            }
+        }
+    }
+
+    let mut prep_pool = WorkerPool::spawn("pop-pipe-prep", workers.min(njobs), |_| {
+        let q_prep = Arc::clone(&q_prep);
+        let q_place = Arc::clone(&q_place);
+        let tx = tx.clone();
+        move || {
+            while let Some((job, design_job)) = q_prep.pop() {
+                let prepared = run_stage(std::panic::AssertUnwindSafe(|| {
+                    DesignContext::prepare(&design_job.spec, &design_job.config)
+                }));
+                match prepared {
+                    Ok(ctx) => {
+                        let ctx = Arc::new(ctx);
+                        let _ = tx.send(Event::Context {
+                            job,
+                            ctx: Arc::clone(&ctx),
+                        });
+                        for (index, popts) in ctx.sweep_options().into_iter().enumerate() {
+                            let task = PlaceTask {
+                                job,
+                                index,
+                                ctx: Arc::clone(&ctx),
+                                popts,
+                            };
+                            if q_place.push(task).is_err() {
+                                return; // pipeline tearing down
+                            }
+                        }
+                    }
+                    Err(error) => {
+                        let _ = tx.send(Event::Failed { job, error });
+                    }
+                }
+            }
+        }
+    });
+
+    let mut place_pool = WorkerPool::spawn("pop-pipe-place", workers, |_| {
+        let q_place = Arc::clone(&q_place);
+        let q_route = Arc::clone(&q_route);
+        let tx = tx.clone();
+        move || {
+            while let Some(t) = q_place.pop() {
+                let placed =
+                    run_stage(std::panic::AssertUnwindSafe(|| t.ctx.place_stage(&t.popts)));
+                match placed {
+                    Ok((placement, place_micros)) => {
+                        let task = RouteTask {
+                            job: t.job,
+                            index: t.index,
+                            ctx: t.ctx,
+                            popts: t.popts,
+                            placement,
+                            place_micros,
+                        };
+                        if q_route.push(task).is_err() {
+                            return;
+                        }
+                    }
+                    Err(error) => {
+                        let _ = tx.send(Event::Failed { job: t.job, error });
+                    }
+                }
+            }
+        }
+    });
+
+    let mut route_pool = WorkerPool::spawn("pop-pipe-route", workers, |_| {
+        let q_route = Arc::clone(&q_route);
+        let q_raster = Arc::clone(&q_raster);
+        let tx = tx.clone();
+        move || {
+            while let Some(t) = q_route.pop() {
+                let routed = run_stage(std::panic::AssertUnwindSafe(|| {
+                    t.ctx.route_stage(&t.placement)
+                }));
+                match routed {
+                    Ok((routing, route_micros)) => {
+                        let task = RasterTask {
+                            job: t.job,
+                            index: t.index,
+                            ctx: t.ctx,
+                            popts: t.popts,
+                            placement: t.placement,
+                            routing,
+                            place_micros: t.place_micros,
+                            route_micros,
+                        };
+                        if q_raster.push(task).is_err() {
+                            return;
+                        }
+                    }
+                    Err(error) => {
+                        let _ = tx.send(Event::Failed { job: t.job, error });
+                    }
+                }
+            }
+        }
+    });
+
+    let mut raster_pool = WorkerPool::spawn("pop-pipe-raster", workers.div_ceil(2), |_| {
+        let q_raster = Arc::clone(&q_raster);
+        let tx = tx.clone();
+        move || {
+            while let Some(t) = q_raster.pop() {
+                let rastered = run_stage(std::panic::AssertUnwindSafe(|| {
+                    Ok(t.ctx.raster_stage(
+                        t.index,
+                        &t.popts,
+                        &t.placement,
+                        &t.routing,
+                        t.place_micros,
+                        t.route_micros,
+                    ))
+                }));
+                match rastered {
+                    Ok(pair) => {
+                        let _ = tx.send(Event::Pair {
+                            job: t.job,
+                            index: t.index,
+                            pair: Box::new(pair),
+                        });
+                    }
+                    Err(error) => {
+                        let _ = tx.send(Event::Failed { job: t.job, error });
+                    }
+                }
+            }
+        }
+    });
+
+    // Graceful drain, stage by stage: once a stage's pool has joined, no
+    // more tasks can enter the next queue, so closing it lets the next
+    // pool drain and exit. Workers cannot die mid-stage (panics are caught
+    // above), so every task reaches the collector as a Pair or a failure;
+    // the completeness check below is a backstop.
+    let _ = prep_pool.join();
+    q_place.close();
+    let _ = place_pool.join();
+    q_route.close();
+    let _ = route_pool.join();
+    q_raster.close();
+    let _ = raster_pool.join();
+    drop(tx);
+
+    // Reassemble in deterministic (job, sweep-index) order.
+    let mut ctxs: Vec<Option<Arc<DesignContext>>> = vec![None; njobs];
+    let mut slots: Vec<Vec<Option<Pair>>> = expected.iter().map(|&n| vec![None; n]).collect();
+    let mut first_error: Option<(usize, CoreError)> = None;
+    for event in rx {
+        match event {
+            Event::Context { job, ctx } => ctxs[job] = Some(ctx),
+            Event::Pair { job, index, pair } => slots[job][index] = Some(*pair),
+            Event::Failed { job, error } => {
+                if first_error.as_ref().is_none_or(|(j, _)| job < *j) {
+                    first_error = Some((job, error));
+                }
+            }
+        }
+    }
+    if let Some((_, error)) = first_error {
+        return Err(PipelineError::Core(error));
+    }
+    let mut datasets = Vec::with_capacity(njobs);
+    for (job, (ctx, pairs)) in ctxs.into_iter().zip(slots).enumerate() {
+        let complete = pairs.iter().all(Option::is_some);
+        let (Some(ctx), true) = (ctx, complete) else {
+            return Err(PipelineError::Incomplete {
+                design: names[job].clone(),
+            });
+        };
+        let ctx = Arc::try_unwrap(ctx).unwrap_or_else(|arc| (*arc).clone());
+        datasets.push(ctx.into_dataset(pairs.into_iter().map(Option::unwrap).collect()));
+    }
+    Ok(datasets)
+}
+
+/// Generates the corpus described by `scenarios` on the parallel pipeline:
+/// [`expand`] then [`generate_jobs`], datasets in scenario order.
+///
+/// # Errors
+///
+/// Propagates scenario validation and generation failures.
+pub fn generate_corpus(
+    scenarios: &[ScenarioSpec],
+    opts: &PipelineOptions,
+) -> Result<Vec<DesignDataset>, PipelineError> {
+    generate_jobs(expand(scenarios)?, opts)
+}
+
+/// The sequential reference path: the same jobs, one
+/// [`build_design_dataset`] call at a time on the calling thread. The
+/// parallel pipeline's output is bitwise-identical to this (see the golden
+/// determinism tests).
+///
+/// # Errors
+///
+/// Propagates scenario validation and generation failures.
+pub fn generate_corpus_sequential(
+    scenarios: &[ScenarioSpec],
+) -> Result<Vec<DesignDataset>, PipelineError> {
+    expand(scenarios)?
+        .into_iter()
+        .map(|job| build_design_dataset(&job.spec, &job.config).map_err(PipelineError::Core))
+        .collect()
+}

@@ -6,11 +6,11 @@ use crate::queue::{Request, RequestQueue};
 use crate::stats::{ServeStats, StatsSnapshot};
 use pop_core::features::tensor_to_image;
 use pop_core::{CoreError, Forecaster, Pix2Pix, SharedForecaster};
+use pop_exec::WorkerPool;
 use pop_nn::Tensor;
 use pop_raster::Image;
 use std::panic::AssertUnwindSafe;
 use std::sync::{mpsc, Arc};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs of a [`ForecastEngine`].
@@ -98,7 +98,7 @@ pub struct ForecastEngine {
     stats: Arc<ServeStats>,
     spec: InputSpec,
     config: EngineConfig,
-    workers: Vec<JoinHandle<()>>,
+    workers: WorkerPool,
 }
 
 impl ForecastEngine {
@@ -116,24 +116,20 @@ impl ForecastEngine {
         };
         let queue = Arc::new(RequestQueue::new(config.queue_capacity));
         let stats = Arc::new(ServeStats::default());
+        // One private replica per worker; the last worker takes the
+        // original model instead of an extra clone.
         let mut replicas: Vec<Pix2Pix> = Vec::with_capacity(config.workers);
         for _ in 1..config.workers {
             replicas.push(model.clone());
         }
         replicas.push(model);
-        let workers = replicas
-            .into_iter()
-            .enumerate()
-            .map(|(i, replica)| {
-                let queue = Arc::clone(&queue);
-                let stats = Arc::clone(&stats);
-                let cfg = config.clone();
-                std::thread::Builder::new()
-                    .name(format!("pop-serve-{i}"))
-                    .spawn(move || worker_loop(replica, queue, stats, cfg))
-                    .expect("failed to spawn serve worker")
-            })
-            .collect();
+        let workers = WorkerPool::spawn("pop-serve", config.workers, |_| {
+            let replica = replicas.pop().expect("one replica per worker");
+            let queue = Arc::clone(&queue);
+            let stats = Arc::clone(&stats);
+            let cfg = config.clone();
+            move || worker_loop(replica, queue, stats, cfg)
+        });
         Ok(ForecastEngine {
             queue,
             stats,
@@ -190,9 +186,7 @@ impl ForecastEngine {
 
     fn close_and_join(&mut self) {
         self.queue.close();
-        for h in self.workers.drain(..) {
-            let _ = h.join();
-        }
+        let _ = self.workers.join();
     }
 }
 

@@ -7,6 +7,10 @@
 //! trained checkpoints. This crate is the architectural seam for that
 //! scale-out:
 //!
+//! The queue/pool machinery itself lives in the shared `pop-exec` crate
+//! (the data-generation pipeline runs on the same substrate); this crate
+//! adds the forecast-serving semantics on top:
+//!
 //! * [`ForecastEngine`] — a worker pool over a **bounded request queue**
 //!   with a **dynamic micro-batcher**: each worker pops the oldest request
 //!   plus up to [`EngineConfig::max_batch`] shape-compatible pending

@@ -1,5 +1,11 @@
 //! The bounded MPMC request queue at the heart of the micro-batcher.
 //!
+//! Since the concurrency substrate moved to `pop-exec`, this module is a
+//! thin domain adapter: it pins the generic [`BoundedQueue`] to
+//! [`Request`] items, maps [`PushError`] onto [`ServeError`]s, and keys
+//! batch coalescing by input tensor shape so one popped batch can be
+//! stacked into a single `[N, C, H, W]` forward pass.
+//!
 //! Producers are [`ForecastClient`](crate::ForecastClient)s — `try_push`
 //! bounces with [`ServeError::QueueFull`] (backpressure), `push` blocks for
 //! space. Consumers are engine workers calling [`RequestQueue::pop_batch`],
@@ -8,10 +14,9 @@
 //! stragglers so a lone request still sees bounded latency.
 
 use crate::error::ServeError;
+use pop_exec::{BoundedQueue, PushError};
 use pop_nn::Tensor;
-use std::collections::VecDeque;
 use std::sync::mpsc;
-use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// One in-flight forecast request.
@@ -25,64 +30,35 @@ pub(crate) struct Request {
     pub respond: mpsc::Sender<Result<Tensor, ServeError>>,
 }
 
-#[derive(Debug, Default)]
-struct QueueState {
-    deque: VecDeque<Request>,
-    closed: bool,
+fn serve_error(e: PushError<Request>) -> ServeError {
+    match e {
+        PushError::Full(_) => ServeError::QueueFull,
+        PushError::Closed(_) => ServeError::ShuttingDown,
+    }
 }
 
-/// Bounded multi-producer / multi-consumer queue with batch-coalescing pop.
+/// Bounded multi-producer / multi-consumer queue with batch-coalescing pop,
+/// backed by [`pop_exec::BoundedQueue`].
 #[derive(Debug)]
 pub(crate) struct RequestQueue {
-    capacity: usize,
-    state: Mutex<QueueState>,
-    not_empty: Condvar,
-    not_full: Condvar,
+    inner: BoundedQueue<Request>,
 }
 
 impl RequestQueue {
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "queue capacity must be positive");
         RequestQueue {
-            capacity,
-            state: Mutex::new(QueueState::default()),
-            not_empty: Condvar::new(),
-            not_full: Condvar::new(),
+            inner: BoundedQueue::new(capacity),
         }
-    }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
-        self.state.lock().expect("queue mutex poisoned")
     }
 
     /// Non-blocking enqueue: the backpressure path.
     pub fn try_push(&self, req: Request) -> Result<(), ServeError> {
-        let mut st = self.lock();
-        if st.closed {
-            return Err(ServeError::ShuttingDown);
-        }
-        if st.deque.len() >= self.capacity {
-            return Err(ServeError::QueueFull);
-        }
-        st.deque.push_back(req);
-        drop(st);
-        self.not_empty.notify_one();
-        Ok(())
+        self.inner.try_push(req).map_err(serve_error)
     }
 
     /// Blocking enqueue: waits for queue space (or shutdown).
     pub fn push(&self, req: Request) -> Result<(), ServeError> {
-        let mut st = self.lock();
-        while !st.closed && st.deque.len() >= self.capacity {
-            st = self.not_full.wait(st).expect("queue mutex poisoned");
-        }
-        if st.closed {
-            return Err(ServeError::ShuttingDown);
-        }
-        st.deque.push_back(req);
-        drop(st);
-        self.not_empty.notify_one();
-        Ok(())
+        self.inner.push(req).map_err(serve_error)
     }
 
     /// Dequeues the next batch: the oldest request plus up to
@@ -93,89 +69,19 @@ impl RequestQueue {
     /// Returns `None` once the queue is closed *and* drained — the worker
     /// shutdown signal.
     pub fn pop_batch(&self, max_batch: usize, max_wait: Duration) -> Option<Vec<Request>> {
-        let max_batch = max_batch.max(1);
-        let mut st = self.lock();
-        loop {
-            if let Some(first) = st.deque.pop_front() {
-                fn take_matching(
-                    batch: &mut Vec<Request>,
-                    st: &mut QueueState,
-                    shape: [usize; 4],
-                    max_batch: usize,
-                ) {
-                    let mut i = 0;
-                    while batch.len() < max_batch && i < st.deque.len() {
-                        if st.deque[i].input.shape() == shape {
-                            // `remove` preserves FIFO order of the rest.
-                            batch.push(st.deque.remove(i).expect("index in bounds"));
-                        } else {
-                            i += 1;
-                        }
-                    }
-                }
-                let shape = first.input.shape();
-                let mut batch = vec![first];
-                take_matching(&mut batch, &mut st, shape, max_batch);
-                // Hold the pop open briefly for stragglers: bounded extra
-                // latency for the first request, much higher occupancy
-                // under concurrent load.
-                if batch.len() < max_batch && !max_wait.is_zero() && !st.closed {
-                    let deadline = Instant::now() + max_wait;
-                    while batch.len() < max_batch && !st.closed {
-                        let now = Instant::now();
-                        let Some(left) = deadline.checked_duration_since(now) else {
-                            break;
-                        };
-                        if left.is_zero() {
-                            break;
-                        }
-                        let (next, timeout) = self
-                            .not_empty
-                            .wait_timeout(st, left)
-                            .expect("queue mutex poisoned");
-                        st = next;
-                        take_matching(&mut batch, &mut st, shape, max_batch);
-                        // A wakeup may have been for a shape this batch
-                        // cannot take: pass the baton so an idle worker
-                        // serves it instead of waiting out our deadline.
-                        if !st.deque.is_empty() {
-                            self.not_empty.notify_one();
-                        }
-                        if timeout.timed_out() {
-                            break;
-                        }
-                    }
-                }
-                // Mismatched-shape requests may remain; their producers'
-                // notifications were consumed above, so re-notify before
-                // handing the batch to the model.
-                let leftover = !st.deque.is_empty();
-                drop(st);
-                if leftover {
-                    self.not_empty.notify_one();
-                }
-                // Freed capacity: wake blocked producers.
-                self.not_full.notify_all();
-                return Some(batch);
-            }
-            if st.closed {
-                return None;
-            }
-            st = self.not_empty.wait(st).expect("queue mutex poisoned");
-        }
+        self.inner
+            .pop_batch_by(max_batch, max_wait, |r| r.input.shape())
     }
 
     /// Stops accepting new requests and wakes every waiter; queued requests
     /// remain poppable so workers drain gracefully.
     pub fn close(&self) {
-        self.lock().closed = true;
-        self.not_empty.notify_all();
-        self.not_full.notify_all();
+        self.inner.close();
     }
 
     /// Current queue depth.
     pub fn len(&self) -> usize {
-        self.lock().deque.len()
+        self.inner.len()
     }
 }
 

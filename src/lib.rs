@@ -11,8 +11,14 @@
 //! * [`route`] — PathFinder router and congestion-map extraction;
 //! * [`raster`] — placement / connectivity / congestion image rendering;
 //! * [`nn`] — the pure-Rust neural-network substrate;
+//! * [`exec`] — the shared concurrency substrate (bounded MPMC queues,
+//!   worker pools) both the serving engine and the data pipeline run on;
 //! * [`core`] — the paper's contribution: the cGAN congestion forecaster,
 //!   its trainer, dataset pipeline, metrics and applications;
+//! * [`pipeline`] — the streaming, multi-threaded scenario/data-generation
+//!   pipeline: declarative [`pipeline::ScenarioSpec`] corpora, staged
+//!   worker pools producing bitwise-identical datasets in parallel, and
+//!   background epoch prefetch for the trainer;
 //! * [`serve`] — the batched forecast-serving engine: micro-batching
 //!   worker pool, LRU model registry, backpressured clients and serving
 //!   telemetry for running many concurrent forecast streams against
@@ -39,6 +45,21 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+//! # Generating corpora
+//!
+//! Training/eval corpora are described declaratively and generated on the
+//! staged parallel pipeline (bitwise-identical to the sequential path):
+//!
+//! ```
+//! use painting_on_placement as pop;
+//! use pop::pipeline::{generate_corpus, scenario, PipelineOptions};
+//!
+//! let smoke = scenario::by_name("smoke").unwrap();
+//! let corpus = generate_corpus(&[smoke], &PipelineOptions::with_workers(2))?;
+//! assert_eq!(corpus[0].pairs.len(), 2);
+//! # Ok::<(), pop::pipeline::PipelineError>(())
+//! ```
+
 //! # Serving forecasts
 //!
 //! Trained models are served through [`serve::ForecastEngine`], which
@@ -62,8 +83,10 @@
 
 pub use pop_arch as arch;
 pub use pop_core as core;
+pub use pop_exec as exec;
 pub use pop_netlist as netlist;
 pub use pop_nn as nn;
+pub use pop_pipeline as pipeline;
 pub use pop_place as place;
 pub use pop_raster as raster;
 pub use pop_route as route;

@@ -44,7 +44,7 @@ fn cache_survives_meta_fields() {
     let dir = std::env::temp_dir().join("pop_integration_cache2");
     let _ = std::fs::remove_dir_all(&dir);
     let built = dataset::build_or_load(&spec, &config, Some(&dir)).unwrap();
-    let loaded = dataset::load_dataset(&dir, "diffeq2", spec.seed, &config)
+    let loaded = dataset::load_dataset(&dir, &spec, &config)
         .unwrap()
         .expect("hit");
     for (a, b) in built.pairs.iter().zip(&loaded.pairs) {
