@@ -24,7 +24,8 @@ fn run(config: &ExperimentConfig, label: &str) -> (f32, f64, f64) {
     let train_secs = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let acc = metrics::evaluate_accuracy(&mut model, test, config.tolerance);
+    let acc = metrics::evaluate_accuracy(&mut model, test, config.tolerance)
+        .expect("model and corpus share a resolution");
     let infer_secs = t1.elapsed().as_secs_f64() / test.len().max(1) as f64;
     eprintln!("[sec52] {label}: trained {train_secs:.1}s, infer {infer_secs:.4}s/img");
     (acc, train_secs, infer_secs)

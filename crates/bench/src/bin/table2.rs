@@ -54,7 +54,8 @@ fn main() {
         // Strategy 1: train on the other designs only.
         let mut model = Pix2Pix::new(&config, config.seed).expect("valid config");
         let _ = model.train_refs(&train, config.epochs);
-        let acc1 = metrics::evaluate_accuracy(&mut model, &test.pairs, config.tolerance);
+        let acc1 = metrics::evaluate_accuracy(&mut model, &test.pairs, config.tolerance)
+            .expect("model and corpus share a resolution");
 
         // Strategy 2: fine-tune on a few pairs of the held-out design and
         // evaluate on the rest.
@@ -62,7 +63,8 @@ fn main() {
             .finetune_pairs
             .min(test.pairs.len().saturating_sub(1));
         let _ = model.finetune(&test.pairs[..k], config.finetune_epochs);
-        let acc2 = metrics::evaluate_accuracy(&mut model, &test.pairs[k..], config.tolerance);
+        let acc2 = metrics::evaluate_accuracy(&mut model, &test.pairs[k..], config.tolerance)
+            .expect("model and corpus share a resolution");
         let top10 = metrics::top10_accuracy(&mut model, test);
 
         // Scaled design statistics for the row.

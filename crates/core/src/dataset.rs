@@ -399,45 +399,100 @@ pub fn leave_one_out<'a>(
 
 /// Bumped whenever the on-disk layout *or* the fingerprint recipe changes,
 /// so caches written by older builds can never be silently loaded.
-pub const CACHE_FORMAT_VERSION: u32 = 3;
+///
+/// v4: pair records are self-contained (each carries its design name), so
+/// the same record layout serves both `.popds` dataset files and the
+/// pipeline's epoch-spill ring; writes are atomic (tmp + rename).
+pub const CACHE_FORMAT_VERSION: u32 = 4;
 
-const MAGIC: &[u8; 8] = b"POPDS003";
+const MAGIC: &[u8; 8] = b"POPDS004";
+
+/// Decode-time bounds: a corrupt header must never drive
+/// `Vec::with_capacity` (or `vec![0; n]`) to a huge allocation. Anything
+/// beyond these is treated as corruption, not as a request for memory.
+const MAX_PAIRS: usize = 1 << 20;
+const MAX_NAME_BYTES: usize = 4096;
+const MAX_TENSOR_DIM: usize = 1 << 20;
+const MAX_TENSOR_ELEMS: usize = 1 << 28;
+
+fn corrupt(what: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("corrupt cache record: {what}"),
+    )
+}
+
+/// The FNV-1a accumulator every cache key in the workspace hashes with —
+/// the scenario [`fingerprint`], the pipeline's epoch-ring keys and the
+/// smoke example's corpus checksum all fold through this one
+/// implementation, so the constants can never drift apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// An accumulator at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds one value in.
+    pub fn eat(&mut self, v: u64) {
+        self.0 ^= v;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    /// Folds a byte string in (one fold per byte).
+    pub fn eat_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.eat(b as u64);
+        }
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
 
 /// Fingerprint of everything that affects generated data: the cache format
 /// version, the full synthetic spec (scenario generation varies fanout,
 /// locality and seeds — not just the preset seed) and every config knob on
 /// the data path (including the fabric slack/aspect scenario parameters).
-fn fingerprint(spec: &SyntheticSpec, config: &ExperimentConfig) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |v: u64| {
-        h ^= v;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    };
-    eat(CACHE_FORMAT_VERSION as u64);
-    for b in spec.name.bytes() {
-        eat(b as u64);
-    }
-    eat(spec.luts as u64);
-    eat(spec.ffs as u64);
-    eat(spec.nets as u64);
-    eat(spec.inputs as u64);
-    eat(spec.outputs as u64);
-    eat(spec.memories as u64);
-    eat(spec.multipliers as u64);
-    eat(spec.luts_per_clb as u64);
-    eat(spec.mean_fanout.to_bits());
-    eat(spec.locality.to_bits());
-    eat(spec.seed);
-    eat(config.resolution as u64);
-    eat(config.pairs_per_design as u64);
-    eat(config.design_scale.to_bits());
-    eat(config.lambda_connect.to_bits() as u64);
-    eat(u64::from(config.grayscale_input));
-    eat(config.channel_width_margin.to_bits());
-    eat(config.fabric_slack.to_bits());
-    eat(config.fabric_aspect.to_bits());
-    eat(config.seed);
-    h
+///
+/// Public because cache *keys* are part of the system's contract: the
+/// pipeline's [`CorpusStore`] names per-job cache files by it, and the
+/// epoch-spill ring folds per-job fingerprints into its epoch keys.
+pub fn fingerprint(spec: &SyntheticSpec, config: &ExperimentConfig) -> u64 {
+    let mut h = Fnv1a::new();
+    h.eat(CACHE_FORMAT_VERSION as u64);
+    h.eat_bytes(spec.name.as_bytes());
+    h.eat(spec.luts as u64);
+    h.eat(spec.ffs as u64);
+    h.eat(spec.nets as u64);
+    h.eat(spec.inputs as u64);
+    h.eat(spec.outputs as u64);
+    h.eat(spec.memories as u64);
+    h.eat(spec.multipliers as u64);
+    h.eat(spec.luts_per_clb as u64);
+    h.eat(spec.mean_fanout.to_bits());
+    h.eat(spec.locality.to_bits());
+    h.eat(spec.seed);
+    h.eat(config.resolution as u64);
+    h.eat(config.pairs_per_design as u64);
+    h.eat(config.design_scale.to_bits());
+    h.eat(config.lambda_connect.to_bits() as u64);
+    h.eat(u64::from(config.grayscale_input));
+    h.eat(config.channel_width_margin.to_bits());
+    h.eat(config.fabric_slack.to_bits());
+    h.eat(config.fabric_aspect.to_bits());
+    h.eat(config.seed);
+    h.finish()
 }
 
 fn cache_path(dir: &Path, design: &str) -> PathBuf {
@@ -489,8 +544,17 @@ fn read_tensor(r: &mut impl Read) -> std::io::Result<Tensor> {
     let mut shape = [0usize; 4];
     for s in &mut shape {
         *s = read_u32(r)? as usize;
+        if *s > MAX_TENSOR_DIM {
+            return Err(corrupt("tensor dimension"));
+        }
     }
-    let len: usize = shape.iter().product();
+    // Checked product: four in-bounds dims can still overflow a plain
+    // multiply (2^20 each → 2^80), which must read as corruption too.
+    let len = shape
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .filter(|&len| len <= MAX_TENSOR_ELEMS)
+        .ok_or_else(|| corrupt("tensor element count"))?;
     let mut bytes = vec![0u8; len * 4];
     r.read_exact(&mut bytes)?;
     let data = bytes
@@ -500,8 +564,205 @@ fn read_tensor(r: &mut impl Read) -> std::io::Result<Tensor> {
     Ok(Tensor::from_vec(shape, data))
 }
 
+/// Writes one [`Pair`] record (full provenance + tensors) in the cache's
+/// little-endian layout. The record is self-contained — it carries its
+/// design name — so the same layout serves `.popds` dataset files and the
+/// pipeline's epoch-spill ring.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_pair(w: &mut impl Write, p: &Pair) -> std::io::Result<()> {
+    // Enforce the reader's decode bounds at write time: a record the
+    // reader would reject must fail loudly here, not become a
+    // permanently-unreadable entry that silently defeats the cache.
+    let name = p.meta.design.as_bytes();
+    if name.len() > MAX_NAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("design name exceeds {MAX_NAME_BYTES} bytes"),
+        ));
+    }
+    let index = u32::try_from(p.meta.index).map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "pair index exceeds the cache record's u32 range",
+        )
+    })?;
+    write_u32(w, name.len() as u32)?;
+    w.write_all(name)?;
+    write_u32(w, index)?;
+    write_u64(w, p.meta.place_seed)?;
+    write_f32(w, p.meta.true_mean_congestion)?;
+    write_f32(w, p.meta.true_max_congestion)?;
+    write_u64(w, p.meta.route_micros)?;
+    write_u64(w, p.meta.place_micros)?;
+    write_tensor(w, &p.x)?;
+    write_tensor(w, &p.y)
+}
+
+/// Reads one [`Pair`] record written by [`write_pair`]. Header fields are
+/// bounds-checked before any allocation, so a corrupt record fails with a
+/// decode error instead of a huge `Vec` reservation.
+///
+/// # Errors
+///
+/// Propagates I/O failures; truncated or out-of-bounds records surface as
+/// [`std::io::ErrorKind::UnexpectedEof`] / [`std::io::ErrorKind::InvalidData`].
+pub fn read_pair(r: &mut impl Read) -> std::io::Result<Pair> {
+    let name_len = read_u32(r)? as usize;
+    if name_len > MAX_NAME_BYTES {
+        return Err(corrupt("design name length"));
+    }
+    let mut name = vec![0u8; name_len];
+    r.read_exact(&mut name)?;
+    let design = String::from_utf8(name).map_err(|_| corrupt("design name utf-8"))?;
+    let index = read_u32(r)? as usize;
+    let place_seed = read_u64(r)?;
+    let true_mean_congestion = read_f32(r)?;
+    let true_max_congestion = read_f32(r)?;
+    let route_micros = read_u64(r)?;
+    let place_micros = read_u64(r)?;
+    let x = read_tensor(r)?;
+    let y = read_tensor(r)?;
+    Ok(Pair {
+        x,
+        y,
+        meta: PairMeta {
+            design,
+            index,
+            place_seed,
+            true_mean_congestion,
+            true_max_congestion,
+            route_micros,
+            place_micros,
+        },
+    })
+}
+
+static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Writes `path` atomically: the content goes to a uniquely-named `.tmp`
+/// sibling first and is renamed into place only after a successful flush +
+/// fsync. A crash mid-write leaves (at worst) a stray `.tmp` file, never a
+/// truncated cache entry with a valid magic + fingerprint. Public so every
+/// cache-shaped artefact in the workspace (dataset caches, the pipeline's
+/// epoch-spill ring and its progress marker) shares one durability story.
+///
+/// # Errors
+///
+/// Propagates I/O failures; on failure the temporary file is removed.
+pub fn atomic_write(
+    path: &Path,
+    write: impl FnOnce(&mut std::io::BufWriter<std::fs::File>) -> std::io::Result<()>,
+) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    let tmp = path.with_file_name(format!(
+        ".{}.{}.{}.tmp",
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("cache"),
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+    ));
+    let result = (|| {
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        write(&mut w)?;
+        w.flush()?;
+        let file = w.into_inner().map_err(|e| e.into_error())?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+fn write_dataset_file(path: &Path, ds: &DesignDataset, fp: u64) -> std::io::Result<()> {
+    // Mirror the reader's MAX_PAIRS bound at write time: an oversized
+    // dataset must fail loudly here, not become an entry the reader
+    // forever rejects as corrupt (silently defeating the cache).
+    if ds.pairs.len() > MAX_PAIRS {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("dataset exceeds {MAX_PAIRS} pairs"),
+        ));
+    }
+    atomic_write(path, |w| {
+        w.write_all(MAGIC)?;
+        write_u64(w, fp)?;
+        write_u32(w, ds.pairs.len() as u32)?;
+        write_u32(w, ds.channel_width as u32)?;
+        write_u32(w, ds.grid_width as u32)?;
+        write_u32(w, ds.grid_height as u32)?;
+        for p in &ds.pairs {
+            write_pair(w, p)?;
+        }
+        Ok(())
+    })
+}
+
+/// Parses a dataset file body; `Ok(None)` on a magic/fingerprint mismatch,
+/// `Err` on truncation or a corrupt field (both of which the callers treat
+/// as stale).
+fn parse_dataset(
+    r: &mut impl Read,
+    fp: u64,
+    design: &str,
+) -> std::io::Result<Option<DesignDataset>> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Ok(None);
+    }
+    if read_u64(r)? != fp {
+        return Ok(None);
+    }
+    let n = read_u32(r)? as usize;
+    if n > MAX_PAIRS {
+        return Err(corrupt("pair count"));
+    }
+    let channel_width = read_u32(r)? as usize;
+    let grid_width = read_u32(r)? as usize;
+    let grid_height = read_u32(r)? as usize;
+    let mut pairs = Vec::with_capacity(n);
+    for _ in 0..n {
+        pairs.push(read_pair(r)?);
+    }
+    Ok(Some(DesignDataset {
+        name: design.to_string(),
+        pairs,
+        channel_width,
+        grid_width,
+        grid_height,
+    }))
+}
+
+/// Reads a dataset cache file, treating *every* damage mode as a miss:
+/// absent file, wrong magic, stale fingerprint, truncation mid-field and
+/// out-of-bounds headers all yield `Ok(None)` so the caller regenerates
+/// (and overwrites) the entry — a damaged cache self-heals. Only failure to
+/// open an *existing* file (permissions, I/O errors) is a hard error.
+fn read_dataset_file(
+    path: &Path,
+    fp: u64,
+    design: &str,
+) -> Result<Option<DesignDataset>, CoreError> {
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(CoreError::Cache(format!("open {}: {e}", path.display()))),
+    };
+    let mut r = std::io::BufReader::new(file);
+    Ok(parse_dataset(&mut r, fp, design).unwrap_or(None))
+}
+
 /// Writes a dataset to `dir/<design>.popds`, keyed by the scenario
-/// fingerprint of `spec` + `config`.
+/// fingerprint of `spec` + `config`. The write is atomic (tmp + rename), so
+/// a crash or Ctrl-C mid-write can never leave a truncated file behind the
+/// final name.
 ///
 /// # Errors
 ///
@@ -512,89 +773,104 @@ pub fn save_dataset(
     spec: &SyntheticSpec,
     config: &ExperimentConfig,
 ) -> Result<(), CoreError> {
-    std::fs::create_dir_all(dir)?;
-    let mut w = std::io::BufWriter::new(std::fs::File::create(cache_path(dir, &ds.name))?);
-    w.write_all(MAGIC)?;
-    write_u64(&mut w, fingerprint(spec, config))?;
-    write_u32(&mut w, ds.pairs.len() as u32)?;
-    write_u32(&mut w, ds.channel_width as u32)?;
-    write_u32(&mut w, ds.grid_width as u32)?;
-    write_u32(&mut w, ds.grid_height as u32)?;
-    for p in &ds.pairs {
-        write_u32(&mut w, p.meta.index as u32)?;
-        write_u64(&mut w, p.meta.place_seed)?;
-        write_f32(&mut w, p.meta.true_mean_congestion)?;
-        write_f32(&mut w, p.meta.true_max_congestion)?;
-        write_u64(&mut w, p.meta.route_micros)?;
-        write_u64(&mut w, p.meta.place_micros)?;
-        write_tensor(&mut w, &p.x)?;
-        write_tensor(&mut w, &p.y)?;
-    }
-    w.flush()?;
+    write_dataset_file(&cache_path(dir, &ds.name), ds, fingerprint(spec, config))?;
     Ok(())
 }
 
 /// Loads a cached dataset if present and fingerprint-compatible; `Ok(None)`
-/// when absent or stale (older format version, or *any* scenario parameter
-/// differs from what the cache was generated with).
+/// when absent or stale (older format version, *any* scenario parameter
+/// differing from what the cache was generated with, or a damaged file —
+/// truncation and decode failures are treated as stale so the entry is
+/// regenerated rather than poisoning every future run).
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::Cache`] on I/O failure of an existing file.
+/// Returns [`CoreError::Cache`] only when an existing file cannot be
+/// opened (permissions, hardware I/O errors).
 pub fn load_dataset(
     dir: &Path,
     spec: &SyntheticSpec,
     config: &ExperimentConfig,
 ) -> Result<Option<DesignDataset>, CoreError> {
-    let design = spec.name.as_str();
-    let path = cache_path(dir, design);
-    if !path.exists() {
-        return Ok(None);
+    read_dataset_file(
+        &cache_path(dir, &spec.name),
+        fingerprint(spec, config),
+        &spec.name,
+    )
+}
+
+/// A directory of per-job dataset caches, keyed by **design name +
+/// scenario fingerprint** — unlike the flat [`save_dataset`] /
+/// [`load_dataset`] layout (one `<design>.popds` per directory), a store
+/// keeps every scenario variant of the same design side by side, which is
+/// what the streaming pipeline needs when one corpus mixes fabrics,
+/// resolutions or sweep seeds of a single design family.
+///
+/// Same `.popds` format, same integrity rules: loads treat damage as a
+/// miss, writes are atomic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusStore {
+    dir: PathBuf,
+}
+
+impl CorpusStore {
+    /// A store rooted at `dir` (created lazily on first write).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CorpusStore { dir: dir.into() }
     }
-    let mut r = std::io::BufReader::new(std::fs::File::open(&path)?);
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Ok(None);
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
     }
-    if read_u64(&mut r)? != fingerprint(spec, config) {
-        return Ok(None);
+
+    /// The cache file this job maps to:
+    /// `<dir>/<design>-<fingerprint:016x>.popds`.
+    pub fn entry_path(&self, spec: &SyntheticSpec, config: &ExperimentConfig) -> PathBuf {
+        self.dir.join(format!(
+            "{}-{:016x}.popds",
+            spec.name,
+            fingerprint(spec, config)
+        ))
     }
-    let n = read_u32(&mut r)? as usize;
-    let channel_width = read_u32(&mut r)? as usize;
-    let grid_width = read_u32(&mut r)? as usize;
-    let grid_height = read_u32(&mut r)? as usize;
-    let mut pairs = Vec::with_capacity(n);
-    for _ in 0..n {
-        let index = read_u32(&mut r)? as usize;
-        let place_seed = read_u64(&mut r)?;
-        let true_mean_congestion = read_f32(&mut r)?;
-        let true_max_congestion = read_f32(&mut r)?;
-        let route_micros = read_u64(&mut r)?;
-        let place_micros = read_u64(&mut r)?;
-        let x = read_tensor(&mut r)?;
-        let y = read_tensor(&mut r)?;
-        pairs.push(Pair {
-            x,
-            y,
-            meta: PairMeta {
-                design: design.to_string(),
-                index,
-                place_seed,
-                true_mean_congestion,
-                true_max_congestion,
-                route_micros,
-                place_micros,
-            },
-        });
+
+    /// Loads the cached dataset for one job; `Ok(None)` on a miss (absent,
+    /// stale or damaged entry).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Cache`] only when an existing file cannot be
+    /// opened.
+    pub fn load(
+        &self,
+        spec: &SyntheticSpec,
+        config: &ExperimentConfig,
+    ) -> Result<Option<DesignDataset>, CoreError> {
+        read_dataset_file(
+            &self.entry_path(spec, config),
+            fingerprint(spec, config),
+            &spec.name,
+        )
     }
-    Ok(Some(DesignDataset {
-        name: design.to_string(),
-        pairs,
-        channel_width,
-        grid_width,
-        grid_height,
-    }))
+
+    /// Atomically writes one job's dataset into the store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Cache`] on I/O failure.
+    pub fn store(
+        &self,
+        ds: &DesignDataset,
+        spec: &SyntheticSpec,
+        config: &ExperimentConfig,
+    ) -> Result<(), CoreError> {
+        write_dataset_file(
+            &self.entry_path(spec, config),
+            ds,
+            fingerprint(spec, config),
+        )?;
+        Ok(())
+    }
 }
 
 /// Builds (or loads from `cache_dir`) the dataset for one preset.
@@ -815,6 +1091,122 @@ mod tests {
             flipped.meta.true_mean_congestion,
             ds.pairs[0].meta.true_mean_congestion
         );
+    }
+
+    #[test]
+    fn corpus_store_keeps_scenario_variants_of_one_design_side_by_side() {
+        // The flat <design>.popds layout collides when two scenarios share
+        // a design name; the store keys by fingerprint too.
+        let spec = presets::by_name("diffeq2").unwrap();
+        let config_a = cfg();
+        let config_b = ExperimentConfig {
+            fabric_slack: 1.1,
+            ..config_a.clone()
+        };
+        let ds_a = build_design_dataset(&spec, &config_a).unwrap();
+        let ds_b = build_design_dataset(&spec, &config_b).unwrap();
+        let dir = std::env::temp_dir().join("pop_corpus_store_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CorpusStore::new(&dir);
+        assert_ne!(
+            store.entry_path(&spec, &config_a),
+            store.entry_path(&spec, &config_b)
+        );
+        store.store(&ds_a, &spec, &config_a).unwrap();
+        store.store(&ds_b, &spec, &config_b).unwrap();
+        assert_eq!(store.load(&spec, &config_a).unwrap().unwrap(), ds_a);
+        assert_eq!(store.load(&spec, &config_b).unwrap().unwrap(), ds_b);
+        // A third scenario misses without disturbing the other two.
+        let config_c = ExperimentConfig {
+            seed: 99,
+            ..config_a.clone()
+        };
+        assert!(store.load(&spec, &config_c).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn saves_are_atomic_and_leave_no_temp_droppings() {
+        let config = cfg();
+        let spec = presets::by_name("diffeq2").unwrap();
+        let ds = build_design_dataset(&spec, &config).unwrap();
+        let dir = std::env::temp_dir().join("pop_cache_atomic_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        save_dataset(&dir, &ds, &spec, &config).unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["diffeq2.popds".to_string()], "{names:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_cache_files_are_treated_as_stale() {
+        let config = cfg();
+        let spec = presets::by_name("diffeq2").unwrap();
+        let ds = build_design_dataset(&spec, &config).unwrap();
+        let dir = std::env::temp_dir().join("pop_cache_truncate_unit_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        save_dataset(&dir, &ds, &spec, &config).unwrap();
+        let path = cache_path(&dir, "diffeq2");
+        let bytes = std::fs::read(&path).unwrap();
+        // A sample of cut points across the header and first pair record;
+        // the integration suite sweeps every byte.
+        for cut in [0usize, 7, 8, 15, 16, 19, 27, 31, 40, bytes.len() - 1] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(
+                load_dataset(&dir, &spec, &config).unwrap().is_none(),
+                "truncation at {cut} must be a miss, not an error"
+            );
+        }
+        // Restoring the full file restores the hit.
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_dataset(&dir, &spec, &config).unwrap().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_headers_cannot_trigger_huge_allocations() {
+        let config = cfg();
+        let spec = presets::by_name("diffeq2").unwrap();
+        let dir = std::env::temp_dir().join("pop_cache_bounds_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = cache_path(&dir, "diffeq2");
+        // Valid magic + fingerprint followed by an absurd pair count.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&fingerprint(&spec, &config).to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // pair count
+        bytes.extend_from_slice(&[0u8; 12]); // widths
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_dataset(&dir, &spec, &config).unwrap().is_none());
+        // Same for a pair record claiming a gigantic tensor dimension.
+        let ds = build_design_dataset(&spec, &config).unwrap();
+        save_dataset(&dir, &ds, &spec, &config).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // First tensor shape field of pair 0 sits after the dataset header
+        // (32 bytes) and the pair meta (4 + name + 4 + 8 + 4 + 4 + 8 + 8).
+        let shape_off = 32 + 4 + "diffeq2".len() + 36;
+        bytes[shape_off..shape_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_dataset(&dir, &spec, &config).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pair_records_round_trip_via_the_shared_layout() {
+        let config = cfg();
+        let ds = build_design_dataset(&presets::by_name("diffeq2").unwrap(), &config).unwrap();
+        let mut buf = Vec::new();
+        for p in &ds.pairs {
+            write_pair(&mut buf, p).unwrap();
+        }
+        let mut r = std::io::Cursor::new(buf);
+        for p in &ds.pairs {
+            assert_eq!(&read_pair(&mut r).unwrap(), p);
+        }
     }
 
     #[test]

@@ -11,6 +11,9 @@ pub enum CoreError {
     Pipeline(String),
     /// Disk-cache I/O or format failure.
     Cache(String),
+    /// An evaluation could not be computed (e.g. a model/dataset
+    /// resolution mismatch in a mixed-resolution corpus).
+    Eval(String),
 }
 
 impl fmt::Display for CoreError {
@@ -19,6 +22,7 @@ impl fmt::Display for CoreError {
             CoreError::BadConfig(m) => write!(f, "bad experiment config: {m}"),
             CoreError::Pipeline(m) => write!(f, "dataset pipeline failed: {m}"),
             CoreError::Cache(m) => write!(f, "dataset cache failed: {m}"),
+            CoreError::Eval(m) => write!(f, "evaluation failed: {m}"),
         }
     }
 }
@@ -62,6 +66,9 @@ mod tests {
             .to_string()
             .contains("pipeline"));
         assert!(CoreError::Cache("z".into()).to_string().contains("cache"));
+        assert!(CoreError::Eval("w".into())
+            .to_string()
+            .contains("evaluation"));
     }
 
     #[test]

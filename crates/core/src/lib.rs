@@ -60,5 +60,5 @@ pub use config::{ExperimentConfig, SkipMode};
 pub use disc::PatchDiscriminator;
 pub use error::CoreError;
 pub use forecaster::{Forecaster, SharedForecaster};
-pub use trainer::{Pix2Pix, TrainHistory};
+pub use trainer::{NoCheckpoint, Pix2Pix, StreamCheckpoint, TrainHistory};
 pub use unet::UNetGenerator;

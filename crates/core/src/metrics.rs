@@ -2,6 +2,7 @@
 //! and Top10 min-congestion retrieval.
 
 use crate::dataset::{DesignDataset, Pair};
+use crate::error::CoreError;
 use crate::features::tensor_to_image;
 use crate::trainer::Pix2Pix;
 use pop_raster::metrics::per_pixel_accuracy;
@@ -10,18 +11,32 @@ use pop_raster::{Image, Layout};
 /// Mean per-pixel accuracy of the model's forecasts over `pairs`
 /// ("per-pixel accuracy between the generated image and ground truth
 /// image").
-pub fn evaluate_accuracy(model: &mut Pix2Pix, pairs: &[Pair], tolerance: f32) -> f32 {
+///
+/// # Errors
+///
+/// Returns [`CoreError::Eval`] when a pair's resolution does not match the
+/// model's output (a mixed-resolution corpus), naming the offending design
+/// and index — instead of aborting a whole evaluation sweep with a panic.
+pub fn evaluate_accuracy(
+    model: &mut Pix2Pix,
+    pairs: &[Pair],
+    tolerance: f32,
+) -> Result<f32, CoreError> {
     if pairs.is_empty() {
-        return 0.0;
+        return Ok(0.0);
     }
     let mut sum = 0.0f64;
     for p in pairs {
         let pred = model.forecast_image(&p.x);
         let truth = tensor_to_image(&p.y);
-        sum += per_pixel_accuracy(&pred, &truth, tolerance)
-            .expect("forecast and truth share a shape") as f64;
+        sum += per_pixel_accuracy(&pred, &truth, tolerance).map_err(|e| {
+            CoreError::Eval(format!(
+                "pair {}[{}]: forecast vs truth: {e}",
+                p.meta.design, p.meta.index
+            ))
+        })? as f64;
     }
-    (sum / pairs.len() as f64) as f32
+    Ok((sum / pairs.len() as f64) as f32)
 }
 
 /// Decodes a (predicted or true) heat-map image into a scalar congestion
@@ -162,6 +177,36 @@ pub fn top10_accuracy(model: &mut Pix2Pix, ds: &DesignDataset) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn evaluate_accuracy_reports_resolution_mismatch_instead_of_panicking() {
+        use crate::dataset::PairMeta;
+        use crate::{ExperimentConfig, Pix2Pix};
+        use pop_nn::Tensor;
+        let config = ExperimentConfig {
+            resolution: 16,
+            base_filters: 4,
+            depth: 3,
+            ..ExperimentConfig::test()
+        };
+        let mut model = Pix2Pix::new(&config, 1).unwrap();
+        let ok_pair = Pair {
+            x: Tensor::zeros([1, config.input_channels(), 16, 16]),
+            y: Tensor::zeros([1, 3, 16, 16]),
+            meta: PairMeta::synthetic(0),
+        };
+        assert!(evaluate_accuracy(&mut model, std::slice::from_ref(&ok_pair), 0.1).is_ok());
+        // A pair rendered at a different resolution: proper error, no panic.
+        let odd_pair = Pair {
+            x: Tensor::zeros([1, config.input_channels(), 16, 16]),
+            y: Tensor::zeros([1, 3, 8, 8]),
+            meta: PairMeta::synthetic(1),
+        };
+        let err = evaluate_accuracy(&mut model, &[odd_pair], 0.1).unwrap_err();
+        assert!(matches!(err, crate::CoreError::Eval(_)), "{err}");
+        // Empty slice stays a defined 0.0, not an error.
+        assert_eq!(evaluate_accuracy(&mut model, &[], 0.1).unwrap(), 0.0);
+    }
 
     #[test]
     fn top_k_overlap_perfect_and_disjoint() {

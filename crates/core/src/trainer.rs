@@ -71,6 +71,38 @@ impl TrainHistory {
     }
 }
 
+/// The resume handshake between [`Pix2Pix::train_stream_resumable`] and a
+/// resumable epoch source (e.g. the pipeline's spill-to-disk epoch ring).
+///
+/// The contract that makes interrupted streaming runs resumable:
+///
+/// * the **source** consults [`completed_epochs`](StreamCheckpoint::completed_epochs)
+///   and yields only epochs `completed..total`;
+/// * the **trainer** acknowledges each epoch *after* the optimisation pass
+///   over it finishes, via [`epoch_completed`](StreamCheckpoint::epoch_completed).
+///
+/// Because the acknowledgement happens on the training side (not when the
+/// generator hands the epoch over), a run killed mid-epoch re-trains that
+/// epoch on resume instead of silently skipping it.
+pub trait StreamCheckpoint {
+    /// How many epochs an earlier (interrupted) run fully trained.
+    fn completed_epochs(&self) -> usize;
+    /// Called once per epoch, after training on it completed.
+    fn epoch_completed(&mut self, epoch: usize);
+}
+
+/// A [`StreamCheckpoint`] that remembers nothing — the no-resume default
+/// behind [`Pix2Pix::train_stream`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCheckpoint;
+
+impl StreamCheckpoint for NoCheckpoint {
+    fn completed_epochs(&self) -> usize {
+        0
+    }
+    fn epoch_completed(&mut self, _epoch: usize) {}
+}
+
 /// Losses of one optimisation step.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepLosses {
@@ -226,13 +258,37 @@ impl Pix2Pix {
     where
         I: IntoIterator<Item = Vec<Pair>>,
     {
+        self.train_stream_resumable(epochs, &mut NoCheckpoint)
+    }
+
+    /// [`Pix2Pix::train_stream`] with a resume handshake: epochs are
+    /// numbered from `checkpoint.completed_epochs()` (the source is
+    /// expected to skip epochs an interrupted run already trained) and each
+    /// is acknowledged via [`StreamCheckpoint::epoch_completed`] *after*
+    /// its optimisation pass finishes, so progress markers never run ahead
+    /// of the actual training state.
+    pub fn train_stream_resumable<I>(
+        &mut self,
+        epochs: I,
+        checkpoint: &mut dyn StreamCheckpoint,
+    ) -> TrainHistory
+    where
+        I: IntoIterator<Item = Vec<Pair>>,
+    {
         let mut history = TrainHistory::default();
         // The shuffle order persists across equally-sized epochs, exactly
         // like `train_refs` — streaming the same pair set each epoch
         // reproduces `train` bitwise. A size change resets it.
         let mut order: Vec<usize> = Vec::new();
+        let mut epoch = checkpoint.completed_epochs();
         for pairs in epochs {
             if pairs.is_empty() {
+                // An empty epoch is trivially complete: acknowledge it so
+                // the positional numbering stays in sync with the source's
+                // epoch indexing (spill files are keyed by epoch index),
+                // but record nothing in the history.
+                checkpoint.epoch_completed(epoch);
+                epoch += 1;
                 continue;
             }
             let refs: Vec<&Pair> = pairs.iter().collect();
@@ -240,6 +296,8 @@ impl Pix2Pix {
                 order = (0..refs.len()).collect();
             }
             self.train_one_epoch(&refs, &mut order, &mut history);
+            checkpoint.epoch_completed(epoch);
+            epoch += 1;
         }
         history
     }
@@ -401,6 +459,45 @@ mod tests {
         let mut skip = Pix2Pix::new(&cfg, 22).unwrap();
         let h = skip.train_stream(vec![pairs.clone(), Vec::new(), pairs.clone()]);
         assert_eq!(h.generator_loss.len(), 2);
+    }
+
+    #[test]
+    fn stream_checkpoint_acknowledges_epochs_after_training() {
+        struct Recorder {
+            start: usize,
+            acked: Vec<usize>,
+        }
+        impl StreamCheckpoint for Recorder {
+            fn completed_epochs(&self) -> usize {
+                self.start
+            }
+            fn epoch_completed(&mut self, epoch: usize) {
+                self.acked.push(epoch);
+            }
+        }
+        let cfg = tiny_config();
+        let pairs: Vec<Pair> = (0..2).map(|s| synthetic_pair(&cfg, s)).collect();
+        // Fresh run: epochs numbered from 0. An empty yield is trivially
+        // complete — acknowledged (keeping the source's epoch indexing in
+        // sync) but absent from the history.
+        let mut fresh = Recorder {
+            start: 0,
+            acked: Vec::new(),
+        };
+        let mut model = Pix2Pix::new(&cfg, 31).unwrap();
+        let h = model
+            .train_stream_resumable(vec![pairs.clone(), Vec::new(), pairs.clone()], &mut fresh);
+        assert_eq!(fresh.acked, vec![0, 1, 2]);
+        assert_eq!(h.generator_loss.len(), 2);
+        // Resumed run: numbering continues where the interrupted run left
+        // off (the source only yields the remaining epochs).
+        let mut resumed = Recorder {
+            start: 2,
+            acked: Vec::new(),
+        };
+        let mut model2 = Pix2Pix::new(&cfg, 31).unwrap();
+        let _ = model2.train_stream_resumable(vec![pairs.clone()], &mut resumed);
+        assert_eq!(resumed.acked, vec![2]);
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //! * [`EpochPrefetcher`] — a background iterator generating epoch `N + 1`'s
 //!   pairs (fresh placement seeds every epoch) while epoch `N` trains;
 //!   plug it into [`Pix2Pix::train_stream`](pop_core::Pix2Pix::train_stream).
+//! * **Caching & resume** — [`PipelineOptions::cache_dir`] turns on a
+//!   per-job [`CorpusStore`](pop_core::dataset::CorpusStore): warm re-runs
+//!   stream straight from disk with **zero** place/route executions
+//!   ([`GenStats`] proves it), and [`EpochRing`] +
+//!   [`EpochPrefetcher::start_with_ring`] spill generated epochs so an
+//!   interrupted `train_stream` run resumes mid-corpus.
 //!
 //! # Example
 //!
@@ -40,9 +46,10 @@ mod run;
 pub mod scenario;
 
 pub use error::PipelineError;
-pub use prefetch::EpochPrefetcher;
+pub use prefetch::{EpochPrefetcher, EpochRing};
 pub use run::{
-    expand, generate_corpus, generate_corpus_sequential, generate_jobs, PipelineOptions,
+    expand, generate_corpus, generate_corpus_sequential, generate_corpus_with_stats, generate_jobs,
+    generate_jobs_with_stats, GenStats, PipelineOptions,
 };
 pub use scenario::{DesignJob, ScenarioSpec};
 
@@ -123,6 +130,75 @@ mod tests {
             generate_corpus(&[bad], &PipelineOptions::default()),
             Err(PipelineError::BadScenario(_))
         ));
+    }
+
+    #[test]
+    fn warm_cache_runs_execute_zero_place_route_stages() {
+        let dir = std::env::temp_dir().join("pop_pipeline_warm_cache_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let scenarios = vec![
+            tiny("warm-a", "diffeq2", 2),
+            ScenarioSpec {
+                variants: 2,
+                ..tiny("warm-b", "diffeq1", 2)
+            },
+        ];
+        let opts = PipelineOptions::with_workers(3).with_cache_dir(&dir);
+
+        let (cold, cold_stats) = generate_corpus_with_stats(&scenarios, &opts).unwrap();
+        assert_eq!(cold_stats.jobs, 3);
+        assert_eq!(cold_stats.cache_hits, 0);
+        assert_eq!(cold_stats.place_stage_runs, 6);
+        assert_eq!(cold_stats.route_stage_runs, 6);
+
+        let (warm, warm_stats) = generate_corpus_with_stats(&scenarios, &opts).unwrap();
+        assert_eq!(warm_stats.cache_hits, 3, "100% cache hits expected");
+        assert_eq!(warm_stats.place_stage_runs, 0, "warm run must not place");
+        assert_eq!(warm_stats.route_stage_runs, 0, "warm run must not route");
+        // Cached pairs are bitwise-identical to the cold run — including
+        // the wall-clock provenance, which regeneration could never
+        // reproduce: the strongest possible proof the data came from disk.
+        assert_eq!(cold, warm);
+
+        // And identical to a cache-less sequential reference, timings
+        // aside (the end-to-end integrity claim).
+        let reference = generate_corpus_sequential(&scenarios).unwrap();
+        assert_corpora_identical(&warm, &reference);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_cache_entries_self_heal() {
+        let dir = std::env::temp_dir().join("pop_pipeline_poisoned_cache_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let scenarios = vec![tiny("heal-a", "diffeq2", 2), tiny("heal-b", "diffeq1", 2)];
+        let opts = PipelineOptions::with_workers(2).with_cache_dir(&dir);
+        let (cold, _) = generate_corpus_with_stats(&scenarios, &opts).unwrap();
+
+        // Truncate one entry mid-file (the classic crash-mid-write relic).
+        let poisoned = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| {
+                p.file_name()
+                    .unwrap()
+                    .to_str()
+                    .unwrap()
+                    .starts_with("diffeq2")
+            })
+            .expect("diffeq2 cache entry");
+        let bytes = std::fs::read(&poisoned).unwrap();
+        std::fs::write(&poisoned, &bytes[..bytes.len() / 2]).unwrap();
+
+        let (healed, stats) = generate_corpus_with_stats(&scenarios, &opts).unwrap();
+        assert_eq!(stats.cache_hits, 1, "intact entry still hits");
+        assert_eq!(stats.place_stage_runs, 2, "only the damaged job re-runs");
+        assert_corpora_identical(&healed, &cold);
+        // The regenerated entry replaced the damaged one: fully warm again.
+        let (_, stats2) = generate_corpus_with_stats(&scenarios, &opts).unwrap();
+        assert_eq!(stats2.cache_hits, 2);
+        assert_eq!(stats2.place_stage_runs, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

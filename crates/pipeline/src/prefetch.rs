@@ -1,5 +1,6 @@
 //! Background epoch prefetch: generate epoch `N + 1`'s pairs while epoch
-//! `N` trains.
+//! `N` trains — now with an optional **spill-to-disk ring** that makes an
+//! interrupted streaming run resumable.
 //!
 //! [`EpochPrefetcher`] runs the parallel corpus generator on a background
 //! thread and yields one `Vec<Pair>` per epoch through a bounded channel
@@ -9,13 +10,217 @@
 //! same designs* every epoch — the corpus-diversity knob the fixed-preset
 //! flow never had. Feed it straight into
 //! [`Pix2Pix::train_stream`](pop_core::Pix2Pix::train_stream).
+//!
+//! With an [`EpochRing`] attached ([`EpochPrefetcher::start_with_ring`]),
+//! every generated epoch is spilled to disk (atomically, keyed by a
+//! fingerprint of the shifted jobs) before it is handed to the trainer,
+//! and the trainer acknowledges trained epochs back into the ring through
+//! the [`StreamCheckpoint`] handshake
+//! ([`Pix2Pix::train_stream_resumable`](pop_core::Pix2Pix::train_stream_resumable)).
+//! A killed run therefore resumes *mid-corpus*: already-trained epochs are
+//! skipped outright, already-generated-but-untrained epochs stream back
+//! from the spill files, and only genuinely new epochs pay for place +
+//! route again.
 
 use crate::error::PipelineError;
 use crate::run::{expand, generate_jobs, PipelineOptions};
 use crate::scenario::{DesignJob, ScenarioSpec};
-use pop_core::dataset::Pair;
+use pop_core::dataset::{atomic_write, fingerprint, read_pair, write_pair, Fnv1a, Pair};
+use pop_core::StreamCheckpoint;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 use std::thread::JoinHandle;
+
+const RING_MAGIC: &[u8; 8] = b"POPRING1";
+/// Decode-time bound mirroring the dataset cache's: a corrupt epoch header
+/// must not drive a huge allocation.
+const MAX_RING_PAIRS: usize = 1 << 20;
+
+/// A bounded on-disk ring of generated epochs plus a training-progress
+/// marker — the persistence half of resumable streaming.
+///
+/// Layout under `dir`:
+///
+/// * `epoch-<e>.pope` — the spilled pairs of epoch `e`, keyed by a
+///   fingerprint of the epoch's (seed-shifted) generation jobs; at most
+///   `capacity` of these are kept (oldest pruned first);
+/// * `progress` — how many epochs the *trainer* has fully consumed,
+///   advanced through the [`StreamCheckpoint`] handshake.
+///
+/// All writes are atomic (tmp + rename) and all reads treat damage as a
+/// miss, exactly like the dataset cache: a truncated spill file costs a
+/// regeneration, never a wedged stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochRing {
+    dir: PathBuf,
+    capacity: usize,
+}
+
+impl EpochRing {
+    /// A ring rooted at `dir` keeping at most `capacity` spilled epochs
+    /// (minimum 1). The directory is created lazily on first write.
+    pub fn new(dir: impl Into<PathBuf>, capacity: usize) -> Self {
+        EpochRing {
+            dir: dir.into(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The ring's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn epoch_path(&self, epoch: usize) -> PathBuf {
+        self.dir.join(format!("epoch-{epoch:06}.pope"))
+    }
+
+    fn progress_path(&self) -> PathBuf {
+        self.dir.join("progress")
+    }
+
+    /// How many epochs a previous run fully *trained* (0 for a fresh or
+    /// damaged ring).
+    pub fn completed_epochs(&self) -> usize {
+        std::fs::read_to_string(self.progress_path())
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    }
+
+    /// Records that training on `epoch` finished (progress becomes
+    /// `epoch + 1`) and prunes spill files the resumed stream can never
+    /// need again.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures writing the progress marker.
+    pub fn mark_completed(&self, epoch: usize) -> std::io::Result<()> {
+        atomic_write(&self.progress_path(), |w| writeln!(w, "{}", epoch + 1))?;
+        self.prune(epoch + 1);
+        Ok(())
+    }
+
+    /// Loads a spilled epoch; `None` on a miss (absent, truncated, corrupt
+    /// or generated under a different scenario key — all of which mean
+    /// "regenerate").
+    pub fn load_epoch(&self, key: u64, epoch: usize) -> Option<Vec<Pair>> {
+        let mut r = std::io::BufReader::new(std::fs::File::open(self.epoch_path(epoch)).ok()?);
+        parse_epoch(&mut r, key, epoch).ok().flatten()
+    }
+
+    /// Atomically spills one epoch's pairs, then prunes the ring down to
+    /// its capacity (and below the training-progress watermark).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn store_epoch(&self, key: u64, epoch: usize, pairs: &[Pair]) -> std::io::Result<()> {
+        // Mirror the reader's bound at write time so an oversized epoch
+        // fails loudly instead of becoming a spill the reader forever
+        // rejects as corrupt.
+        if pairs.len() > MAX_RING_PAIRS {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("epoch exceeds {MAX_RING_PAIRS} pairs"),
+            ));
+        }
+        atomic_write(&self.epoch_path(epoch), |w| {
+            w.write_all(RING_MAGIC)?;
+            w.write_all(&key.to_le_bytes())?;
+            w.write_all(&(epoch as u64).to_le_bytes())?;
+            w.write_all(&(pairs.len() as u32).to_le_bytes())?;
+            for p in pairs {
+                write_pair(w, p)?;
+            }
+            Ok(())
+        })?;
+        self.prune(
+            self.completed_epochs()
+                .max((epoch + 1).saturating_sub(self.capacity)),
+        );
+        Ok(())
+    }
+
+    /// Removes spill files for epochs below `watermark` (best-effort).
+    fn prune(&self, watermark: usize) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(idx) = name
+                .to_str()
+                .and_then(|n| n.strip_prefix("epoch-"))
+                .and_then(|n| n.strip_suffix(".pope"))
+                .and_then(|n| n.parse::<usize>().ok())
+            else {
+                continue;
+            };
+            if idx < watermark {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+fn parse_epoch(r: &mut impl Read, key: u64, epoch: usize) -> std::io::Result<Option<Vec<Pair>>> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != RING_MAGIC {
+        return Ok(None);
+    }
+    let mut b8 = [0u8; 8];
+    r.read_exact(&mut b8)?;
+    if u64::from_le_bytes(b8) != key {
+        return Ok(None);
+    }
+    r.read_exact(&mut b8)?;
+    if u64::from_le_bytes(b8) != epoch as u64 {
+        return Ok(None);
+    }
+    let mut b4 = [0u8; 4];
+    r.read_exact(&mut b4)?;
+    let n = u32::from_le_bytes(b4) as usize;
+    if n > MAX_RING_PAIRS {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "corrupt epoch spill: pair count",
+        ));
+    }
+    let mut pairs = Vec::with_capacity(n);
+    for _ in 0..n {
+        pairs.push(read_pair(r)?);
+    }
+    Ok(Some(pairs))
+}
+
+/// The trainer-side half of the resume handshake: `train_stream_resumable`
+/// starts counting at [`EpochRing::completed_epochs`] and advances the
+/// ring's progress marker only *after* each epoch actually trained.
+impl StreamCheckpoint for EpochRing {
+    fn completed_epochs(&self) -> usize {
+        EpochRing::completed_epochs(self)
+    }
+
+    fn epoch_completed(&mut self, epoch: usize) {
+        // A failed marker write only costs a re-train of this epoch on the
+        // next resume — never wedges the current run.
+        let _ = self.mark_completed(epoch);
+    }
+}
+
+/// The key a spilled epoch is stored under: folds every job fingerprint of
+/// the (seed-shifted) epoch expansion together, so *any* scenario-parameter
+/// change — or the epoch's own seed shift — invalidates the spill.
+fn epoch_key(jobs: &[DesignJob]) -> u64 {
+    let mut h = Fnv1a::new();
+    for job in jobs {
+        h.eat(fingerprint(&job.spec, &job.config));
+    }
+    h.finish()
+}
 
 /// A background iterator of per-epoch training pairs.
 ///
@@ -25,6 +230,7 @@ use std::thread::JoinHandle;
 pub struct EpochPrefetcher {
     rx: Option<mpsc::Receiver<Result<Vec<Pair>, PipelineError>>>,
     producer: Option<JoinHandle<()>>,
+    first_epoch: usize,
 }
 
 impl EpochPrefetcher {
@@ -38,19 +244,45 @@ impl EpochPrefetcher {
         epochs: usize,
         depth: usize,
     ) -> Self {
+        Self::start_inner(scenarios, opts, epochs, depth, None)
+    }
+
+    /// [`EpochPrefetcher::start`] with a spill-to-disk [`EpochRing`]: every
+    /// generated epoch is persisted before it is yielded, and epochs the
+    /// ring marks as already trained are skipped entirely — this is the
+    /// resume path. Combined with
+    /// [`Pix2Pix::train_stream_resumable`](pop_core::Pix2Pix::train_stream_resumable)
+    /// (pass the same ring as the checkpoint), an interrupted `train_stream`
+    /// run picks up at the first untrained epoch, streaming any
+    /// already-spilled epochs straight from disk instead of regenerating
+    /// from seeds.
+    pub fn start_with_ring(
+        scenarios: Vec<ScenarioSpec>,
+        opts: PipelineOptions,
+        epochs: usize,
+        depth: usize,
+        ring: EpochRing,
+    ) -> Self {
+        Self::start_inner(scenarios, opts, epochs, depth, Some(ring))
+    }
+
+    fn start_inner(
+        scenarios: Vec<ScenarioSpec>,
+        opts: PipelineOptions,
+        epochs: usize,
+        depth: usize,
+        ring: Option<EpochRing>,
+    ) -> Self {
+        let first_epoch = ring
+            .as_ref()
+            .map_or(0, EpochRing::completed_epochs)
+            .min(epochs);
         let (tx, rx) = mpsc::sync_channel(depth.max(1));
         let producer = std::thread::Builder::new()
             .name("pop-pipe-prefetch".into())
             .spawn(move || {
-                for epoch in 0..epochs {
-                    let result = shifted_jobs(&scenarios, epoch)
-                        .and_then(|jobs| generate_jobs(jobs, &opts))
-                        .map(|datasets| {
-                            datasets
-                                .into_iter()
-                                .flat_map(|d| d.pairs)
-                                .collect::<Vec<Pair>>()
-                        });
+                for epoch in first_epoch..epochs {
+                    let result = epoch_pairs(&scenarios, epoch, &opts, ring.as_ref());
                     let failed = result.is_err();
                     if tx.send(result).is_err() {
                         return; // consumer hung up — stop generating
@@ -64,7 +296,15 @@ impl EpochPrefetcher {
         EpochPrefetcher {
             rx: Some(rx),
             producer: Some(producer),
+            first_epoch,
         }
+    }
+
+    /// The index of the first epoch this prefetcher will yield: 0 for a
+    /// fresh stream, the interrupted run's trained-epoch count when
+    /// resuming from a ring.
+    pub fn first_epoch(&self) -> usize {
+        self.first_epoch
     }
 
     /// Convenience consumer: unwraps errors into the first failure and
@@ -77,6 +317,31 @@ impl EpochPrefetcher {
     pub fn collect_epochs(self) -> Result<Vec<Vec<Pair>>, PipelineError> {
         self.collect()
     }
+}
+
+/// Materialises one epoch: spill-ring hit if available, else a full
+/// pipeline generation (spilled back to the ring before it is yielded, so
+/// a consumer crash after this point costs no regeneration).
+fn epoch_pairs(
+    scenarios: &[ScenarioSpec],
+    epoch: usize,
+    opts: &PipelineOptions,
+    ring: Option<&EpochRing>,
+) -> Result<Vec<Pair>, PipelineError> {
+    let jobs = shifted_jobs(scenarios, epoch)?;
+    let key = epoch_key(&jobs);
+    if let Some(ring) = ring {
+        if let Some(pairs) = ring.load_epoch(key, epoch) {
+            return Ok(pairs);
+        }
+    }
+    let datasets = generate_jobs(jobs, opts)?;
+    let pairs: Vec<Pair> = datasets.into_iter().flat_map(|d| d.pairs).collect();
+    if let Some(ring) = ring {
+        ring.store_epoch(key, epoch, &pairs)
+            .map_err(|e| PipelineError::Checkpoint(format!("spill epoch {epoch}: {e}")))?;
+    }
+    Ok(pairs)
 }
 
 /// Expands scenarios into jobs whose *placement-sweep* seeds are advanced
@@ -116,12 +381,30 @@ impl Drop for EpochPrefetcher {
 mod tests {
     use super::*;
     use crate::scenario::by_name;
+    use pop_core::dataset::PairMeta;
+    use pop_nn::Tensor;
 
     fn tiny() -> ScenarioSpec {
         ScenarioSpec {
             pairs_per_design: 2,
             ..by_name("smoke").unwrap()
         }
+    }
+
+    fn tmp_ring(tag: &str, capacity: usize) -> EpochRing {
+        let dir = std::env::temp_dir().join(format!("pop_ring_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        EpochRing::new(dir, capacity)
+    }
+
+    fn synthetic_pairs(n: usize) -> Vec<Pair> {
+        (0..n)
+            .map(|i| Pair {
+                x: Tensor::randn([1, 2, 4, 4], 0.0, 1.0, i as u64),
+                y: Tensor::randn([1, 3, 4, 4], 0.0, 1.0, (i + 100) as u64),
+                meta: PairMeta::synthetic(i as u64),
+            })
+            .collect()
     }
 
     #[test]
@@ -197,5 +480,142 @@ mod tests {
             Some(Err(PipelineError::BadScenario(_)))
         ));
         assert!(prefetcher.next().is_none());
+    }
+
+    #[test]
+    fn ring_round_trips_and_misses_on_damage() {
+        let ring = tmp_ring("roundtrip", 8);
+        let pairs = synthetic_pairs(3);
+        ring.store_epoch(7, 2, &pairs).unwrap();
+        assert_eq!(ring.load_epoch(7, 2).unwrap(), pairs);
+        // Wrong key or epoch: miss.
+        assert!(ring.load_epoch(8, 2).is_none());
+        assert!(ring.load_epoch(7, 3).is_none());
+        // Truncation anywhere: miss, not a panic or error.
+        let path = ring.dir().join("epoch-000002.pope");
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in [0, 7, 8, 19, 27, bytes.len() / 2, bytes.len() - 1] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(ring.load_epoch(7, 2).is_none(), "cut at {cut}");
+        }
+        // A corrupt pair count must not drive a huge allocation.
+        let mut huge = bytes[..28].to_vec();
+        huge[24..28].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &huge).unwrap();
+        assert!(ring.load_epoch(7, 2).is_none());
+        let _ = std::fs::remove_dir_all(ring.dir());
+    }
+
+    #[test]
+    fn ring_prunes_to_capacity_and_tracks_progress() {
+        let ring = tmp_ring("prune", 2);
+        let pairs = synthetic_pairs(1);
+        for e in 0..4 {
+            ring.store_epoch(1, e, &pairs).unwrap();
+        }
+        // Capacity 2: epochs 0 and 1 pruned, 2 and 3 kept.
+        assert!(ring.load_epoch(1, 0).is_none());
+        assert!(ring.load_epoch(1, 1).is_none());
+        assert!(ring.load_epoch(1, 2).is_some());
+        assert!(ring.load_epoch(1, 3).is_some());
+        // Progress marker round-trips and prunes consumed epochs.
+        assert_eq!(ring.completed_epochs(), 0);
+        ring.mark_completed(2).unwrap();
+        assert_eq!(ring.completed_epochs(), 3);
+        assert!(ring.load_epoch(1, 2).is_none(), "trained epochs are pruned");
+        assert!(ring.load_epoch(1, 3).is_some());
+        // A mangled progress file degrades to "start over", not an error.
+        std::fs::write(ring.dir().join("progress"), b"not a number").unwrap();
+        assert_eq!(ring.completed_epochs(), 0);
+        let _ = std::fs::remove_dir_all(ring.dir());
+    }
+
+    #[test]
+    fn killed_stream_resumes_with_the_exact_remaining_epochs() {
+        // Reference: an uninterrupted 3-epoch run (no ring).
+        let reference =
+            EpochPrefetcher::start(vec![tiny()], PipelineOptions::with_workers(2), 3, 1)
+                .collect_epochs()
+                .unwrap();
+
+        // Interrupted run: consume + train epoch 0, acknowledge it through
+        // the StreamCheckpoint handshake, then "crash" (drop mid-stream).
+        let mut ring = tmp_ring("resume", 4);
+        let mut first = EpochPrefetcher::start_with_ring(
+            vec![tiny()],
+            PipelineOptions::with_workers(2),
+            3,
+            1,
+            ring.clone(),
+        );
+        assert_eq!(first.first_epoch(), 0);
+        let epoch0 = first.next().unwrap().unwrap();
+        for (a, b) in epoch0.iter().zip(&reference[0]) {
+            assert_eq!(a.without_timings(), b.without_timings());
+        }
+        StreamCheckpoint::epoch_completed(&mut ring, 0);
+        drop(first);
+
+        // Resumed run: must pick up at epoch 1 and yield exactly the
+        // epochs the interrupted run would have — bitwise, timings aside.
+        let resumed = EpochPrefetcher::start_with_ring(
+            vec![tiny()],
+            PipelineOptions::with_workers(2),
+            3,
+            1,
+            ring.clone(),
+        );
+        assert_eq!(resumed.first_epoch(), 1);
+        let rest = resumed.collect_epochs().unwrap();
+        assert_eq!(rest.len(), 2, "epoch 0 must not be regenerated");
+        for (got, want) in rest.iter().zip(&reference[1..]) {
+            assert_eq!(got.len(), want.len());
+            for (a, b) in got.iter().zip(want) {
+                assert_eq!(a.without_timings(), b.without_timings());
+            }
+        }
+        // A fully-trained ring yields nothing more.
+        for e in 1..3 {
+            StreamCheckpoint::epoch_completed(&mut ring, e);
+        }
+        let done = EpochPrefetcher::start_with_ring(
+            vec![tiny()],
+            PipelineOptions::with_workers(2),
+            3,
+            1,
+            ring.clone(),
+        );
+        assert_eq!(done.first_epoch(), 3);
+        assert!(done.collect_epochs().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(ring.dir());
+    }
+
+    #[test]
+    fn spilled_epochs_stream_back_from_disk() {
+        let ring = tmp_ring("spill", 4);
+        let scenarios = vec![tiny()];
+        let jobs = shifted_jobs(&scenarios, 0).unwrap();
+        let key = epoch_key(&jobs);
+        // Cold: generated and spilled.
+        let cold = epoch_pairs(
+            &scenarios,
+            0,
+            &PipelineOptions::with_workers(2),
+            Some(&ring),
+        )
+        .unwrap();
+        let spilled = ring.load_epoch(key, 0).expect("epoch spilled");
+        assert_eq!(spilled, cold);
+        // Warm: identical pairs — including the wall-clock provenance,
+        // which regeneration could never reproduce, proving the disk path.
+        let warm = epoch_pairs(
+            &scenarios,
+            0,
+            &PipelineOptions::with_workers(2),
+            Some(&ring),
+        )
+        .unwrap();
+        assert_eq!(warm, cold);
+        let _ = std::fs::remove_dir_all(ring.dir());
     }
 }

@@ -1,27 +1,39 @@
-//! The staged, streaming corpus generator.
+//! The staged, streaming, **cache-aware** corpus generator.
 //!
 //! Four stages, each on its own [`WorkerPool`], connected by bounded
 //! [`BoundedQueue`]s (backpressure keeps memory flat while designs
 //! stream through):
 //!
 //! ```text
-//! jobs ─▶ [prep: netlist + fabric calibration] ─▶ [place] ─▶ [route] ─▶ [raster + tensors] ─▶ collector
+//! jobs ─▶ [prep: cache probe → netlist + fabric calibration] ─▶ [place] ─▶ [route]
+//!      ─▶ [raster + tensors → cache write on job completion] ─▶ collector
 //! ```
 //!
 //! Every stage calls the *same* `pop_core::dataset::DesignContext` stage
-//! functions the sequential `build_design_dataset` driver uses, and the
-//! collector reassembles pairs by `(job, sweep index)` — so the output is
+//! functions the sequential `build_design_dataset` driver uses, and pairs
+//! are reassembled by `(job, sweep index)` — so the output is
 //! bitwise-identical to the sequential path for identical seeds, regardless
 //! of scheduling (wall-clock `PairMeta` timings aside).
+//!
+//! With a [`PipelineOptions::cache_dir`] configured, the prep stage probes
+//! a [`CorpusStore`] per job (keyed by design name + scenario fingerprint)
+//! and short-circuits the place/route/raster stages entirely on a hit; the
+//! raster stage writes each job's dataset back into the store the moment
+//! its last pair lands. A warm re-run therefore streams straight from disk
+//! — [`GenStats`] reports the hit count and how many place/route stage
+//! executions actually ran, which is the observable contract ("zero on
+//! warm") the integrity tests pin down.
 
 use crate::error::PipelineError;
 use crate::scenario::{DesignJob, ScenarioSpec};
-use pop_core::dataset::{build_design_dataset, DesignContext, DesignDataset, Pair};
+use pop_core::dataset::{build_design_dataset, CorpusStore, DesignContext, DesignDataset, Pair};
 use pop_core::CoreError;
 use pop_exec::{BoundedQueue, WorkerPool};
 use pop_place::{PlaceOptions, Placement};
 use pop_route::RouteResult;
-use std::sync::{mpsc, Arc};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 
 /// Tuning knobs of the parallel generator.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,6 +44,9 @@ pub struct PipelineOptions {
     pub workers: usize,
     /// Depth of the bounded inter-stage queues — the backpressure window.
     pub queue_depth: usize,
+    /// Per-job disk cache ([`CorpusStore`] root): probed before generating,
+    /// written as jobs complete. `None` disables caching (always generate).
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for PipelineOptions {
@@ -42,6 +57,7 @@ impl Default for PipelineOptions {
         PipelineOptions {
             workers: parallelism.min(8),
             queue_depth: 2 * parallelism.clamp(1, 8),
+            cache_dir: None,
         }
     }
 }
@@ -52,8 +68,36 @@ impl PipelineOptions {
         PipelineOptions {
             workers: workers.max(1),
             queue_depth: 2 * workers.max(1),
+            cache_dir: None,
         }
     }
+
+    /// The same options with a per-job disk cache rooted at `dir`.
+    #[must_use]
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+}
+
+/// What a [`generate_jobs_with_stats`] run actually executed — the
+/// observable half of the cache contract. A fully warm run reports
+/// `cache_hits == jobs` and **zero** place/route stage executions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GenStats {
+    /// Jobs in the corpus.
+    pub jobs: usize,
+    /// Jobs served straight from the [`CorpusStore`].
+    pub cache_hits: usize,
+    /// Placement-stage executions (annealing runs) that actually happened.
+    pub place_stage_runs: usize,
+    /// Routing-stage executions that actually happened.
+    pub route_stage_runs: usize,
+    /// Cache writes that failed (disk full, permissions, …). The affected
+    /// datasets are still delivered — a cold run never dies because its
+    /// cache is sick — but the jobs will regenerate on the next run, so
+    /// non-zero here means re-runs won't be fully warm.
+    pub cache_write_failures: usize,
 }
 
 struct PlaceTask {
@@ -84,19 +128,26 @@ struct RasterTask {
 }
 
 enum Event {
-    Context {
+    Dataset {
         job: usize,
-        ctx: Arc<DesignContext>,
-    },
-    Pair {
-        job: usize,
-        index: usize,
-        pair: Box<Pair>,
+        ds: Box<DesignDataset>,
+        from_cache: bool,
     },
     Failed {
         job: usize,
         error: CoreError,
     },
+}
+
+/// Per-job reassembly state shared by the prep and raster stages: the prep
+/// stage parks the job's context here, raster workers fill sweep-index
+/// slots, and whichever worker lands the *last* pair assembles the
+/// dataset (and writes the cache) right there — "caches are written as
+/// jobs complete", not at the end of the run.
+struct JobSlot {
+    ctx: Option<Arc<DesignContext>>,
+    pairs: Vec<Option<Pair>>,
+    filled: usize,
 }
 
 /// Expands scenarios into concrete generation jobs, in scenario order.
@@ -123,14 +174,42 @@ pub fn generate_jobs(
     jobs: Vec<DesignJob>,
     opts: &PipelineOptions,
 ) -> Result<Vec<DesignDataset>, PipelineError> {
+    generate_jobs_with_stats(jobs, opts).map(|(datasets, _)| datasets)
+}
+
+/// [`generate_jobs`] plus the run's [`GenStats`] — how many jobs came from
+/// the cache and how many place/route stage executions actually ran.
+///
+/// # Errors
+///
+/// Returns the first stage failure in job order, or
+/// [`PipelineError::Incomplete`] when a worker died without delivering.
+pub fn generate_jobs_with_stats(
+    jobs: Vec<DesignJob>,
+    opts: &PipelineOptions,
+) -> Result<(Vec<DesignDataset>, GenStats), PipelineError> {
     let njobs = jobs.len();
     if njobs == 0 {
-        return Ok(Vec::new());
+        return Ok((Vec::new(), GenStats::default()));
     }
     let workers = opts.workers.max(1);
     let depth = opts.queue_depth.max(1);
+    let store = opts.cache_dir.as_ref().map(CorpusStore::new);
     let expected: Vec<usize> = jobs.iter().map(|j| j.config.pairs_per_design).collect();
     let names: Vec<String> = jobs.iter().map(|j| j.spec.name.clone()).collect();
+    let slots: Arc<Mutex<Vec<JobSlot>>> = Arc::new(Mutex::new(
+        expected
+            .iter()
+            .map(|&n| JobSlot {
+                ctx: None,
+                pairs: vec![None; n],
+                filled: 0,
+            })
+            .collect(),
+    ));
+    let place_runs = Arc::new(AtomicUsize::new(0));
+    let route_runs = Arc::new(AtomicUsize::new(0));
+    let cache_write_failures = Arc::new(AtomicUsize::new(0));
 
     let q_prep: Arc<BoundedQueue<(usize, DesignJob)>> = Arc::new(BoundedQueue::new(njobs));
     let q_place: Arc<BoundedQueue<PlaceTask>> = Arc::new(BoundedQueue::new(depth));
@@ -172,19 +251,37 @@ pub fn generate_jobs(
     let mut prep_pool = WorkerPool::spawn("pop-pipe-prep", workers.min(njobs), |_| {
         let q_prep = Arc::clone(&q_prep);
         let q_place = Arc::clone(&q_place);
+        let slots = Arc::clone(&slots);
+        let store = store.clone();
         let tx = tx.clone();
         move || {
             while let Some((job, design_job)) = q_prep.pop() {
+                // Cache probe first: a hit skips fabric calibration AND the
+                // entire place/route/raster chain for this job.
+                if let Some(store) = &store {
+                    match store.load(&design_job.spec, &design_job.config) {
+                        Ok(Some(ds)) => {
+                            let _ = tx.send(Event::Dataset {
+                                job,
+                                ds: Box::new(ds),
+                                from_cache: true,
+                            });
+                            continue;
+                        }
+                        Ok(None) => {} // miss (absent, stale or damaged): generate
+                        Err(error) => {
+                            let _ = tx.send(Event::Failed { job, error });
+                            continue;
+                        }
+                    }
+                }
                 let prepared = run_stage(std::panic::AssertUnwindSafe(|| {
                     DesignContext::prepare(&design_job.spec, &design_job.config)
                 }));
                 match prepared {
                     Ok(ctx) => {
                         let ctx = Arc::new(ctx);
-                        let _ = tx.send(Event::Context {
-                            job,
-                            ctx: Arc::clone(&ctx),
-                        });
+                        slots.lock().expect("slot lock")[job].ctx = Some(Arc::clone(&ctx));
                         for (index, popts) in ctx.sweep_options().into_iter().enumerate() {
                             let task = PlaceTask {
                                 job,
@@ -208,9 +305,11 @@ pub fn generate_jobs(
     let mut place_pool = WorkerPool::spawn("pop-pipe-place", workers, |_| {
         let q_place = Arc::clone(&q_place);
         let q_route = Arc::clone(&q_route);
+        let place_runs = Arc::clone(&place_runs);
         let tx = tx.clone();
         move || {
             while let Some(t) = q_place.pop() {
+                place_runs.fetch_add(1, Ordering::Relaxed);
                 let placed =
                     run_stage(std::panic::AssertUnwindSafe(|| t.ctx.place_stage(&t.popts)));
                 match placed {
@@ -238,9 +337,11 @@ pub fn generate_jobs(
     let mut route_pool = WorkerPool::spawn("pop-pipe-route", workers, |_| {
         let q_route = Arc::clone(&q_route);
         let q_raster = Arc::clone(&q_raster);
+        let route_runs = Arc::clone(&route_runs);
         let tx = tx.clone();
         move || {
             while let Some(t) = q_route.pop() {
+                route_runs.fetch_add(1, Ordering::Relaxed);
                 let routed = run_stage(std::panic::AssertUnwindSafe(|| {
                     t.ctx.route_stage(&t.placement)
                 }));
@@ -270,31 +371,88 @@ pub fn generate_jobs(
 
     let mut raster_pool = WorkerPool::spawn("pop-pipe-raster", workers.div_ceil(2), |_| {
         let q_raster = Arc::clone(&q_raster);
+        let slots = Arc::clone(&slots);
+        let store = store.clone();
+        let cache_write_failures = Arc::clone(&cache_write_failures);
         let tx = tx.clone();
         move || {
             while let Some(t) = q_raster.pop() {
+                let RasterTask {
+                    job,
+                    index,
+                    ctx: task_ctx,
+                    popts,
+                    placement,
+                    routing,
+                    place_micros,
+                    route_micros,
+                } = t;
                 let rastered = run_stage(std::panic::AssertUnwindSafe(|| {
-                    Ok(t.ctx.raster_stage(
-                        t.index,
-                        &t.popts,
-                        &t.placement,
-                        &t.routing,
-                        t.place_micros,
-                        t.route_micros,
+                    Ok(task_ctx.raster_stage(
+                        index,
+                        &popts,
+                        &placement,
+                        &routing,
+                        place_micros,
+                        route_micros,
                     ))
                 }));
-                match rastered {
-                    Ok(pair) => {
-                        let _ = tx.send(Event::Pair {
-                            job: t.job,
-                            index: t.index,
-                            pair: Box::new(pair),
-                        });
-                    }
+                // Release this task's context handle before assembly so
+                // the slot's Arc is the last one standing on a job's final
+                // pair and try_unwrap below reclaims the context without a
+                // deep clone (netlist + routing graph).
+                drop(task_ctx);
+                let pair = match rastered {
+                    Ok(pair) => pair,
                     Err(error) => {
-                        let _ = tx.send(Event::Failed { job: t.job, error });
+                        let _ = tx.send(Event::Failed { job, error });
+                        continue;
+                    }
+                };
+                // Slot the pair in; the worker landing a job's final pair
+                // assembles the dataset and persists it immediately.
+                let finished = {
+                    let mut slots = slots.lock().expect("slot lock");
+                    let slot = &mut slots[job];
+                    slot.pairs[index] = Some(pair);
+                    slot.filled += 1;
+                    (slot.filled == slot.pairs.len())
+                        .then(|| (slot.ctx.take(), std::mem::take(&mut slot.pairs)))
+                };
+                let Some((ctx, pairs)) = finished else {
+                    continue;
+                };
+                let Some(ctx) = ctx else {
+                    let _ = tx.send(Event::Failed {
+                        job,
+                        error: CoreError::Pipeline(
+                            "job completed without a prepared context".into(),
+                        ),
+                    });
+                    continue;
+                };
+                let ctx = Arc::try_unwrap(ctx).unwrap_or_else(|arc| (*arc).clone());
+                let pairs: Vec<Pair> = pairs.into_iter().map(Option::unwrap).collect();
+                let (spec, config) = (ctx.spec.clone(), ctx.config.clone());
+                let ds = ctx.into_dataset(pairs);
+                if let Some(store) = &store {
+                    // A sick cache must not kill a healthy generation run:
+                    // the dataset is delivered regardless, the failure is
+                    // counted (GenStats) and warned — only the *next* run
+                    // pays, by regenerating this job.
+                    if let Err(error) = store.store(&ds, &spec, &config) {
+                        cache_write_failures.fetch_add(1, Ordering::Relaxed);
+                        eprintln!(
+                            "pop-pipeline: cache write failed for '{}' (delivering uncached): {error}",
+                            spec.name
+                        );
                     }
                 }
+                let _ = tx.send(Event::Dataset {
+                    job,
+                    ds: Box::new(ds),
+                    from_cache: false,
+                });
             }
         }
     });
@@ -313,14 +471,22 @@ pub fn generate_jobs(
     let _ = raster_pool.join();
     drop(tx);
 
-    // Reassemble in deterministic (job, sweep-index) order.
-    let mut ctxs: Vec<Option<Arc<DesignContext>>> = vec![None; njobs];
-    let mut slots: Vec<Vec<Option<Pair>>> = expected.iter().map(|&n| vec![None; n]).collect();
+    // Collect assembled datasets in deterministic job order.
+    let mut collected: Vec<Option<DesignDataset>> = (0..njobs).map(|_| None).collect();
+    let mut cache_hits = 0usize;
     let mut first_error: Option<(usize, CoreError)> = None;
     for event in rx {
         match event {
-            Event::Context { job, ctx } => ctxs[job] = Some(ctx),
-            Event::Pair { job, index, pair } => slots[job][index] = Some(*pair),
+            Event::Dataset {
+                job,
+                ds,
+                from_cache,
+            } => {
+                if from_cache {
+                    cache_hits += 1;
+                }
+                collected[job] = Some(*ds);
+            }
             Event::Failed { job, error } => {
                 if first_error.as_ref().is_none_or(|(j, _)| job < *j) {
                     first_error = Some((job, error));
@@ -332,17 +498,22 @@ pub fn generate_jobs(
         return Err(PipelineError::Core(error));
     }
     let mut datasets = Vec::with_capacity(njobs);
-    for (job, (ctx, pairs)) in ctxs.into_iter().zip(slots).enumerate() {
-        let complete = pairs.iter().all(Option::is_some);
-        let (Some(ctx), true) = (ctx, complete) else {
+    for (job, ds) in collected.into_iter().enumerate() {
+        let Some(ds) = ds else {
             return Err(PipelineError::Incomplete {
                 design: names[job].clone(),
             });
         };
-        let ctx = Arc::try_unwrap(ctx).unwrap_or_else(|arc| (*arc).clone());
-        datasets.push(ctx.into_dataset(pairs.into_iter().map(Option::unwrap).collect()));
+        datasets.push(ds);
     }
-    Ok(datasets)
+    let stats = GenStats {
+        jobs: njobs,
+        cache_hits,
+        place_stage_runs: place_runs.load(Ordering::Relaxed),
+        route_stage_runs: route_runs.load(Ordering::Relaxed),
+        cache_write_failures: cache_write_failures.load(Ordering::Relaxed),
+    };
+    Ok((datasets, stats))
 }
 
 /// Generates the corpus described by `scenarios` on the parallel pipeline:
@@ -356,6 +527,20 @@ pub fn generate_corpus(
     opts: &PipelineOptions,
 ) -> Result<Vec<DesignDataset>, PipelineError> {
     generate_jobs(expand(scenarios)?, opts)
+}
+
+/// [`generate_corpus`] plus the run's [`GenStats`] (cache hits, actual
+/// place/route stage executions) — the observable a warm-cache re-run is
+/// judged by.
+///
+/// # Errors
+///
+/// Propagates scenario validation and generation failures.
+pub fn generate_corpus_with_stats(
+    scenarios: &[ScenarioSpec],
+    opts: &PipelineOptions,
+) -> Result<(Vec<DesignDataset>, GenStats), PipelineError> {
+    generate_jobs_with_stats(expand(scenarios)?, opts)
 }
 
 /// The sequential reference path: the same jobs, one

@@ -80,12 +80,10 @@ impl Default for ScenarioSpec {
 
 /// Deterministic seed mixer (FNV-1a over the inputs) for variant seeds.
 fn mix_seed(base: u64, variant: u64) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for v in [base, variant] {
-        h ^= v;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    let mut h = pop_core::dataset::Fnv1a::new();
+    h.eat(base);
+    h.eat(variant);
+    h.finish()
 }
 
 impl ScenarioSpec {

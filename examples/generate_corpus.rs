@@ -1,17 +1,67 @@
-//! End-to-end pipeline smoke: generate the "smoke" scenario corpus on the
-//! staged parallel pipeline, check it against the sequential reference, and
-//! hand the pairs to one streamed training epoch.
+//! End-to-end pipeline smoke: generate a scenario corpus on the staged
+//! parallel pipeline (optionally through the per-job disk cache), check it
+//! against the sequential reference, and hand the pairs to a resumable
+//! streamed training run.
 //!
-//! Run with `cargo run --release --example generate_corpus [scenario]`.
+//! ```text
+//! cargo run --release --example generate_corpus [scenario] \
+//!     [--cache-dir DIR] [--resume]
+//! ```
+//!
+//! * `--cache-dir DIR` — generate through a `CorpusStore` rooted at `DIR`:
+//!   the first run is cold (writes per-job caches as jobs complete), a
+//!   re-run is warm (100% cache hits, zero place/route stage executions)
+//!   and must produce a bitwise-identical corpus checksum. The streaming
+//!   training demo spills its epochs to `DIR/ring`.
+//! * `--resume` — honour the epoch ring's progress marker: a run
+//!   interrupted (or completed) earlier picks up at the first untrained
+//!   epoch instead of regenerating from seeds. Without the flag the ring
+//!   is reset and training starts from epoch 0.
 
 use painting_on_placement as pop;
+use pop::core::dataset::DesignDataset;
 use pop::core::Pix2Pix;
 use pop::pipeline::{
-    generate_corpus, generate_corpus_sequential, scenario, EpochPrefetcher, PipelineOptions,
+    generate_corpus_sequential, generate_corpus_with_stats, scenario, EpochPrefetcher, EpochRing,
+    PipelineOptions,
 };
 
+/// FNV-1a over every value of every pair (tensors + full provenance,
+/// wall-clock timings included: the cache round-trips them bitwise).
+fn corpus_checksum(corpus: &[DesignDataset]) -> u64 {
+    let mut h = pop::core::dataset::Fnv1a::new();
+    for ds in corpus {
+        h.eat_bytes(ds.name.as_bytes());
+        h.eat(ds.channel_width as u64);
+        for p in &ds.pairs {
+            h.eat(p.meta.index as u64);
+            h.eat(p.meta.place_seed);
+            h.eat(p.meta.true_mean_congestion.to_bits() as u64);
+            h.eat(p.meta.true_max_congestion.to_bits() as u64);
+            h.eat(p.meta.route_micros);
+            h.eat(p.meta.place_micros);
+            for v in p.x.data().iter().chain(p.y.data()) {
+                h.eat(v.to_bits() as u64);
+            }
+        }
+    }
+    h.finish()
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "smoke".into());
+    let mut name = "smoke".to_string();
+    let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut resume = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cache-dir" => {
+                cache_dir = Some(args.next().ok_or("--cache-dir needs a path")?.into());
+            }
+            "--resume" => resume = true,
+            other => name = other.to_string(),
+        }
+    }
     let spec = scenario::by_name(&name)
         .ok_or_else(|| format!("unknown scenario '{name}' (see pop::pipeline::scenario)"))?;
     println!(
@@ -24,18 +74,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         spec.resolution
     );
 
-    let opts = PipelineOptions::with_workers(4);
-    let corpus = generate_corpus(std::slice::from_ref(&spec), &opts)?;
-    let reference = generate_corpus_sequential(std::slice::from_ref(&spec))?;
-    for (p, s) in corpus.iter().zip(&reference) {
-        assert_eq!(p.pairs.len(), s.pairs.len());
-        for (pp, sp) in p.pairs.iter().zip(&s.pairs) {
-            assert_eq!(
-                pp.without_timings(),
-                sp.without_timings(),
-                "pipeline output diverged from the sequential path"
-            );
+    let mut opts = PipelineOptions::with_workers(4);
+    if let Some(dir) = &cache_dir {
+        opts = opts.with_cache_dir(dir);
+        println!("cache dir: {}", dir.display());
+    }
+    let (corpus, stats) = generate_corpus_with_stats(std::slice::from_ref(&spec), &opts)?;
+    println!(
+        "cache hits: {}/{} (place-stage runs: {}, route-stage runs: {})",
+        stats.cache_hits, stats.jobs, stats.place_stage_runs, stats.route_stage_runs
+    );
+    let warm = stats.cache_hits == stats.jobs;
+    if warm {
+        assert_eq!(
+            (stats.place_stage_runs, stats.route_stage_runs),
+            (0, 0),
+            "a fully warm run must not execute place/route stages"
+        );
+        println!("warm run: corpus streamed straight from disk");
+    } else {
+        // Cold (or partially cold) runs are cross-checked against the
+        // sequential reference path pair by pair; warm runs are instead
+        // pinned by the checksum, which must equal the cold run's.
+        let reference = generate_corpus_sequential(std::slice::from_ref(&spec))?;
+        for (p, s) in corpus.iter().zip(&reference) {
+            assert_eq!(p.pairs.len(), s.pairs.len());
+            for (pp, sp) in p.pairs.iter().zip(&s.pairs) {
+                assert_eq!(
+                    pp.without_timings(),
+                    sp.without_timings(),
+                    "pipeline output diverged from the sequential path"
+                );
+            }
         }
+        println!("parallel output is bitwise-identical to the sequential path");
     }
     for ds in &corpus {
         println!(
@@ -47,17 +119,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ds.channel_width
         );
     }
-    println!("parallel output is bitwise-identical to the sequential path");
+    println!("corpus checksum: {:016x}", corpus_checksum(&corpus));
 
     // Background prefetch feeding the streaming trainer: epoch 2 generates
-    // while epoch 1 trains.
+    // while epoch 1 trains. With a cache dir, epochs spill into an
+    // EpochRing so an interrupted (or re-run) training session resumes
+    // from the last completed epoch instead of regenerating from seeds.
+    let epochs = 2;
     let config = spec.config();
     let mut model = Pix2Pix::new(&config, 7)?;
-    let prefetcher = EpochPrefetcher::start(vec![spec], opts, 2, 1);
-    let epochs: Result<Vec<_>, _> = prefetcher.collect();
-    let history = model.train_stream(epochs?);
+    let history = match &cache_dir {
+        Some(dir) => {
+            let ring_dir = dir.join("ring");
+            if !resume {
+                let _ = std::fs::remove_dir_all(&ring_dir);
+            }
+            let mut ring = EpochRing::new(&ring_dir, epochs.max(2));
+            let prefetcher =
+                EpochPrefetcher::start_with_ring(vec![spec], opts, epochs, 1, ring.clone());
+            println!(
+                "streaming training resumed at epoch {}",
+                prefetcher.first_epoch()
+            );
+            let stream: Result<Vec<_>, _> = prefetcher.collect();
+            model.train_stream_resumable(stream?, &mut ring)
+        }
+        None => {
+            let prefetcher = EpochPrefetcher::start(vec![spec], opts, epochs, 1);
+            let stream: Result<Vec<_>, _> = prefetcher.collect();
+            model.train_stream(stream?)
+        }
+    };
     println!(
-        "streamed {} training epochs; final G loss {:.4}",
+        "streamed {} training epoch(s); final G loss {:.4}",
         history.generator_loss.len(),
         history.generator_loss.last().copied().unwrap_or(f32::NAN)
     );

@@ -66,7 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         history.l1.first().unwrap(),
         history.l1.last().unwrap()
     );
-    let acc = metrics::evaluate_accuracy(&mut model, test, config.tolerance);
+    let acc = metrics::evaluate_accuracy(&mut model, test, config.tolerance)?;
     println!(
         "per-pixel accuracy on 2 held-out placements: {:.1}%",
         acc * 100.0

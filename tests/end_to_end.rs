@@ -73,9 +73,9 @@ fn leave_one_out_then_finetune_flows() {
 
     let mut model = Pix2Pix::new(&config, 9).expect("model");
     let _ = model.train_refs(&train, config.epochs);
-    let acc1 = metrics::evaluate_accuracy(&mut model, &test.pairs, config.tolerance);
+    let acc1 = metrics::evaluate_accuracy(&mut model, &test.pairs, config.tolerance).unwrap();
     let _ = model.finetune(&test.pairs[..2], 2);
-    let acc2 = metrics::evaluate_accuracy(&mut model, &test.pairs[2..], config.tolerance);
+    let acc2 = metrics::evaluate_accuracy(&mut model, &test.pairs[2..], config.tolerance).unwrap();
     // Both are valid probabilities; Top10 well-defined.
     assert!((0.0..=1.0).contains(&acc1));
     assert!((0.0..=1.0).contains(&acc2));
