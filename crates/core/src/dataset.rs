@@ -203,13 +203,19 @@ impl DesignContext {
     }
 
     /// The deterministic placement-option sweep of this design:
-    /// `config.pairs_per_design` option sets seeded from `config.seed`.
+    /// `config.pairs_per_design` option sets seeded from `config.seed`,
+    /// each executed under `config.place_strategy` (sequential or
+    /// region-parallel annealing).
     pub fn sweep_options(&self) -> Vec<PlaceOptions> {
         let sweep = SweepSpec {
             base_seed: self.config.seed,
             ..SweepSpec::quick()
         };
-        sweep.take(self.config.pairs_per_design)
+        let mut options = sweep.take(self.config.pairs_per_design);
+        for o in &mut options {
+            o.strategy = self.config.place_strategy;
+        }
+        options
     }
 
     /// Placement stage: anneals one placement of the design under `popts`,
@@ -403,7 +409,12 @@ pub fn leave_one_out<'a>(
 /// v4: pair records are self-contained (each carries its design name), so
 /// the same record layout serves both `.popds` dataset files and the
 /// pipeline's epoch-spill ring; writes are atomic (tmp + rename).
-pub const CACHE_FORMAT_VERSION: u32 = 4;
+///
+/// v5: the fingerprint folds in the placement execution strategy
+/// (sequential vs region-parallel, including the region count — the
+/// parallel annealer's placements are a different deterministic family).
+/// The record layout is unchanged, so `MAGIC` stays at `POPDS004`.
+pub const CACHE_FORMAT_VERSION: u32 = 5;
 
 const MAGIC: &[u8; 8] = b"POPDS004";
 
@@ -492,6 +503,20 @@ pub fn fingerprint(spec: &SyntheticSpec, config: &ExperimentConfig) -> u64 {
     h.eat(config.fabric_slack.to_bits());
     h.eat(config.fabric_aspect.to_bits());
     h.eat(config.seed);
+    // The placement strategy changes the generated placements, so it is
+    // part of the data's identity — except the thread count, which by the
+    // parallel annealer's determinism contract never changes the result:
+    // caches stay warm across machines with different core counts.
+    match config.place_strategy {
+        pop_place::PlaceStrategy::Sequential => h.eat(0),
+        pop_place::PlaceStrategy::ParallelRegions {
+            regions,
+            threads: _,
+        } => {
+            h.eat(1);
+            h.eat(regions as u64);
+        }
+    }
     h.finish()
 }
 
@@ -811,17 +836,89 @@ pub fn load_dataset(
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CorpusStore {
     dir: PathBuf,
+    /// Total on-disk byte budget; `None` means unbounded (no eviction).
+    budget: Option<u64>,
+    /// Age after which another process's claim file is considered
+    /// abandoned (owner crashed) and may be broken.
+    claim_stale_after: std::time::Duration,
+}
+
+/// Default staleness horizon for generation claims: generous enough that a
+/// healthy job never loses its claim mid-generation, short enough that a
+/// crashed owner's claim does not wedge a fleet for long.
+const CLAIM_STALE_AFTER: std::time::Duration = std::time::Duration::from_secs(600);
+
+/// How often a waiting process re-probes a claimed entry.
+const CLAIM_POLL_INTERVAL: std::time::Duration = std::time::Duration::from_millis(50);
+
+/// What [`CorpusStore::begin`] resolved a job to.
+#[derive(Debug)]
+pub enum ClaimOutcome {
+    /// The entry was already cached (possibly written by another process
+    /// while we waited on its claim).
+    Cached(Box<DesignDataset>),
+    /// We own generation of this entry; finish by storing the dataset and
+    /// dropping the guard (in that order).
+    Claimed(ClaimGuard),
+}
+
+/// Ownership of one entry's generation, backed by an exclusively-created
+/// claim file; dropping the guard releases the claim (best-effort).
+#[derive(Debug)]
+pub struct ClaimGuard {
+    path: PathBuf,
+    /// The exact content this process wrote into the claim file. Release
+    /// removes the file only while it still holds this content: if the
+    /// claim went stale (a very slow owner) and another process broke and
+    /// re-claimed it, dropping the old guard must not delete the *new*
+    /// owner's claim.
+    stamp: String,
+}
+
+impl Drop for ClaimGuard {
+    fn drop(&mut self) {
+        if std::fs::read_to_string(&self.path).is_ok_and(|content| content == self.stamp) {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
 }
 
 impl CorpusStore {
-    /// A store rooted at `dir` (created lazily on first write).
+    /// A store rooted at `dir` (created lazily on first write), unbounded.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        CorpusStore { dir: dir.into() }
+        CorpusStore {
+            dir: dir.into(),
+            budget: None,
+            claim_stale_after: CLAIM_STALE_AFTER,
+        }
+    }
+
+    /// The same store with a total size budget: after every write the
+    /// least-recently-used entries are evicted until the store fits (the
+    /// serve-side `ModelRegistry` eviction, on disk). Loads touch their
+    /// entry, so hot scenarios survive the sweep.
+    #[must_use]
+    pub fn with_budget(mut self, bytes: u64) -> Self {
+        self.budget = Some(bytes);
+        self
+    }
+
+    /// The same store with a custom claim-staleness horizon (tests shrink
+    /// it; production keeps the generous default).
+    #[must_use]
+    pub fn with_claim_stale_after(mut self, after: std::time::Duration) -> Self {
+        self.claim_stale_after = after;
+        self
     }
 
     /// The store's root directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The configured size budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
     }
 
     /// The cache file this job maps to:
@@ -846,30 +943,179 @@ impl CorpusStore {
         spec: &SyntheticSpec,
         config: &ExperimentConfig,
     ) -> Result<Option<DesignDataset>, CoreError> {
-        read_dataset_file(
-            &self.entry_path(spec, config),
-            fingerprint(spec, config),
-            &spec.name,
-        )
+        let path = self.entry_path(spec, config);
+        let loaded = read_dataset_file(&path, fingerprint(spec, config), &spec.name)?;
+        if loaded.is_some() {
+            // LRU touch (best-effort): a hit must protect its entry from
+            // the size-budget sweep.
+            if let Ok(file) = std::fs::File::open(&path) {
+                let now = std::time::SystemTime::now();
+                let _ = file.set_times(std::fs::FileTimes::new().set_modified(now));
+            }
+        }
+        Ok(loaded)
     }
 
-    /// Atomically writes one job's dataset into the store.
+    /// Atomically writes one job's dataset into the store, then (with a
+    /// budget configured) sweeps least-recently-used entries until the
+    /// store fits. The entry just written is never evicted by its own
+    /// sweep, so a store always serves at least the hottest job.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Cache`] on I/O failure.
+    /// Returns [`CoreError::Cache`] on I/O failure writing the entry;
+    /// sweep failures are swallowed (eviction is advisory).
     pub fn store(
         &self,
         ds: &DesignDataset,
         spec: &SyntheticSpec,
         config: &ExperimentConfig,
     ) -> Result<(), CoreError> {
-        write_dataset_file(
-            &self.entry_path(spec, config),
-            ds,
-            fingerprint(spec, config),
-        )?;
+        let path = self.entry_path(spec, config);
+        write_dataset_file(&path, ds, fingerprint(spec, config))?;
+        self.sweep_protecting(Some(&path));
         Ok(())
+    }
+
+    /// Runs the size-budget sweep now (a no-op without a budget): entries
+    /// are evicted oldest-modified first until the store's `.popds` bytes
+    /// fit the budget. Ties break by name so the sweep is deterministic.
+    pub fn sweep(&self) {
+        self.sweep_protecting(None);
+    }
+
+    fn sweep_protecting(&self, keep: Option<&Path>) {
+        let Some(budget) = self.budget else {
+            return;
+        };
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = entries
+            .flatten()
+            .filter_map(|e| {
+                let path = e.path();
+                if path.extension().and_then(|x| x.to_str()) != Some("popds") {
+                    return None;
+                }
+                let meta = e.metadata().ok()?;
+                let modified = meta.modified().ok()?;
+                Some((modified, path, meta.len()))
+            })
+            .collect();
+        let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
+        files.sort(); // oldest first; path breaks timestamp ties
+        for (_, path, len) in files {
+            if total <= budget {
+                break;
+            }
+            if keep.is_some_and(|k| k == path) {
+                continue;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total -= len;
+            }
+        }
+    }
+
+    /// The claim-file path guarding one entry's generation.
+    fn claim_path(&self, spec: &SyntheticSpec, config: &ExperimentConfig) -> PathBuf {
+        self.entry_path(spec, config).with_extension("claim")
+    }
+
+    /// Resolves one job against the store *with cross-process
+    /// coordination*: a cache hit returns the dataset; a miss atomically
+    /// claims the entry so concurrent cold runs over one cache directory
+    /// do not all regenerate it. If another process holds the claim, this
+    /// call **waits** — polling until the entry appears (then returns it
+    /// as [`ClaimOutcome::Cached`]) or the claim is released or goes stale
+    /// (then claims it). A stale claim (older than the staleness horizon —
+    /// its owner crashed) is broken and taken over.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Cache`] when an existing entry cannot be
+    /// opened or the claim file cannot be created for reasons other than
+    /// already existing.
+    pub fn begin(
+        &self,
+        spec: &SyntheticSpec,
+        config: &ExperimentConfig,
+    ) -> Result<ClaimOutcome, CoreError> {
+        let claim = self.claim_path(spec, config);
+        loop {
+            // Probe the cache first: whoever held the claim may have
+            // finished (this is the "second process waits, then streams
+            // the first one's work" path).
+            if let Some(ds) = self.load(spec, config)? {
+                return Ok(ClaimOutcome::Cached(Box::new(ds)));
+            }
+            std::fs::create_dir_all(&self.dir)
+                .map_err(|e| CoreError::Cache(format!("create {}: {e}", self.dir.display())))?;
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&claim)
+            {
+                Ok(mut file) => {
+                    // Stamp the claim with this process + a nonce + its
+                    // creation time: the time lets other processes judge
+                    // staleness from content (mtime granularity and clock
+                    // skew make content sturdier), and the full stamp lets
+                    // release verify the claim is still *ours*.
+                    let now = std::time::SystemTime::now()
+                        .duration_since(std::time::UNIX_EPOCH)
+                        .map(|d| d.as_secs())
+                        .unwrap_or(0);
+                    let nonce = TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let stamp = format!("{}.{} {}\n", std::process::id(), nonce, now);
+                    let _ = file.write_all(stamp.as_bytes());
+                    return Ok(ClaimOutcome::Claimed(ClaimGuard { path: claim, stamp }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if self.claim_is_stale(&claim) {
+                        // Owner crashed: break the claim and retry. The
+                        // break is arbitrated by an atomic rename to a
+                        // unique tombstone — exactly one waiter wins it
+                        // (the losers' renames fail and they re-loop), so
+                        // a delayed breaker can never delete the claim a
+                        // *new* owner just created under the same name.
+                        let tomb = claim.with_extension(format!(
+                            "claim-stale.{}.{}",
+                            std::process::id(),
+                            TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+                        ));
+                        if std::fs::rename(&claim, &tomb).is_ok() {
+                            let _ = std::fs::remove_file(&tomb);
+                        }
+                        continue;
+                    }
+                    std::thread::sleep(CLAIM_POLL_INTERVAL);
+                }
+                Err(e) => return Err(CoreError::Cache(format!("claim {}: {e}", claim.display()))),
+            }
+        }
+    }
+
+    /// Whether the claim file at `path` is older than the staleness
+    /// horizon (or unreadable/garbled, which also means "break it").
+    fn claim_is_stale(&self, path: &Path) -> bool {
+        let Ok(content) = std::fs::read_to_string(path) else {
+            // Vanished: not stale, just released — the retry loop probes.
+            return false;
+        };
+        let stamped = content
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u64>().ok());
+        let Some(stamped) = stamped else {
+            return true; // garbled claim: break it
+        };
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        now.saturating_sub(stamped) > self.claim_stale_after.as_secs()
     }
 }
 
@@ -1026,6 +1272,26 @@ mod tests {
                 "stale cache served for mutated config"
             );
         }
+        // The placement strategy is part of the data's identity (the
+        // region-parallel annealer is a different deterministic family)…
+        let mut par = config.clone();
+        par.place_strategy = pop_place::PlaceStrategy::ParallelRegions {
+            regions: 2,
+            threads: 4,
+        };
+        assert!(
+            load_dataset(&dir, &spec, &par).unwrap().is_none(),
+            "stale cache served for a different placement strategy"
+        );
+        // …but its thread count is not: the parallel result is identical
+        // for every thread count, so caches stay warm across hosts.
+        let mut par8 = par.clone();
+        par8.place_strategy = pop_place::PlaceStrategy::ParallelRegions {
+            regions: 2,
+            threads: 8,
+        };
+        assert_eq!(fingerprint(&spec, &par), fingerprint(&spec, &par8));
+
         // The untouched scenario still hits.
         assert!(load_dataset(&dir, &spec, &config).unwrap().is_some());
     }
@@ -1122,6 +1388,167 @@ mod tests {
             ..config_a.clone()
         };
         assert!(store.load(&spec, &config_c).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corpus_store_budget_sweep_evicts_least_recently_used() {
+        let spec = presets::by_name("diffeq2").unwrap();
+        let configs: Vec<ExperimentConfig> = (0..3)
+            .map(|i| ExperimentConfig {
+                seed: 100 + i,
+                ..cfg()
+            })
+            .collect();
+        let datasets: Vec<DesignDataset> = configs
+            .iter()
+            .map(|c| build_design_dataset(&spec, c).unwrap())
+            .collect();
+        let dir = std::env::temp_dir().join("pop_corpus_store_budget_test");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Write all three entries unbounded, then judge them with a
+        // budget sized to hold two but not three.
+        let unbounded = CorpusStore::new(&dir);
+        for (c, d) in configs.iter().zip(&datasets) {
+            unbounded.store(d, &spec, c).unwrap();
+        }
+        let entry_bytes = std::fs::metadata(unbounded.entry_path(&spec, &configs[0]))
+            .unwrap()
+            .len();
+        let store = CorpusStore::new(&dir).with_budget(entry_bytes * 2 + entry_bytes / 2);
+        assert_eq!(store.budget(), Some(entry_bytes * 2 + entry_bytes / 2));
+
+        // Make entry ages unambiguous (mtime granularity can be coarse).
+        let age = |path: &std::path::Path, secs_ago: u64| {
+            let t = std::time::SystemTime::now() - std::time::Duration::from_secs(secs_ago);
+            std::fs::File::open(path)
+                .unwrap()
+                .set_times(std::fs::FileTimes::new().set_modified(t))
+                .unwrap();
+        };
+        age(&store.entry_path(&spec, &configs[0]), 300);
+        age(&store.entry_path(&spec, &configs[1]), 200);
+        age(&store.entry_path(&spec, &configs[2]), 100);
+
+        // A load touches entry 1, making entry 0 the LRU victim.
+        assert!(store.load(&spec, &configs[1]).unwrap().is_some());
+        store.sweep();
+        assert!(
+            store.load(&spec, &configs[0]).unwrap().is_none(),
+            "LRU entry must be evicted"
+        );
+        assert!(store.load(&spec, &configs[1]).unwrap().is_some());
+        assert!(store.load(&spec, &configs[2]).unwrap().is_some());
+
+        // A store's own sweep never evicts the entry it just wrote, even
+        // under a budget smaller than one entry.
+        let tiny = CorpusStore::new(&dir).with_budget(1);
+        tiny.store(&datasets[0], &spec, &configs[0]).unwrap();
+        assert!(tiny.load(&spec, &configs[0]).unwrap().is_some());
+        assert!(tiny.load(&spec, &configs[1]).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corpus_store_claims_serialize_concurrent_generation() {
+        let spec = presets::by_name("diffeq2").unwrap();
+        let config = cfg();
+        let ds = build_design_dataset(&spec, &config).unwrap();
+        let dir = std::env::temp_dir().join("pop_corpus_store_claim_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CorpusStore::new(&dir);
+
+        // First caller claims; the guard's claim file exists.
+        let claim = match store.begin(&spec, &config).unwrap() {
+            ClaimOutcome::Claimed(guard) => guard,
+            other => panic!("fresh store must hand out a claim, got {other:?}"),
+        };
+        assert!(store.claim_path(&spec, &config).exists());
+
+        // A concurrent caller (same dir, another "process") blocks until
+        // the owner stores the entry and releases — then streams it from
+        // disk instead of regenerating.
+        let waiter = {
+            let store = store.clone();
+            let (spec, config) = (spec.clone(), config.clone());
+            std::thread::spawn(move || store.begin(&spec, &config).unwrap())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        assert!(!waiter.is_finished(), "waiter must block on a live claim");
+        store.store(&ds, &spec, &config).unwrap();
+        drop(claim);
+        match waiter.join().unwrap() {
+            ClaimOutcome::Cached(got) => assert_eq!(*got, ds),
+            other => panic!("waiter must receive the cached entry, got {other:?}"),
+        }
+        assert!(
+            !store.claim_path(&spec, &config).exists(),
+            "dropping the guard must release the claim"
+        );
+
+        // A cached entry resolves without claiming at all.
+        match store.begin(&spec, &config).unwrap() {
+            ClaimOutcome::Cached(got) => assert_eq!(*got, ds),
+            other => panic!("warm store must resolve to Cached, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_and_garbled_claims_are_broken_and_taken_over() {
+        let spec = presets::by_name("diffeq2").unwrap();
+        let config = cfg();
+        let dir = std::env::temp_dir().join("pop_corpus_store_stale_claim_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store =
+            CorpusStore::new(&dir).with_claim_stale_after(std::time::Duration::from_secs(5));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // A claim stamped far in the past (its owner crashed): taken over.
+        let old = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_secs()
+            - 60;
+        std::fs::write(store.claim_path(&spec, &config), format!("9999 {old}\n")).unwrap();
+        match store.begin(&spec, &config).unwrap() {
+            ClaimOutcome::Claimed(_) => {}
+            other => panic!("stale claim must be broken, got {other:?}"),
+        }
+
+        // A garbled claim file is equally broken.
+        std::fs::write(store.claim_path(&spec, &config), "not a claim").unwrap();
+        match store.begin(&spec, &config).unwrap() {
+            ClaimOutcome::Claimed(_) => {}
+            other => panic!("garbled claim must be broken, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn releasing_a_superseded_claim_never_deletes_the_new_owners() {
+        // A very slow (but alive) owner whose claim went stale and was
+        // taken over must not, on release, delete the claim the *new*
+        // owner now holds under the same path.
+        let spec = presets::by_name("diffeq2").unwrap();
+        let config = cfg();
+        let dir = std::env::temp_dir().join("pop_corpus_store_superseded_claim_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CorpusStore::new(&dir);
+        let slow_owner = match store.begin(&spec, &config).unwrap() {
+            ClaimOutcome::Claimed(guard) => guard,
+            other => panic!("fresh store must hand out a claim, got {other:?}"),
+        };
+        let path = store.claim_path(&spec, &config);
+        // Simulate the takeover: the claim file now carries another
+        // process's stamp.
+        std::fs::write(&path, "4242.0 1\n").unwrap();
+        drop(slow_owner);
+        assert!(
+            path.exists(),
+            "a superseded guard must leave the new owner's claim in place"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

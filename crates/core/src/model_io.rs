@@ -1,20 +1,34 @@
-//! Model checkpointing: save/load the trained cGAN's weights.
+//! Model checkpointing: save/load the trained cGAN's weights — and, for
+//! resumable training, the full optimisation state.
 //!
-//! The Table 2 flow trains one model per held-out design; checkpoints let
-//! downstream users (and the example binaries) reuse a trained forecaster
-//! without re-training. The format is a little-endian binary dump of every
-//! parameter tensor in construction order, keyed by a configuration
+//! Two flavours share one on-disk format (keyed by a configuration
 //! fingerprint so a checkpoint can never be loaded into a mismatched
-//! architecture.
+//! architecture):
+//!
+//! * [`save_model`] — weights + batch-norm buffers only: what inference
+//!   (the serving engine's model registry) needs.
+//! * [`save_checkpoint`] — weights, buffers, **Adam moments and step
+//!   counts, and the trainer RNG's stream position**: what a killed
+//!   streaming training run needs to resume as if it was never
+//!   interrupted. This is the model-side half of the
+//!   [`StreamCheckpoint`](crate::StreamCheckpoint) handshake —
+//!   `pop-pipeline`'s `TrainCheckpoint` saves it before acknowledging each
+//!   epoch, so the weights on disk never run ahead of (or behind) the
+//!   corpus progress marker.
+//!
+//! All writes are atomic (tmp + rename via
+//! [`dataset::atomic_write`](crate::dataset::atomic_write)): a crash
+//! mid-save leaves the previous checkpoint intact, never a truncated one.
 
 use crate::config::ExperimentConfig;
+use crate::dataset::atomic_write;
 use crate::error::CoreError;
 use crate::trainer::Pix2Pix;
 use pop_nn::Layer;
 use std::io::{Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"POPCKPT2";
+const MAGIC: &[u8; 8] = b"POPCKPT3";
 
 fn config_fingerprint(config: &ExperimentConfig) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -34,63 +48,139 @@ fn config_fingerprint(config: &ExperimentConfig) -> u64 {
     h
 }
 
-/// Saves the model's generator and discriminator weights.
-///
-/// # Errors
-///
-/// Returns [`CoreError::Cache`] on I/O failure.
-pub fn save_model(model: &mut Pix2Pix, path: &Path) -> Result<(), CoreError> {
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
-    }
-    let fingerprint = config_fingerprint(model.config());
-    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
-    w.write_all(MAGIC)?;
-    w.write_all(&fingerprint.to_le_bytes())?;
-    let mut dump = |params: Vec<&[f32]>| -> std::io::Result<()> {
-        w.write_all(&(params.len() as u32).to_le_bytes())?;
-        for p in params {
-            w.write_all(&(p.len() as u32).to_le_bytes())?;
-            for v in p {
-                w.write_all(&v.to_le_bytes())?;
-            }
+fn dump(w: &mut impl Write, params: &[Vec<f32>]) -> std::io::Result<()> {
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for p in params {
+        w.write_all(&(p.len() as u32).to_le_bytes())?;
+        for v in p {
+            w.write_all(&v.to_le_bytes())?;
         }
-        Ok(())
-    };
-    let gen_params: Vec<Vec<f32>> = model
-        .generator_mut()
-        .params_mut()
-        .iter()
-        .map(|p| p.value.data().to_vec())
-        .collect();
-    dump(gen_params.iter().map(|v| v.as_slice()).collect())?;
-    let disc_params: Vec<Vec<f32>> = model
-        .discriminator_mut()
-        .params_mut()
-        .iter()
-        .map(|p| p.value.data().to_vec())
-        .collect();
-    dump(disc_params.iter().map(|v| v.as_slice()).collect())?;
-    // Non-trainable state: batch-norm running statistics of both networks.
+    }
+    Ok(())
+}
+
+fn slurp(r: &mut impl Read, targets: Vec<&mut [f32]>) -> Result<(), CoreError> {
+    let mut b4 = [0u8; 4];
+    r.read_exact(&mut b4)?;
+    let n = u32::from_le_bytes(b4) as usize;
+    if n != targets.len() {
+        return Err(CoreError::Cache(format!(
+            "checkpoint has {n} tensors, model has {}",
+            targets.len()
+        )));
+    }
+    for t in targets {
+        r.read_exact(&mut b4)?;
+        let len = u32::from_le_bytes(b4) as usize;
+        if len != t.len() {
+            return Err(CoreError::Cache(format!(
+                "tensor size mismatch: {len} vs {}",
+                t.len()
+            )));
+        }
+        for v in t.iter_mut() {
+            r.read_exact(&mut b4)?;
+            *v = f32::from_le_bytes(b4);
+        }
+    }
+    Ok(())
+}
+
+fn read_u64(r: &mut impl Read) -> std::io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Collects a snapshot of one network section, `select` picking which
+/// tensor of each parameter to dump (values for weights, `m`/`v` for the
+/// Adam moments).
+fn snapshot(
+    params: &mut [&mut pop_nn::Param],
+    select: impl Fn(&pop_nn::Param) -> &[f32],
+) -> Vec<Vec<f32>> {
+    params.iter().map(|p| select(p).to_vec()).collect()
+}
+
+fn write_model(model: &mut Pix2Pix, path: &Path, with_train_state: bool) -> Result<(), CoreError> {
+    let fingerprint = config_fingerprint(model.config());
+
+    let gen_params = snapshot(&mut model.generator_mut().params_mut(), |p| p.value.data());
+    let disc_params = snapshot(&mut model.discriminator_mut().params_mut(), |p| {
+        p.value.data()
+    });
     let gen_bufs: Vec<Vec<f32>> = model
         .generator_mut()
         .buffers_mut()
         .iter()
         .map(|b| b.to_vec())
         .collect();
-    dump(gen_bufs.iter().map(|v| v.as_slice()).collect())?;
     let disc_bufs: Vec<Vec<f32>> = model
         .discriminator_mut()
         .buffers_mut()
         .iter()
         .map(|b| b.to_vec())
         .collect();
-    dump(disc_bufs.iter().map(|v| v.as_slice()).collect())?;
+    let train_state = with_train_state.then(|| {
+        (
+            snapshot(&mut model.generator_mut().params_mut(), |p| p.m.data()),
+            snapshot(&mut model.generator_mut().params_mut(), |p| p.v.data()),
+            snapshot(&mut model.discriminator_mut().params_mut(), |p| p.m.data()),
+            snapshot(&mut model.discriminator_mut().params_mut(), |p| p.v.data()),
+            model.optimizer_steps(),
+            model.rng_state(),
+        )
+    });
+
+    atomic_write(path, |w| {
+        w.write_all(MAGIC)?;
+        w.write_all(&fingerprint.to_le_bytes())?;
+        w.write_all(&[u8::from(with_train_state)])?;
+        dump(w, &gen_params)?;
+        dump(w, &disc_params)?;
+        dump(w, &gen_bufs)?;
+        dump(w, &disc_bufs)?;
+        if let Some((gen_m, gen_v, disc_m, disc_v, (g_steps, d_steps), rng)) = &train_state {
+            dump(w, gen_m)?;
+            dump(w, gen_v)?;
+            dump(w, disc_m)?;
+            dump(w, disc_v)?;
+            w.write_all(&g_steps.to_le_bytes())?;
+            w.write_all(&d_steps.to_le_bytes())?;
+            for word in rng {
+                w.write_all(&word.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    })?;
     Ok(())
 }
 
-/// Loads weights saved by [`save_model`] into a model of the same
-/// architecture.
+/// Saves the model's generator and discriminator weights (inference
+/// state: weights + batch-norm buffers). Atomic.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Cache`] on I/O failure.
+pub fn save_model(model: &mut Pix2Pix, path: &Path) -> Result<(), CoreError> {
+    write_model(model, path, false)
+}
+
+/// Saves the complete *training* state: weights, buffers, Adam moments and
+/// step counts, and the trainer RNG's stream position. Loading it resumes
+/// optimisation where it stopped — up to dropout noise — instead of from
+/// fresh moments and a rewound shuffle stream. Atomic.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Cache`] on I/O failure.
+pub fn save_checkpoint(model: &mut Pix2Pix, path: &Path) -> Result<(), CoreError> {
+    write_model(model, path, true)
+}
+
+/// Loads a checkpoint saved by [`save_model`] or [`save_checkpoint`] into
+/// a model of the same architecture; a full training checkpoint also
+/// restores the optimiser moments/steps and the trainer RNG position.
 ///
 /// # Errors
 ///
@@ -110,33 +200,19 @@ pub fn load_model(model: &mut Pix2Pix, path: &Path) -> Result<(), CoreError> {
             "checkpoint was trained with a different architecture".into(),
         ));
     }
-    let mut slurp = |targets: Vec<&mut [f32]>| -> Result<(), CoreError> {
-        let mut b4 = [0u8; 4];
-        r.read_exact(&mut b4)?;
-        let n = u32::from_le_bytes(b4) as usize;
-        if n != targets.len() {
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag)?;
+    let has_train_state = match flag[0] {
+        0 => false,
+        1 => true,
+        other => {
             return Err(CoreError::Cache(format!(
-                "checkpoint has {n} tensors, model has {}",
-                targets.len()
-            )));
+                "bad checkpoint train-state flag {other}"
+            )))
         }
-        for t in targets {
-            r.read_exact(&mut b4)?;
-            let len = u32::from_le_bytes(b4) as usize;
-            if len != t.len() {
-                return Err(CoreError::Cache(format!(
-                    "tensor size mismatch: {len} vs {}",
-                    t.len()
-                )));
-            }
-            for v in t.iter_mut() {
-                r.read_exact(&mut b4)?;
-                *v = f32::from_le_bytes(b4);
-            }
-        }
-        Ok(())
     };
     slurp(
+        &mut r,
         model
             .generator_mut()
             .params_mut()
@@ -145,6 +221,7 @@ pub fn load_model(model: &mut Pix2Pix, path: &Path) -> Result<(), CoreError> {
             .collect(),
     )?;
     slurp(
+        &mut r,
         model
             .discriminator_mut()
             .params_mut()
@@ -153,6 +230,7 @@ pub fn load_model(model: &mut Pix2Pix, path: &Path) -> Result<(), CoreError> {
             .collect(),
     )?;
     slurp(
+        &mut r,
         model
             .generator_mut()
             .buffers_mut()
@@ -161,6 +239,7 @@ pub fn load_model(model: &mut Pix2Pix, path: &Path) -> Result<(), CoreError> {
             .collect(),
     )?;
     slurp(
+        &mut r,
         model
             .discriminator_mut()
             .buffers_mut()
@@ -168,11 +247,59 @@ pub fn load_model(model: &mut Pix2Pix, path: &Path) -> Result<(), CoreError> {
             .map(|b| b.as_mut_slice())
             .collect(),
     )?;
+    if has_train_state {
+        slurp(
+            &mut r,
+            model
+                .generator_mut()
+                .params_mut()
+                .into_iter()
+                .map(|p| p.m.data_mut())
+                .collect(),
+        )?;
+        slurp(
+            &mut r,
+            model
+                .generator_mut()
+                .params_mut()
+                .into_iter()
+                .map(|p| p.v.data_mut())
+                .collect(),
+        )?;
+        slurp(
+            &mut r,
+            model
+                .discriminator_mut()
+                .params_mut()
+                .into_iter()
+                .map(|p| p.m.data_mut())
+                .collect(),
+        )?;
+        slurp(
+            &mut r,
+            model
+                .discriminator_mut()
+                .params_mut()
+                .into_iter()
+                .map(|p| p.v.data_mut())
+                .collect(),
+        )?;
+        let g_steps = read_u64(&mut r)?;
+        let d_steps = read_u64(&mut r)?;
+        model.set_optimizer_steps(g_steps, d_steps);
+        let mut rng = [0u64; 4];
+        for word in &mut rng {
+            *word = read_u64(&mut r)?;
+        }
+        model.set_rng_state(rng);
+    }
     Ok(())
 }
 
 /// Builds a fresh model for `config` and loads the checkpoint at `path`
 /// into it — the one-call form the serving engine's model registry uses.
+/// A full training checkpoint (from [`save_checkpoint`]) yields a model
+/// ready to *continue training*; a weights-only one is inference-ready.
 ///
 /// # Errors
 ///
@@ -222,6 +349,58 @@ mod tests {
     }
 
     #[test]
+    fn full_checkpoint_restores_optimizer_and_rng_state() {
+        let config = cfg();
+        let mut model = Pix2Pix::new(&config, 33).unwrap();
+        let x = Tensor::randn([1, config.input_channels(), 16, 16], 0.0, 0.5, 5);
+        let y = Tensor::randn([1, 3, 16, 16], 0.0, 0.5, 6);
+        for _ in 0..4 {
+            model.train_step(&x, &y);
+        }
+        let steps = model.optimizer_steps();
+        let rng = model.rng_state();
+        assert!(steps.0 > 0 && steps.1 > 0);
+
+        let path = std::env::temp_dir().join("pop_ckpt_test/full.ckpt");
+        save_checkpoint(&mut model, &path).unwrap();
+        let mut resumed = load_checkpoint(&config, &path).unwrap();
+        assert_eq!(resumed.optimizer_steps(), steps);
+        assert_eq!(resumed.rng_state(), rng);
+        // Adam moments restored: one more identical train step moves both
+        // models' weights identically (dropout streams differ, so compare
+        // through a dropout-free signal — the discriminator loss path is
+        // still noisy; instead pin the moments via a second save).
+        let again = std::env::temp_dir().join("pop_ckpt_test/full2.ckpt");
+        save_checkpoint(&mut resumed, &again).unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            std::fs::read(&again).unwrap(),
+            "resumed model must checkpoint bit-identically"
+        );
+        // A weights-only save of the same model is smaller (no moments).
+        let lean = std::env::temp_dir().join("pop_ckpt_test/lean.ckpt");
+        save_model(&mut resumed, &lean).unwrap();
+        assert!(std::fs::metadata(&lean).unwrap().len() < std::fs::metadata(&path).unwrap().len());
+        for p in [path, again, lean] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn weights_only_checkpoint_leaves_fresh_train_state() {
+        let config = cfg();
+        let mut model = Pix2Pix::new(&config, 44).unwrap();
+        let x = Tensor::randn([1, config.input_channels(), 16, 16], 0.0, 0.5, 7);
+        let y = Tensor::randn([1, 3, 16, 16], 0.0, 0.5, 8);
+        model.train_step(&x, &y);
+        let path = std::env::temp_dir().join("pop_ckpt_test/weights_only.ckpt");
+        save_model(&mut model, &path).unwrap();
+        let loaded = load_checkpoint(&config, &path).unwrap();
+        assert_eq!(loaded.optimizer_steps(), (0, 0), "no train state loaded");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn mismatched_architecture_is_rejected() {
         let config = cfg();
         let mut model = Pix2Pix::new(&config, 1).unwrap();
@@ -260,5 +439,22 @@ mod tests {
         let mut model = Pix2Pix::new(&cfg(), 1).unwrap();
         let path = std::env::temp_dir().join("pop_ckpt_test/nope.ckpt");
         assert!(load_model(&mut model, &path).is_err());
+    }
+
+    #[test]
+    fn saves_are_atomic() {
+        // atomic_write leaves no .tmp droppings next to the checkpoint.
+        let config = cfg();
+        let mut model = Pix2Pix::new(&config, 2).unwrap();
+        let dir = std::env::temp_dir().join("pop_ckpt_atomic_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("model.ckpt");
+        save_checkpoint(&mut model, &path).unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["model.ckpt".to_string()], "{names:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

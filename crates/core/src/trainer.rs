@@ -84,11 +84,18 @@ impl TrainHistory {
 /// Because the acknowledgement happens on the training side (not when the
 /// generator hands the epoch over), a run killed mid-epoch re-trains that
 /// epoch on resume instead of silently skipping it.
+///
+/// The acknowledgement receives the just-trained **model** so checkpoints
+/// can persist weights + optimiser state *with* the corpus position (e.g.
+/// `pop-pipeline`'s `TrainCheckpoint` calls `model_io::save_checkpoint`
+/// before advancing the epoch marker): a resumed run then continues from
+/// the trained weights instead of silently re-initialising.
 pub trait StreamCheckpoint {
     /// How many epochs an earlier (interrupted) run fully trained.
     fn completed_epochs(&self) -> usize;
-    /// Called once per epoch, after training on it completed.
-    fn epoch_completed(&mut self, epoch: usize);
+    /// Called once per epoch, after training on it completed; `model` is
+    /// the trainer in its post-epoch state, for weight checkpointing.
+    fn epoch_completed(&mut self, epoch: usize, model: &mut Pix2Pix);
 }
 
 /// A [`StreamCheckpoint`] that remembers nothing — the no-resume default
@@ -100,7 +107,7 @@ impl StreamCheckpoint for NoCheckpoint {
     fn completed_epochs(&self) -> usize {
         0
     }
-    fn epoch_completed(&mut self, _epoch: usize) {}
+    fn epoch_completed(&mut self, _epoch: usize, _model: &mut Pix2Pix) {}
 }
 
 /// Losses of one optimisation step.
@@ -177,6 +184,30 @@ impl Pix2Pix {
     /// The discriminator.
     pub fn discriminator_mut(&mut self) -> &mut PatchDiscriminator {
         &mut self.disc
+    }
+
+    /// The trainer RNG's stream position (epoch shuffles + noise), for
+    /// checkpointing; pair with [`Pix2Pix::set_rng_state`].
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores the trainer RNG to a checkpointed stream position.
+    pub fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
+    }
+
+    /// Bias-correction step counts of the generator and discriminator
+    /// optimisers (the per-parameter Adam moments live in the parameters
+    /// themselves and are checkpointed alongside the weights).
+    pub fn optimizer_steps(&self) -> (u64, u64) {
+        (self.opt_g.steps(), self.opt_d.steps())
+    }
+
+    /// Restores the optimiser step counts from a checkpoint.
+    pub fn set_optimizer_steps(&mut self, gen_steps: u64, disc_steps: u64) {
+        self.opt_g.set_steps(gen_steps);
+        self.opt_d.set_steps(disc_steps);
     }
 
     /// One cGAN optimisation step on a single `(x, truth)` pair (the paper
@@ -287,7 +318,7 @@ impl Pix2Pix {
                 // the positional numbering stays in sync with the source's
                 // epoch indexing (spill files are keyed by epoch index),
                 // but record nothing in the history.
-                checkpoint.epoch_completed(epoch);
+                checkpoint.epoch_completed(epoch, self);
                 epoch += 1;
                 continue;
             }
@@ -296,7 +327,7 @@ impl Pix2Pix {
                 order = (0..refs.len()).collect();
             }
             self.train_one_epoch(&refs, &mut order, &mut history);
-            checkpoint.epoch_completed(epoch);
+            checkpoint.epoch_completed(epoch, self);
             epoch += 1;
         }
         history
@@ -471,7 +502,7 @@ mod tests {
             fn completed_epochs(&self) -> usize {
                 self.start
             }
-            fn epoch_completed(&mut self, epoch: usize) {
+            fn epoch_completed(&mut self, epoch: usize, _model: &mut Pix2Pix) {
                 self.acked.push(epoch);
             }
         }

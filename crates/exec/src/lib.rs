@@ -18,9 +18,16 @@
 //! treat [`PushError::Full`] as backpressure), each worker loops on a
 //! blocking pop until the queue is closed *and* drained, and the owner
 //! closes the queue then joins the pool.
+//!
+//! A third user, the region-parallel annealer in `pop-place`, needs the
+//! same named-worker idiom but over *borrowed* state (architecture,
+//! netlist, placement snapshots on the caller's stack); [`run_scoped`]
+//! provides it via `std::thread::scope`.
 
 mod pool;
 mod queue;
+mod scoped;
 
 pub use pool::WorkerPool;
 pub use queue::{BoundedQueue, PushError};
+pub use scoped::run_scoped;

@@ -1,0 +1,96 @@
+//! Scoped sibling of [`WorkerPool`](crate::WorkerPool): named worker
+//! threads that may borrow from the caller's stack.
+//!
+//! [`WorkerPool`](crate::WorkerPool) demands `'static` closures, which is
+//! right for long-lived pipeline stages but wrong for compute phases that
+//! fan out over borrowed state — the region-parallel annealer in
+//! `pop-place` hands each worker references to the architecture, netlist
+//! and a placement snapshot that all live on the caller's stack. This
+//! module wraps `std::thread::scope` in the same named-worker,
+//! panic-containing idiom.
+
+/// Runs `workers` scoped threads named `<name>-<index>` to completion and
+/// returns how many panicked. Each thread runs the closure produced by
+/// `make(index)`; closures may borrow from the enclosing scope. The call
+/// blocks until every worker has finished — a scoped phase cannot leak
+/// threads past its caller.
+///
+/// # Panics
+///
+/// Panics when the OS refuses to spawn a thread.
+pub fn run_scoped<'env, F>(name: &str, workers: usize, mut make: impl FnMut(usize) -> F) -> usize
+where
+    F: FnOnce() + Send + 'env,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|i| {
+                let body = make(i);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn_scoped(scope, body)
+                    .expect("failed to spawn scoped worker thread")
+            })
+            .collect();
+        let mut panicked = 0;
+        for h in handles {
+            if h.join().is_err() {
+                panicked += 1;
+            }
+        }
+        panicked
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_borrow_stack_state_and_all_join() {
+        let inputs: Vec<usize> = (1..=100).collect();
+        let next = AtomicUsize::new(0);
+        let sum = AtomicUsize::new(0);
+        let panicked = run_scoped("scoped-test", 3, |_| {
+            // Borrows `inputs`, `next` and `sum` from this stack frame —
+            // exactly what WorkerPool's 'static bound forbids.
+            let (inputs, next, sum) = (&inputs, &next, &sum);
+            move || loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                let Some(v) = inputs.get(i) else { break };
+                sum.fetch_add(*v, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(panicked, 0);
+        assert_eq!(sum.load(Ordering::SeqCst), 5050);
+    }
+
+    #[test]
+    fn panicked_workers_are_counted_not_propagated() {
+        let panicked = run_scoped("scoped-panic-test", 2, |i| {
+            move || {
+                if i == 1 {
+                    panic!("deliberate test panic");
+                }
+            }
+        });
+        assert_eq!(panicked, 1);
+    }
+
+    #[test]
+    fn workers_are_named() {
+        let panicked = run_scoped("scoped-name-test", 1, |_| {
+            || {
+                let name = std::thread::current().name().map(str::to_owned);
+                assert_eq!(name.as_deref(), Some("scoped-name-test-0"));
+            }
+        });
+        assert_eq!(panicked, 0);
+    }
+
+    #[test]
+    fn zero_workers_is_a_no_op() {
+        assert_eq!(run_scoped("scoped-empty", 0, |_| || ()), 0);
+    }
+}

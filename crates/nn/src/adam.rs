@@ -39,6 +39,12 @@ impl Adam {
         self.t
     }
 
+    /// Restores the step count (bias-correction position) from a
+    /// checkpoint, so a resumed optimiser warms exactly where it left off.
+    pub fn set_steps(&mut self, t: u64) {
+        self.t = t;
+    }
+
     /// Applies one update to every parameter from its accumulated gradient,
     /// then leaves the gradients untouched (call
     /// [`Layer::zero_grad`](crate::Layer::zero_grad) before the next

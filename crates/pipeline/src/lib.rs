@@ -46,7 +46,7 @@ mod run;
 pub mod scenario;
 
 pub use error::PipelineError;
-pub use prefetch::{EpochPrefetcher, EpochRing};
+pub use prefetch::{EpochPrefetcher, EpochRing, TrainCheckpoint};
 pub use run::{
     expand, generate_corpus, generate_corpus_sequential, generate_corpus_with_stats, generate_jobs,
     generate_jobs_with_stats, GenStats, PipelineOptions,
@@ -198,6 +198,103 @@ mod tests {
         let (_, stats2) = generate_corpus_with_stats(&scenarios, &opts).unwrap();
         assert_eq!(stats2.cache_hits, 2);
         assert_eq!(stats2.place_stage_runs, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parallel_place_strategy_flows_through_the_pipeline() {
+        use pop_place::PlaceStrategy;
+        let scenario = |threads| ScenarioSpec {
+            place_strategy: PlaceStrategy::ParallelRegions {
+                regions: 2,
+                threads,
+            },
+            ..tiny("parstrat", "diffeq2", 2)
+        };
+        // The data is thread-count invariant (the parallel annealer's
+        // determinism contract, observed end-to-end through the pipeline)…
+        let four = generate_corpus(&[scenario(4)], &PipelineOptions::with_workers(2)).unwrap();
+        let one = generate_corpus(&[scenario(1)], &PipelineOptions::with_workers(2)).unwrap();
+        assert_corpora_identical(&four, &one);
+        // …and matches the sequential *driver* running the same strategy
+        // (on a design this tiny both annealers even find the same
+        // optimum; the placement-family fingerprint split is pinned by
+        // pop-core's cache tests on realistic sizes).
+        let reference = generate_corpus_sequential(&[scenario(4)]).unwrap();
+        assert_corpora_identical(&four, &reference);
+    }
+
+    #[test]
+    fn cache_budget_sweeps_the_store_during_generation() {
+        let dir = std::env::temp_dir().join("pop_pipeline_cache_budget_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let scenarios = vec![
+            tiny("budget-a", "diffeq2", 1),
+            tiny("budget-b", "diffeq1", 1),
+            ScenarioSpec {
+                seed: 9,
+                ..tiny("budget-c", "diffeq2", 1)
+            },
+        ];
+        // A 1-byte budget keeps only each write's own entry: the store
+        // ends the run with exactly one (the last-completed) job cached.
+        let opts = PipelineOptions::with_workers(2)
+            .with_cache_dir(&dir)
+            .with_cache_budget(1);
+        let (_, stats) = generate_corpus_with_stats(&scenarios, &opts).unwrap();
+        assert_eq!(stats.cache_hits, 0);
+        let entries = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .and_then(|x| x.to_str())
+                    == Some("popds")
+            })
+            .count();
+        assert_eq!(entries, 1, "budget sweep must keep only the newest entry");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pipeline_waits_on_a_foreign_claim_then_streams_the_foreign_result() {
+        use pop_core::dataset::{build_design_dataset, ClaimOutcome, CorpusStore};
+        let dir = std::env::temp_dir().join("pop_pipeline_claim_wait_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let scenario = tiny("claimed", "diffeq2", 2);
+        let job = expand(std::slice::from_ref(&scenario)).unwrap().remove(0);
+        let store = CorpusStore::new(&dir);
+
+        // A "foreign process" claims the job before our pipeline starts.
+        let foreign_claim = match store.begin(&job.spec, &job.config).unwrap() {
+            ClaimOutcome::Claimed(guard) => guard,
+            other => panic!("expected a fresh claim, got {other:?}"),
+        };
+
+        // Our pipeline must block in the prep stage instead of duplicating
+        // the foreign process's place/route work.
+        let pipeline = {
+            let scenario = scenario.clone();
+            let opts = PipelineOptions::with_workers(2).with_cache_dir(&dir);
+            std::thread::spawn(move || {
+                generate_corpus_with_stats(std::slice::from_ref(&scenario), &opts).unwrap()
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        assert!(!pipeline.is_finished(), "pipeline must wait on the claim");
+
+        // The foreign process finishes: stores the entry, releases.
+        let ds = build_design_dataset(&job.spec, &job.config).unwrap();
+        store.store(&ds, &job.spec, &job.config).unwrap();
+        drop(foreign_claim);
+
+        let (corpus, stats) = pipeline.join().unwrap();
+        assert_eq!(stats.cache_hits, 1, "served from the foreign result");
+        assert_eq!(stats.place_stage_runs, 0, "no duplicated placement work");
+        assert_eq!(stats.route_stage_runs, 0, "no duplicated routing work");
+        assert_eq!(corpus[0], ds);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -26,7 +26,7 @@ use crate::error::PipelineError;
 use crate::run::{expand, generate_jobs, PipelineOptions};
 use crate::scenario::{DesignJob, ScenarioSpec};
 use pop_core::dataset::{atomic_write, fingerprint, read_pair, write_pair, Fnv1a, Pair};
-use pop_core::StreamCheckpoint;
+use pop_core::{model_io, CoreError, ExperimentConfig, Pix2Pix, StreamCheckpoint};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::mpsc;
@@ -204,10 +204,89 @@ impl StreamCheckpoint for EpochRing {
         EpochRing::completed_epochs(self)
     }
 
-    fn epoch_completed(&mut self, epoch: usize) {
-        // A failed marker write only costs a re-train of this epoch on the
+    fn epoch_completed(&mut self, epoch: usize, _model: &mut Pix2Pix) {
+        // Data-only resume: the ring tracks the corpus position, not the
+        // weights (wrap it in a [`TrainCheckpoint`] to persist both). A
+        // failed marker write only costs a re-train of this epoch on the
         // next resume — never wedges the current run.
         let _ = self.mark_completed(epoch);
+    }
+}
+
+/// An [`EpochRing`] plus a model-checkpoint path: the *complete* resume
+/// handshake. The bare ring resumes the **data** stream but a resumed
+/// trainer would still start from fresh weights — the PR 3 follow-on bug.
+/// `TrainCheckpoint` closes it: each epoch acknowledgement first persists
+/// the full training state ([`model_io::save_checkpoint`] — weights,
+/// Adam moments/steps, trainer RNG position) and only then advances the
+/// ring's progress marker, so the weights on disk can never run ahead of
+/// the corpus position. On resume, [`TrainCheckpoint::restore`] rebuilds
+/// the model the interrupted run was training.
+///
+/// Ordering contract: weights before marker. A crash between the two
+/// costs one re-trained epoch (from the saved weights) — it can never
+/// silently skip an epoch or resume from re-initialised weights.
+#[derive(Debug, Clone)]
+pub struct TrainCheckpoint {
+    ring: EpochRing,
+    model_path: PathBuf,
+}
+
+impl TrainCheckpoint {
+    /// Couples `ring` with a model checkpoint at `model_path`.
+    pub fn new(ring: EpochRing, model_path: impl Into<PathBuf>) -> Self {
+        TrainCheckpoint {
+            ring,
+            model_path: model_path.into(),
+        }
+    }
+
+    /// The underlying epoch ring.
+    pub fn ring(&self) -> &EpochRing {
+        &self.ring
+    }
+
+    /// Where the model checkpoint lives.
+    pub fn model_path(&self) -> &Path {
+        &self.model_path
+    }
+
+    /// Rebuilds the interrupted run's model: `Ok(Some)` when the ring has
+    /// trained epochs *and* a checkpoint exists, `Ok(None)` for a fresh
+    /// (or model-less, data-only) ring — the caller should then start a
+    /// fresh model **and** reset the ring so data and weights restart
+    /// together.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Cache`] when an existing checkpoint cannot be
+    /// loaded (corrupt, or trained with a different architecture).
+    pub fn restore(&self, config: &ExperimentConfig) -> Result<Option<Pix2Pix>, CoreError> {
+        if self.ring.completed_epochs() == 0 || !self.model_path.exists() {
+            return Ok(None);
+        }
+        model_io::load_checkpoint(config, &self.model_path).map(Some)
+    }
+}
+
+impl StreamCheckpoint for TrainCheckpoint {
+    fn completed_epochs(&self) -> usize {
+        self.ring.completed_epochs()
+    }
+
+    fn epoch_completed(&mut self, epoch: usize, model: &mut Pix2Pix) {
+        // Weights FIRST, then the progress marker (see the type docs). A
+        // failed save skips the marker too: the epoch re-trains on resume
+        // from the previous consistent (weights, progress) pair.
+        match model_io::save_checkpoint(model, &self.model_path) {
+            Ok(()) => {
+                let _ = self.ring.mark_completed(epoch);
+            }
+            Err(e) => eprintln!(
+                "pop-pipeline: model checkpoint failed \
+                 (epoch {epoch} will re-train on resume): {e}"
+            ),
+        }
     }
 }
 
@@ -397,6 +476,18 @@ mod tests {
         EpochRing::new(dir, capacity)
     }
 
+    /// A throwaway model for exercising the ring's (model-agnostic)
+    /// StreamCheckpoint impl directly.
+    fn scratch_model() -> Pix2Pix {
+        let config = pop_core::ExperimentConfig {
+            resolution: 16,
+            base_filters: 2,
+            depth: 2,
+            ..pop_core::ExperimentConfig::test()
+        };
+        Pix2Pix::new(&config, 1).unwrap()
+    }
+
     fn synthetic_pairs(n: usize) -> Vec<Pair> {
         (0..n)
             .map(|i| Pair {
@@ -553,7 +644,7 @@ mod tests {
         for (a, b) in epoch0.iter().zip(&reference[0]) {
             assert_eq!(a.without_timings(), b.without_timings());
         }
-        StreamCheckpoint::epoch_completed(&mut ring, 0);
+        StreamCheckpoint::epoch_completed(&mut ring, 0, &mut scratch_model());
         drop(first);
 
         // Resumed run: must pick up at epoch 1 and yield exactly the
@@ -576,7 +667,7 @@ mod tests {
         }
         // A fully-trained ring yields nothing more.
         for e in 1..3 {
-            StreamCheckpoint::epoch_completed(&mut ring, e);
+            StreamCheckpoint::epoch_completed(&mut ring, e, &mut scratch_model());
         }
         let done = EpochPrefetcher::start_with_ring(
             vec![tiny()],

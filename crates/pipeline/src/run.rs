@@ -26,7 +26,9 @@
 
 use crate::error::PipelineError;
 use crate::scenario::{DesignJob, ScenarioSpec};
-use pop_core::dataset::{build_design_dataset, CorpusStore, DesignContext, DesignDataset, Pair};
+use pop_core::dataset::{
+    build_design_dataset, ClaimGuard, ClaimOutcome, CorpusStore, DesignContext, DesignDataset, Pair,
+};
 use pop_core::CoreError;
 use pop_exec::{BoundedQueue, WorkerPool};
 use pop_place::{PlaceOptions, Placement};
@@ -47,6 +49,10 @@ pub struct PipelineOptions {
     /// Per-job disk cache ([`CorpusStore`] root): probed before generating,
     /// written as jobs complete. `None` disables caching (always generate).
     pub cache_dir: Option<PathBuf>,
+    /// Total byte budget of the cache: after each write, least-recently-
+    /// used entries are evicted until the store fits. `None` = unbounded
+    /// (the store otherwise grows by one file per job fingerprint forever).
+    pub cache_budget: Option<u64>,
 }
 
 impl Default for PipelineOptions {
@@ -58,6 +64,7 @@ impl Default for PipelineOptions {
             workers: parallelism.min(8),
             queue_depth: 2 * parallelism.clamp(1, 8),
             cache_dir: None,
+            cache_budget: None,
         }
     }
 }
@@ -69,6 +76,7 @@ impl PipelineOptions {
             workers: workers.max(1),
             queue_depth: 2 * workers.max(1),
             cache_dir: None,
+            cache_budget: None,
         }
     }
 
@@ -76,6 +84,14 @@ impl PipelineOptions {
     #[must_use]
     pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// The same options with a total cache size budget in bytes (LRU
+    /// entries beyond it are swept after each write).
+    #[must_use]
+    pub fn with_cache_budget(mut self, bytes: u64) -> Self {
+        self.cache_budget = Some(bytes);
         self
     }
 }
@@ -148,6 +164,10 @@ struct JobSlot {
     ctx: Option<Arc<DesignContext>>,
     pairs: Vec<Option<Pair>>,
     filled: usize,
+    /// Cross-process generation claim, held from the prep-stage cache miss
+    /// until the raster stage has written the entry (the guard is dropped
+    /// *after* the store write, so waiters always find the entry).
+    claim: Option<ClaimGuard>,
 }
 
 /// Expands scenarios into concrete generation jobs, in scenario order.
@@ -194,7 +214,13 @@ pub fn generate_jobs_with_stats(
     }
     let workers = opts.workers.max(1);
     let depth = opts.queue_depth.max(1);
-    let store = opts.cache_dir.as_ref().map(CorpusStore::new);
+    let store = opts.cache_dir.as_ref().map(|dir| {
+        let store = CorpusStore::new(dir);
+        match opts.cache_budget {
+            Some(bytes) => store.with_budget(bytes),
+            None => store,
+        }
+    });
     let expected: Vec<usize> = jobs.iter().map(|j| j.config.pairs_per_design).collect();
     let names: Vec<String> = jobs.iter().map(|j| j.spec.name.clone()).collect();
     let slots: Arc<Mutex<Vec<JobSlot>>> = Arc::new(Mutex::new(
@@ -204,6 +230,7 @@ pub fn generate_jobs_with_stats(
                 ctx: None,
                 pairs: vec![None; n],
                 filled: 0,
+                claim: None,
             })
             .collect(),
     ));
@@ -256,19 +283,24 @@ pub fn generate_jobs_with_stats(
         let tx = tx.clone();
         move || {
             while let Some((job, design_job)) = q_prep.pop() {
-                // Cache probe first: a hit skips fabric calibration AND the
-                // entire place/route/raster chain for this job.
+                // Cache resolution first: a hit skips fabric calibration
+                // AND the entire place/route/raster chain for this job. On
+                // a miss, `begin` *claims* the entry (a claim file created
+                // exclusively), so concurrent cold runs over one cache dir
+                // wait for each other's generation instead of duplicating
+                // it — the waiter is then served from the cache.
+                let mut claim = None;
                 if let Some(store) = &store {
-                    match store.load(&design_job.spec, &design_job.config) {
-                        Ok(Some(ds)) => {
+                    match store.begin(&design_job.spec, &design_job.config) {
+                        Ok(ClaimOutcome::Cached(ds)) => {
                             let _ = tx.send(Event::Dataset {
                                 job,
-                                ds: Box::new(ds),
+                                ds,
                                 from_cache: true,
                             });
                             continue;
                         }
-                        Ok(None) => {} // miss (absent, stale or damaged): generate
+                        Ok(ClaimOutcome::Claimed(guard)) => claim = Some(guard),
                         Err(error) => {
                             let _ = tx.send(Event::Failed { job, error });
                             continue;
@@ -281,7 +313,14 @@ pub fn generate_jobs_with_stats(
                 match prepared {
                     Ok(ctx) => {
                         let ctx = Arc::new(ctx);
-                        slots.lock().expect("slot lock")[job].ctx = Some(Arc::clone(&ctx));
+                        {
+                            let mut slots = slots.lock().expect("slot lock");
+                            slots[job].ctx = Some(Arc::clone(&ctx));
+                            // Parked with the job so the raster worker that
+                            // assembles it releases the claim only after
+                            // the cache write.
+                            slots[job].claim = claim;
+                        }
                         for (index, popts) in ctx.sweep_options().into_iter().enumerate() {
                             let task = PlaceTask {
                                 job,
@@ -295,6 +334,8 @@ pub fn generate_jobs_with_stats(
                         }
                     }
                     Err(error) => {
+                        // `claim` (if any) drops here: a failed prepare
+                        // releases the entry for other processes.
                         let _ = tx.send(Event::Failed { job, error });
                     }
                 }
@@ -416,10 +457,15 @@ pub fn generate_jobs_with_stats(
                     let slot = &mut slots[job];
                     slot.pairs[index] = Some(pair);
                     slot.filled += 1;
-                    (slot.filled == slot.pairs.len())
-                        .then(|| (slot.ctx.take(), std::mem::take(&mut slot.pairs)))
+                    (slot.filled == slot.pairs.len()).then(|| {
+                        (
+                            slot.ctx.take(),
+                            std::mem::take(&mut slot.pairs),
+                            slot.claim.take(),
+                        )
+                    })
                 };
-                let Some((ctx, pairs)) = finished else {
+                let Some((ctx, pairs, claim)) = finished else {
                     continue;
                 };
                 let Some(ctx) = ctx else {
@@ -448,6 +494,9 @@ pub fn generate_jobs_with_stats(
                         );
                     }
                 }
+                // Entry written (or write abandoned): release the
+                // generation claim so cross-process waiters proceed.
+                drop(claim);
                 let _ = tx.send(Event::Dataset {
                     job,
                     ds: Box::new(ds),

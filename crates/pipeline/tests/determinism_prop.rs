@@ -28,6 +28,7 @@ fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
                 aspect_ratio: aspect,
                 mean_fanout: fanout,
                 locality,
+                place_strategy: Default::default(),
             },
         )
 }

@@ -1,9 +1,10 @@
 use crate::cost::CostModel;
 use crate::error::PlaceError;
+use crate::kernel::{random_initial_placement, MoveKernel, SitePools};
 use crate::options::PlaceOptions;
 use crate::placement::{required_site_kind, Placement};
-use pop_arch::{Arch, SiteId, SiteKind};
-use pop_netlist::{BlockId, NetId, Netlist};
+use pop_arch::Arch;
+use pop_netlist::{BlockId, Netlist};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -29,6 +30,8 @@ pub struct AnnealStats {
 /// [`Annealer::run`] reproduces VPR's behaviour; [`Annealer::step`] advances
 /// by a bounded number of moves so callers can observe (and, in the paper's
 /// §5.4 application, *forecast congestion for*) the evolving placement.
+/// The move mechanics live in the crate-internal move kernel, which the
+/// region-parallel [`ParallelAnnealer`](crate::ParallelAnnealer) shares.
 ///
 /// # Example
 ///
@@ -51,19 +54,12 @@ pub struct Annealer<'a> {
     arch: &'a Arch,
     netlist: &'a Netlist,
     options: PlaceOptions,
-    model: CostModel,
-    placement: Placement,
-    net_costs: Vec<f32>,
-    total_cost: f64,
+    kernel: MoveKernel<'a>,
+    pools: SitePools,
     temperature: f64,
     rlim: f64,
     rng: StdRng,
     movable: Vec<BlockId>,
-    clb_cols: Vec<usize>,
-    clb_col_sites: Vec<Vec<SiteId>>, // parallel to clb_cols, sorted by y
-    io_sites: Vec<SiteId>,
-    mem_sites: Vec<SiteId>,
-    mult_sites: Vec<SiteId>,
     moves_per_temp: u64,
     moves_this_temp: u64,
     accepted_this_temp: u64,
@@ -71,9 +67,6 @@ pub struct Annealer<'a> {
     moves_total: u64,
     outer_iters: usize,
     done: bool,
-    net_stamp: Vec<u64>,
-    stamp: u64,
-    touched: Vec<NetId>,
 }
 
 impl<'a> Annealer<'a> {
@@ -95,37 +88,11 @@ impl<'a> Annealer<'a> {
         let placement = random_initial_placement(arch, netlist, &mut rng)?;
 
         let model = CostModel::new(options.algorithm);
-        let net_costs: Vec<f32> = netlist
-            .nets()
-            .iter()
-            .map(|n| model.net_cost(arch, netlist, &placement, n))
-            .collect();
-        let total_cost: f64 = net_costs.iter().map(|&c| c as f64).sum();
-
-        // Partition sites for move-target selection.
-        let mut clb_col_map: Vec<Vec<SiteId>> = vec![Vec::new(); arch.width()];
-        let mut io_sites = Vec::new();
-        let mut mem_sites = Vec::new();
-        let mut mult_sites = Vec::new();
-        for s in arch.sites() {
-            match s.kind {
-                SiteKind::Clb => clb_col_map[s.x].push(s.id),
-                SiteKind::Io => io_sites.push(s.id),
-                SiteKind::Memory => mem_sites.push(s.id),
-                SiteKind::Multiplier => mult_sites.push(s.id),
-            }
-        }
-        let mut clb_cols = Vec::new();
-        let mut clb_col_sites = Vec::new();
-        for (x, sites) in clb_col_map.into_iter().enumerate() {
-            if !sites.is_empty() {
-                clb_cols.push(x);
-                clb_col_sites.push(sites);
-            }
-        }
+        let kernel = MoveKernel::new(arch, netlist, model, placement);
+        let pools = SitePools::whole_fabric(arch);
 
         // Movable blocks: kinds with more than one candidate site.
-        let site_count = |k: SiteKind| arch.capacity(k);
+        let site_count = |k| arch.capacity(k);
         let movable: Vec<BlockId> = netlist
             .blocks()
             .iter()
@@ -140,19 +107,12 @@ impl<'a> Annealer<'a> {
             arch,
             netlist,
             options,
-            model,
-            placement,
-            net_costs,
-            total_cost,
+            kernel,
+            pools,
             temperature: 0.0,
             rlim: arch.width().max(arch.height()) as f64,
             rng,
             movable,
-            clb_cols,
-            clb_col_sites,
-            io_sites,
-            mem_sites,
-            mult_sites,
             moves_per_temp,
             moves_this_temp: 0,
             accepted_this_temp: 0,
@@ -160,9 +120,6 @@ impl<'a> Annealer<'a> {
             moves_total: 0,
             outer_iters: 0,
             done: false,
-            net_stamp: vec![0; netlist.nets().len()],
-            stamp: 0,
-            touched: Vec::new(),
         };
 
         annealer.temperature = annealer.calibrate_initial_temperature();
@@ -175,6 +132,7 @@ impl<'a> Annealer<'a> {
     /// VPR-style warm-up: propose one move per movable block, accept all,
     /// and set `T0 = 20 · stddev(ΔC)`.
     fn calibrate_initial_temperature(&mut self) -> f64 {
+        let rlim = self.rlim;
         let n = self.movable.len();
         if n == 0 {
             return 1.0;
@@ -182,7 +140,9 @@ impl<'a> Annealer<'a> {
         let mut deltas = Vec::with_capacity(n);
         for i in 0..n {
             let block = self.movable[i];
-            if let Some((delta, site, old_site)) = self.propose(block) {
+            if let Some((delta, site, old_site)) =
+                self.kernel.propose(&mut self.rng, &self.pools, block, rlim)
+            {
                 deltas.push(delta);
                 // Accept unconditionally during warm-up.
                 let _ = (site, old_site);
@@ -197,125 +157,6 @@ impl<'a> Annealer<'a> {
         (20.0 * var.sqrt()).max(1e-3)
     }
 
-    /// Proposes and applies a move of `block` to a random in-range site of
-    /// its kind; returns `(delta_cost, new_site, old_site)`. The move is
-    /// left applied — callers undo it to reject.
-    fn propose(&mut self, block: BlockId) -> Option<(f64, SiteId, SiteId)> {
-        let old_site = self.placement.site_of(block);
-        let target = self.pick_target(block, old_site)?;
-        if target == old_site {
-            return None;
-        }
-        let evicted = self.placement.block_at(target);
-
-        // Collect affected nets (dedup by stamp).
-        self.stamp += 1;
-        self.touched.clear();
-        for &n in self.netlist.nets_of(block) {
-            if self.net_stamp[n.index()] != self.stamp {
-                self.net_stamp[n.index()] = self.stamp;
-                self.touched.push(n);
-            }
-        }
-        if let Some(e) = evicted {
-            for &n in self.netlist.nets_of(e) {
-                if self.net_stamp[n.index()] != self.stamp {
-                    self.net_stamp[n.index()] = self.stamp;
-                    self.touched.push(n);
-                }
-            }
-        }
-
-        let old_cost: f64 = self
-            .touched
-            .iter()
-            .map(|&n| self.net_costs[n.index()] as f64)
-            .sum();
-        self.placement.displace(block, target);
-        let mut new_cost = 0.0f64;
-        for i in 0..self.touched.len() {
-            let n = self.touched[i];
-            let c = self.model.net_cost(
-                self.arch,
-                self.netlist,
-                &self.placement,
-                self.netlist.net(n),
-            );
-            self.net_costs[n.index()] = c;
-            new_cost += c as f64;
-        }
-        self.total_cost += new_cost - old_cost;
-        Some((new_cost - old_cost, target, old_site))
-    }
-
-    /// Undoes a move previously applied by [`Annealer::propose`].
-    fn undo(&mut self, block: BlockId, old_site: SiteId) {
-        self.placement.displace(block, old_site);
-        let mut delta = 0.0f64;
-        for i in 0..self.touched.len() {
-            let n = self.touched[i];
-            let old = self.net_costs[n.index()] as f64;
-            let c = self.model.net_cost(
-                self.arch,
-                self.netlist,
-                &self.placement,
-                self.netlist.net(n),
-            );
-            self.net_costs[n.index()] = c;
-            delta += c as f64 - old;
-        }
-        self.total_cost += delta;
-    }
-
-    /// Picks a random same-kind target site within the range limit.
-    fn pick_target(&mut self, block: BlockId, old_site: SiteId) -> Option<SiteId> {
-        let kind = required_site_kind(self.netlist.block(block).kind);
-        let site = self.arch.site(old_site);
-        let (cx, cy) = (site.x as f64, site.y as f64);
-        let rlim = self.rlim.max(1.0);
-        match kind {
-            SiteKind::Clb => {
-                let tx = (cx + self.rng.gen_range(-rlim..=rlim))
-                    .clamp(0.0, (self.arch.width() - 1) as f64);
-                let ty = (cy + self.rng.gen_range(-rlim..=rlim))
-                    .clamp(0.0, (self.arch.height() - 1) as f64);
-                // Nearest CLB column to tx.
-                let col_idx = match self.clb_cols.binary_search(&(tx.round() as usize)) {
-                    Ok(i) => i,
-                    Err(i) => {
-                        if i == 0 {
-                            0
-                        } else if i >= self.clb_cols.len() {
-                            self.clb_cols.len() - 1
-                        } else {
-                            // pick the nearer neighbour
-                            let lo = self.clb_cols[i - 1] as f64;
-                            let hi = self.clb_cols[i] as f64;
-                            if (tx - lo).abs() <= (hi - tx).abs() {
-                                i - 1
-                            } else {
-                                i
-                            }
-                        }
-                    }
-                };
-                let col = &self.clb_col_sites[col_idx];
-                let row = (ty.round() as usize).clamp(
-                    self.arch.site(col[0]).y,
-                    self.arch.site(col[col.len() - 1]).y,
-                ) - self.arch.site(col[0]).y;
-                Some(col[row.min(col.len() - 1)])
-            }
-            SiteKind::Io => pick_in_range(&mut self.rng, self.arch, &self.io_sites, cx, cy, rlim),
-            SiteKind::Memory => {
-                pick_in_range(&mut self.rng, self.arch, &self.mem_sites, cx, cy, rlim)
-            }
-            SiteKind::Multiplier => {
-                pick_in_range(&mut self.rng, self.arch, &self.mult_sites, cx, cy, rlim)
-            }
-        }
-    }
-
     /// Runs up to `max_moves` annealing moves, crossing temperature
     /// boundaries as needed, and returns the current stats. Returns early
     /// when the schedule completes.
@@ -326,13 +167,16 @@ impl<'a> Annealer<'a> {
             self.moves_total += 1;
             self.moves_this_temp += 1;
             budget -= 1;
-            if let Some((delta, _site, old_site)) = self.propose(block) {
+            if let Some((delta, _site, old_site)) =
+                self.kernel
+                    .propose(&mut self.rng, &self.pools, block, self.rlim)
+            {
                 let accept =
                     delta <= 0.0 || self.rng.gen::<f64>() < (-delta / self.temperature).exp();
                 if accept {
                     self.accepted_this_temp += 1;
                 } else {
-                    self.undo(block, old_site);
+                    self.kernel.undo(block, old_site);
                 }
             }
             if self.moves_this_temp >= self.moves_per_temp {
@@ -357,10 +201,10 @@ impl<'a> Annealer<'a> {
         self.temperature *= self.options.alpha_t;
 
         // Refresh the exact cost to cancel accumulated float drift.
-        self.total_cost = self.net_costs.iter().map(|&c| c as f64).sum();
+        self.kernel.refresh_costs();
 
-        let exit_t =
-            self.options.exit_t_factor * self.total_cost / self.netlist.nets().len().max(1) as f64;
+        let exit_t = self.options.exit_t_factor * self.kernel.total_cost()
+            / self.netlist.nets().len().max(1) as f64;
         if self.temperature < exit_t || self.outer_iters >= self.options.max_outer_iters {
             self.done = true;
         }
@@ -380,19 +224,19 @@ impl<'a> Annealer<'a> {
 
     /// The placement in its current (possibly mid-anneal) state.
     pub fn placement(&self) -> &Placement {
-        &self.placement
+        self.kernel.placement()
     }
 
     /// Consumes the annealer, returning the final placement.
     pub fn into_placement(self) -> Placement {
-        self.placement
+        self.kernel.into_placement()
     }
 
     /// Current progress statistics.
     pub fn stats(&self) -> AnnealStats {
         AnnealStats {
             temperature: self.temperature,
-            cost: self.total_cost,
+            cost: self.kernel.total_cost(),
             acceptance: self.last_acceptance,
             rlim: self.rlim,
             moves: self.moves_total,
@@ -402,83 +246,8 @@ impl<'a> Annealer<'a> {
 
     /// Current total cost under the configured cost model.
     pub fn cost(&self) -> f64 {
-        self.total_cost
+        self.kernel.total_cost()
     }
-}
-
-/// Picks a random site from `pool` within Chebyshev distance `rlim` of
-/// `(cx, cy)`; falls back to a uniform pick when the window is empty.
-fn pick_in_range(
-    rng: &mut StdRng,
-    arch: &Arch,
-    pool: &[SiteId],
-    cx: f64,
-    cy: f64,
-    rlim: f64,
-) -> Option<SiteId> {
-    if pool.is_empty() {
-        return None;
-    }
-    for _ in 0..8 {
-        let cand = pool[rng.gen_range(0..pool.len())];
-        let s = arch.site(cand);
-        if (s.x as f64 - cx).abs() <= rlim && (s.y as f64 - cy).abs() <= rlim {
-            return Some(cand);
-        }
-    }
-    Some(pool[rng.gen_range(0..pool.len())])
-}
-
-/// Random legal initial placement: shuffle each kind's site list and assign
-/// blocks in order.
-fn random_initial_placement(
-    arch: &Arch,
-    netlist: &Netlist,
-    rng: &mut StdRng,
-) -> Result<Placement, PlaceError> {
-    let mut pools: [Vec<SiteId>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
-    for s in arch.sites() {
-        let k = match s.kind {
-            SiteKind::Io => 0,
-            SiteKind::Clb => 1,
-            SiteKind::Memory => 2,
-            SiteKind::Multiplier => 3,
-        };
-        pools[k].push(s.id);
-    }
-    for pool in &mut pools {
-        for i in (1..pool.len()).rev() {
-            let j = rng.gen_range(0..=i);
-            pool.swap(i, j);
-        }
-    }
-    let mut cursors = [0usize; 4];
-    let kind_name = ["io", "clb", "memory", "multiplier"];
-    let mut site_of = Vec::with_capacity(netlist.blocks().len());
-    let mut demand = [0usize; 4];
-    for b in netlist.blocks() {
-        let k = match required_site_kind(b.kind) {
-            SiteKind::Io => 0,
-            SiteKind::Clb => 1,
-            SiteKind::Memory => 2,
-            SiteKind::Multiplier => 3,
-        };
-        demand[k] += 1;
-        if cursors[k] >= pools[k].len() {
-            return Err(PlaceError::InsufficientSites {
-                kind: kind_name[k],
-                needed: netlist
-                    .blocks()
-                    .iter()
-                    .filter(|bb| required_site_kind(bb.kind) == required_site_kind(b.kind))
-                    .count(),
-                available: pools[k].len(),
-            });
-        }
-        site_of.push(pools[k][cursors[k]]);
-        cursors[k] += 1;
-    }
-    Ok(Placement::from_assignment(site_of, arch.sites().len()))
 }
 
 #[cfg(test)]
@@ -558,7 +327,8 @@ mod tests {
         annealer.step(2000);
         let tracked = annealer.cost();
         let fresh = annealer
-            .model
+            .kernel
+            .model()
             .total_cost(&arch, &netlist, annealer.placement()) as f64;
         let rel = (tracked - fresh).abs() / fresh.max(1.0);
         assert!(rel < 1e-3, "cost drift: tracked {tracked} vs fresh {fresh}");

@@ -1,0 +1,437 @@
+//! The move kernel shared by the sequential [`Annealer`](crate::Annealer)
+//! and the region-parallel [`ParallelAnnealer`](crate::ParallelAnnealer).
+//!
+//! One annealing *move* — pick a same-kind target site within the range
+//! limit, displace/swap, incrementally update the touched nets' costs, and
+//! optionally undo — is identical in both placers; what differs is *which
+//! sites are eligible targets* (the whole fabric vs one spatial region) and
+//! *which RNG stream drives the pick*. [`MoveKernel`] therefore owns the
+//! placement + cost bookkeeping and takes the [`SitePools`] and RNG as
+//! parameters, so region workers can run the very same kernel over a
+//! region-restricted pool with a region-private RNG stream.
+
+use crate::cost::CostModel;
+use crate::error::PlaceError;
+use crate::placement::{required_site_kind, Placement};
+use pop_arch::{Arch, Site, SiteId, SiteKind};
+use pop_netlist::{BlockId, NetId, Netlist};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The move-target site pools of one fabric slice: CLB columns (sorted by
+/// x, each column sorted by y) plus flat pools for the other site kinds.
+/// Built once per slice — the whole fabric for the sequential annealer, one
+/// spatial region for each parallel-region worker.
+#[derive(Debug, Clone)]
+pub(crate) struct SitePools {
+    clb_cols: Vec<usize>,
+    clb_col_sites: Vec<Vec<SiteId>>, // parallel to clb_cols, sorted by y
+    io_sites: Vec<SiteId>,
+    mem_sites: Vec<SiteId>,
+    mult_sites: Vec<SiteId>,
+}
+
+impl SitePools {
+    /// Pools over an arbitrary subset of the fabric's sites. Sites must be
+    /// passed in `arch.sites()` order (ascending y within each x), which
+    /// keeps every CLB column sorted.
+    pub(crate) fn from_sites<'s>(arch: &Arch, sites: impl Iterator<Item = &'s Site>) -> Self {
+        let mut clb_col_map: Vec<Vec<SiteId>> = vec![Vec::new(); arch.width()];
+        let mut io_sites = Vec::new();
+        let mut mem_sites = Vec::new();
+        let mut mult_sites = Vec::new();
+        for s in sites {
+            match s.kind {
+                SiteKind::Clb => clb_col_map[s.x].push(s.id),
+                SiteKind::Io => io_sites.push(s.id),
+                SiteKind::Memory => mem_sites.push(s.id),
+                SiteKind::Multiplier => mult_sites.push(s.id),
+            }
+        }
+        let mut clb_cols = Vec::new();
+        let mut clb_col_sites = Vec::new();
+        for (x, sites) in clb_col_map.into_iter().enumerate() {
+            if !sites.is_empty() {
+                clb_cols.push(x);
+                clb_col_sites.push(sites);
+            }
+        }
+        SitePools {
+            clb_cols,
+            clb_col_sites,
+            io_sites,
+            mem_sites,
+            mult_sites,
+        }
+    }
+
+    /// Pools over the entire fabric.
+    pub(crate) fn whole_fabric(arch: &Arch) -> Self {
+        Self::from_sites(arch, arch.sites().iter())
+    }
+
+    /// Number of candidate sites this pool holds for `kind`.
+    #[cfg_attr(not(test), allow(dead_code))] // exercised by partition tests
+    pub(crate) fn candidates(&self, kind: SiteKind) -> usize {
+        match kind {
+            SiteKind::Clb => self.clb_col_sites.iter().map(Vec::len).sum(),
+            SiteKind::Io => self.io_sites.len(),
+            SiteKind::Memory => self.mem_sites.len(),
+            SiteKind::Multiplier => self.mult_sites.len(),
+        }
+    }
+}
+
+/// Placement state plus incremental cost bookkeeping for annealing moves.
+///
+/// Holds the placement, the per-net cost cache and the stamp/touched
+/// scratch used to dedup affected nets. Target-pool and RNG choices are
+/// per-call, so one kernel type serves both the global sequential schedule
+/// and the per-region parallel workers (each of which runs a kernel over a
+/// cloned snapshot).
+#[derive(Debug)]
+pub(crate) struct MoveKernel<'a> {
+    arch: &'a Arch,
+    netlist: &'a Netlist,
+    model: CostModel,
+    placement: Placement,
+    net_costs: Vec<f32>,
+    total_cost: f64,
+    net_stamp: Vec<u64>,
+    stamp: u64,
+    touched: Vec<NetId>,
+}
+
+impl<'a> MoveKernel<'a> {
+    /// A kernel over `placement`, computing every net's cost up front.
+    pub(crate) fn new(
+        arch: &'a Arch,
+        netlist: &'a Netlist,
+        model: CostModel,
+        placement: Placement,
+    ) -> Self {
+        let net_costs: Vec<f32> = netlist
+            .nets()
+            .iter()
+            .map(|n| model.net_cost(arch, netlist, &placement, n))
+            .collect();
+        let total_cost: f64 = net_costs.iter().map(|&c| c as f64).sum();
+        MoveKernel {
+            arch,
+            netlist,
+            model,
+            placement,
+            net_costs,
+            total_cost,
+            net_stamp: vec![0; netlist.nets().len()],
+            stamp: 0,
+            touched: Vec::new(),
+        }
+    }
+
+    /// A kernel seeded with already-computed net costs — how a region
+    /// worker starts from the epoch snapshot without re-scanning every net.
+    pub(crate) fn with_costs(
+        arch: &'a Arch,
+        netlist: &'a Netlist,
+        model: CostModel,
+        placement: Placement,
+        net_costs: Vec<f32>,
+        total_cost: f64,
+    ) -> Self {
+        debug_assert_eq!(net_costs.len(), netlist.nets().len());
+        MoveKernel {
+            arch,
+            netlist,
+            model,
+            placement,
+            net_costs,
+            total_cost,
+            net_stamp: vec![0; netlist.nets().len()],
+            stamp: 0,
+            touched: Vec::new(),
+        }
+    }
+
+    /// Proposes and applies a move of `block` to a random in-range site of
+    /// its kind drawn from `pools`; returns `(delta_cost, new_site,
+    /// old_site)`. The move is left applied — callers undo it to reject.
+    pub(crate) fn propose(
+        &mut self,
+        rng: &mut StdRng,
+        pools: &SitePools,
+        block: BlockId,
+        rlim: f64,
+    ) -> Option<(f64, SiteId, SiteId)> {
+        let old_site = self.placement.site_of(block);
+        let target = self.pick_target(rng, pools, block, old_site, rlim)?;
+        if target == old_site {
+            return None;
+        }
+        let evicted = self.placement.block_at(target);
+
+        // Collect affected nets (dedup by stamp).
+        self.stamp += 1;
+        self.touched.clear();
+        for &n in self.netlist.nets_of(block) {
+            if self.net_stamp[n.index()] != self.stamp {
+                self.net_stamp[n.index()] = self.stamp;
+                self.touched.push(n);
+            }
+        }
+        if let Some(e) = evicted {
+            for &n in self.netlist.nets_of(e) {
+                if self.net_stamp[n.index()] != self.stamp {
+                    self.net_stamp[n.index()] = self.stamp;
+                    self.touched.push(n);
+                }
+            }
+        }
+
+        let old_cost: f64 = self
+            .touched
+            .iter()
+            .map(|&n| self.net_costs[n.index()] as f64)
+            .sum();
+        self.placement.displace(block, target);
+        let mut new_cost = 0.0f64;
+        for i in 0..self.touched.len() {
+            let n = self.touched[i];
+            let c = self.model.net_cost(
+                self.arch,
+                self.netlist,
+                &self.placement,
+                self.netlist.net(n),
+            );
+            self.net_costs[n.index()] = c;
+            new_cost += c as f64;
+        }
+        self.total_cost += new_cost - old_cost;
+        Some((new_cost - old_cost, target, old_site))
+    }
+
+    /// Undoes a move previously applied by [`MoveKernel::propose`].
+    pub(crate) fn undo(&mut self, block: BlockId, old_site: SiteId) {
+        self.placement.displace(block, old_site);
+        let mut delta = 0.0f64;
+        for i in 0..self.touched.len() {
+            let n = self.touched[i];
+            let old = self.net_costs[n.index()] as f64;
+            let c = self.model.net_cost(
+                self.arch,
+                self.netlist,
+                &self.placement,
+                self.netlist.net(n),
+            );
+            self.net_costs[n.index()] = c;
+            delta += c as f64 - old;
+        }
+        self.total_cost += delta;
+    }
+
+    /// Picks a random same-kind target site from `pools` within the range
+    /// limit; `None` when the pool holds no site of the block's kind.
+    fn pick_target(
+        &self,
+        rng: &mut StdRng,
+        pools: &SitePools,
+        block: BlockId,
+        old_site: SiteId,
+        rlim: f64,
+    ) -> Option<SiteId> {
+        let kind = required_site_kind(self.netlist.block(block).kind);
+        let site = self.arch.site(old_site);
+        let (cx, cy) = (site.x as f64, site.y as f64);
+        let rlim = rlim.max(1.0);
+        match kind {
+            SiteKind::Clb => {
+                if pools.clb_cols.is_empty() {
+                    return None;
+                }
+                let tx =
+                    (cx + rng.gen_range(-rlim..=rlim)).clamp(0.0, (self.arch.width() - 1) as f64);
+                let ty =
+                    (cy + rng.gen_range(-rlim..=rlim)).clamp(0.0, (self.arch.height() - 1) as f64);
+                // Nearest CLB column to tx.
+                let col_idx = match pools.clb_cols.binary_search(&(tx.round() as usize)) {
+                    Ok(i) => i,
+                    Err(i) => {
+                        if i == 0 {
+                            0
+                        } else if i >= pools.clb_cols.len() {
+                            pools.clb_cols.len() - 1
+                        } else {
+                            // pick the nearer neighbour
+                            let lo = pools.clb_cols[i - 1] as f64;
+                            let hi = pools.clb_cols[i] as f64;
+                            if (tx - lo).abs() <= (hi - tx).abs() {
+                                i - 1
+                            } else {
+                                i
+                            }
+                        }
+                    }
+                };
+                let col = &pools.clb_col_sites[col_idx];
+                let row = (ty.round() as usize).clamp(
+                    self.arch.site(col[0]).y,
+                    self.arch.site(col[col.len() - 1]).y,
+                ) - self.arch.site(col[0]).y;
+                Some(col[row.min(col.len() - 1)])
+            }
+            SiteKind::Io => pick_in_range(rng, self.arch, &pools.io_sites, cx, cy, rlim),
+            SiteKind::Memory => pick_in_range(rng, self.arch, &pools.mem_sites, cx, cy, rlim),
+            SiteKind::Multiplier => pick_in_range(rng, self.arch, &pools.mult_sites, cx, cy, rlim),
+        }
+    }
+
+    /// Recomputes the costs of every net incident to `blocks` (deduped) and
+    /// folds the difference into the total — the incremental refresh after
+    /// merging a parallel-region move batch, where only the moved blocks'
+    /// nets can have changed.
+    pub(crate) fn refresh_blocks(&mut self, blocks: impl Iterator<Item = BlockId>) {
+        self.stamp += 1;
+        self.touched.clear();
+        for b in blocks {
+            for &n in self.netlist.nets_of(b) {
+                if self.net_stamp[n.index()] != self.stamp {
+                    self.net_stamp[n.index()] = self.stamp;
+                    self.touched.push(n);
+                }
+            }
+        }
+        let mut delta = 0.0f64;
+        for i in 0..self.touched.len() {
+            let n = self.touched[i];
+            let old = self.net_costs[n.index()] as f64;
+            let c = self.model.net_cost(
+                self.arch,
+                self.netlist,
+                &self.placement,
+                self.netlist.net(n),
+            );
+            self.net_costs[n.index()] = c;
+            delta += c as f64 - old;
+        }
+        self.total_cost += delta;
+    }
+
+    /// Recomputes every net's cost from scratch, cancelling accumulated
+    /// float drift (and absorbing merged parallel-region moves).
+    pub(crate) fn refresh_costs(&mut self) {
+        let mut total = 0.0f64;
+        for (i, n) in self.netlist.nets().iter().enumerate() {
+            let c = self
+                .model
+                .net_cost(self.arch, self.netlist, &self.placement, n);
+            self.net_costs[i] = c;
+            total += c as f64;
+        }
+        self.total_cost = total;
+    }
+
+    /// The placement in its current state.
+    pub(crate) fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Mutable access for merging parallel-region move batches.
+    pub(crate) fn placement_mut(&mut self) -> &mut Placement {
+        &mut self.placement
+    }
+
+    /// Consumes the kernel, returning its placement.
+    pub(crate) fn into_placement(self) -> Placement {
+        self.placement
+    }
+
+    /// The tracked total cost.
+    pub(crate) fn total_cost(&self) -> f64 {
+        self.total_cost
+    }
+
+    /// The per-net cost cache (a snapshot input for region workers).
+    pub(crate) fn net_costs(&self) -> &[f32] {
+        &self.net_costs
+    }
+
+    /// The cost model this kernel scores with.
+    pub(crate) fn model(&self) -> &CostModel {
+        &self.model
+    }
+}
+
+/// Picks a random site from `pool` within Chebyshev distance `rlim` of
+/// `(cx, cy)`; falls back to a uniform pick when the window is empty.
+fn pick_in_range(
+    rng: &mut StdRng,
+    arch: &Arch,
+    pool: &[SiteId],
+    cx: f64,
+    cy: f64,
+    rlim: f64,
+) -> Option<SiteId> {
+    if pool.is_empty() {
+        return None;
+    }
+    for _ in 0..8 {
+        let cand = pool[rng.gen_range(0..pool.len())];
+        let s = arch.site(cand);
+        if (s.x as f64 - cx).abs() <= rlim && (s.y as f64 - cy).abs() <= rlim {
+            return Some(cand);
+        }
+    }
+    Some(pool[rng.gen_range(0..pool.len())])
+}
+
+/// Random legal initial placement: shuffle each kind's site list and assign
+/// blocks in order.
+pub(crate) fn random_initial_placement(
+    arch: &Arch,
+    netlist: &Netlist,
+    rng: &mut StdRng,
+) -> Result<Placement, PlaceError> {
+    let mut pools: [Vec<SiteId>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    for s in arch.sites() {
+        let k = match s.kind {
+            SiteKind::Io => 0,
+            SiteKind::Clb => 1,
+            SiteKind::Memory => 2,
+            SiteKind::Multiplier => 3,
+        };
+        pools[k].push(s.id);
+    }
+    for pool in &mut pools {
+        for i in (1..pool.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            pool.swap(i, j);
+        }
+    }
+    let mut cursors = [0usize; 4];
+    let kind_name = ["io", "clb", "memory", "multiplier"];
+    let mut site_of = Vec::with_capacity(netlist.blocks().len());
+    let mut demand = [0usize; 4];
+    for b in netlist.blocks() {
+        let k = match required_site_kind(b.kind) {
+            SiteKind::Io => 0,
+            SiteKind::Clb => 1,
+            SiteKind::Memory => 2,
+            SiteKind::Multiplier => 3,
+        };
+        demand[k] += 1;
+        if cursors[k] >= pools[k].len() {
+            return Err(PlaceError::InsufficientSites {
+                kind: kind_name[k],
+                needed: netlist
+                    .blocks()
+                    .iter()
+                    .filter(|bb| required_site_kind(bb.kind) == required_site_kind(b.kind))
+                    .count(),
+                available: pools[k].len(),
+            });
+        }
+        site_of.push(pools[k][cursors[k]]);
+        cursors[k] += 1;
+    }
+    Ok(Placement::from_assignment(site_of, arch.sites().len()))
+}

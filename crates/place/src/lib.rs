@@ -37,22 +37,28 @@
 mod annealer;
 mod cost;
 mod error;
+mod kernel;
 mod options;
+mod parallel;
 mod placement;
 pub mod sweep;
 
 pub use annealer::{AnnealStats, Annealer};
 pub use cost::{net_bbox_cost, wirelength, CostModel};
 pub use error::PlaceError;
-pub use options::{PlaceAlgorithm, PlaceOptions};
+pub use options::{PlaceAlgorithm, PlaceOptions, PlaceStrategy};
+pub use parallel::ParallelAnnealer;
 pub use placement::Placement;
 
 use pop_arch::Arch;
 use pop_netlist::Netlist;
 
-/// Places `netlist` onto `arch` by running the annealer to completion.
+/// Places `netlist` onto `arch` by running the configured annealer to
+/// completion: the classic sequential schedule, or the region-parallel
+/// one when `options.strategy` is [`PlaceStrategy::ParallelRegions`].
 ///
-/// Deterministic in `options.seed`.
+/// Deterministic in `(options.seed, strategy regions)` — the parallel
+/// strategy's thread count affects wall-clock only.
 ///
 /// # Errors
 ///
@@ -63,7 +69,16 @@ pub fn place(
     netlist: &Netlist,
     options: &PlaceOptions,
 ) -> Result<Placement, PlaceError> {
-    let mut annealer = Annealer::new(arch, netlist, options)?;
-    annealer.run();
-    Ok(annealer.into_placement())
+    match options.strategy {
+        PlaceStrategy::Sequential => {
+            let mut annealer = Annealer::new(arch, netlist, options)?;
+            annealer.run();
+            Ok(annealer.into_placement())
+        }
+        PlaceStrategy::ParallelRegions { .. } => {
+            let mut annealer = ParallelAnnealer::new(arch, netlist, options)?;
+            annealer.run();
+            Ok(annealer.into_placement())
+        }
+    }
 }

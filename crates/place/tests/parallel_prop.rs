@@ -1,0 +1,83 @@
+//! Property tests for the region-parallel annealer: across seeds, region
+//! counts and thread counts, parallel placements stay legal, land within a
+//! cost tolerance of the sequential annealer, and are a pure function of
+//! `(seed, regions)` — bitwise thread-count invariant.
+
+use pop_arch::Arch;
+use pop_netlist::{generate, presets, Netlist};
+use pop_place::{place, CostModel, PlaceAlgorithm, PlaceOptions, PlaceStrategy};
+use proptest::prelude::*;
+
+fn fabric(design: &str, scale: f64) -> (Arch, Netlist) {
+    let netlist = generate(&presets::by_name(design).unwrap().scaled(scale));
+    let (c, i, m, x) = netlist.site_demand();
+    let arch = Arch::auto_size(c, i, m, x, 12, 1.3).unwrap();
+    (arch, netlist)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For arbitrary seeds and region/thread counts the parallel annealer
+    /// must produce a *legal* placement whose final bounding-box cost is
+    /// within tolerance of the sequential annealer at the same seed, and
+    /// the result must not depend on the thread count.
+    #[test]
+    fn parallel_is_legal_cost_bounded_and_thread_invariant(
+        seed in 0u64..1000,
+        regions in 2usize..5,
+        threads in 1usize..5,
+        design in 0usize..2,
+    ) {
+        let (arch, netlist) = fabric(["diffeq1", "diffeq2"][design], 0.25);
+        let sequential = place(
+            &arch,
+            &netlist,
+            &PlaceOptions { seed, ..PlaceOptions::default() },
+        )
+        .unwrap();
+        let popts = |threads| PlaceOptions {
+            seed,
+            strategy: PlaceStrategy::ParallelRegions { regions, threads },
+            ..PlaceOptions::default()
+        };
+        let parallel = place(&arch, &netlist, &popts(threads)).unwrap();
+        parallel.verify(&arch, &netlist).unwrap();
+
+        // Cost tolerance: on these small proptest fabrics the annealers'
+        // own seed-to-seed noise is a few percent, so the bound is looser
+        // than the 2% bench criterion (which averages over seeds on a
+        // 0.5-scale design — see benches/pipeline_gen.rs).
+        let model = CostModel::new(PlaceAlgorithm::BoundingBox);
+        let seq_cost = model.total_cost(&arch, &netlist, &sequential) as f64;
+        let par_cost = model.total_cost(&arch, &netlist, &parallel) as f64;
+        prop_assert!(
+            par_cost <= seq_cost * 1.15,
+            "parallel cost {par_cost:.0} vs sequential {seq_cost:.0} (seed {seed}, k {regions})"
+        );
+
+        // Thread-count invariance: the same (seed, regions) on a different
+        // thread count is bitwise-identical.
+        let other_threads = if threads == 1 { 4 } else { 1 };
+        let again = place(&arch, &netlist, &popts(other_threads)).unwrap();
+        prop_assert_eq!(&parallel, &again);
+    }
+}
+
+/// Determinism pinned exactly: same `(seed, threads)` twice is bitwise
+/// identical; and so is the same seed at a *different* thread count.
+#[test]
+fn same_seed_same_threads_is_bitwise_identical() {
+    let (arch, netlist) = fabric("diffeq1", 0.2);
+    let opts = PlaceOptions {
+        seed: 2026,
+        strategy: PlaceStrategy::ParallelRegions {
+            regions: 4,
+            threads: 4,
+        },
+        ..PlaceOptions::default()
+    };
+    let a = place(&arch, &netlist, &opts).unwrap();
+    let b = place(&arch, &netlist, &opts).unwrap();
+    assert_eq!(a, b, "same (seed, threads) must be bitwise identical");
+}

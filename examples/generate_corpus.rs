@@ -5,30 +5,66 @@
 //!
 //! ```text
 //! cargo run --release --example generate_corpus [scenario] \
-//!     [--cache-dir DIR] [--resume]
+//!     [--cache-dir DIR] [--cache-budget BYTES] [--resume] \
+//!     [--regions K] [--place-threads T]
 //! ```
 //!
 //! * `--cache-dir DIR` — generate through a `CorpusStore` rooted at `DIR`:
 //!   the first run is cold (writes per-job caches as jobs complete), a
 //!   re-run is warm (100% cache hits, zero place/route stage executions)
 //!   and must produce a bitwise-identical corpus checksum. The streaming
-//!   training demo spills its epochs to `DIR/ring`.
-//! * `--resume` — honour the epoch ring's progress marker: a run
-//!   interrupted (or completed) earlier picks up at the first untrained
-//!   epoch instead of regenerating from seeds. Without the flag the ring
-//!   is reset and training starts from epoch 0.
+//!   training demo spills its epochs to `DIR/ring`. Concurrent cold runs
+//!   over one `DIR` coordinate through per-entry claim files: the second
+//!   process waits for the first instead of duplicating its work.
+//! * `--cache-budget BYTES` — bound the store's total size (suffixes
+//!   `K`/`M`/`G` accepted); least-recently-used entries are swept after
+//!   each write.
+//! * `--resume` — honour the epoch ring's progress marker **and** the
+//!   model checkpoint saved next to it: an interrupted run picks up at
+//!   the first untrained epoch *with the trained weights* instead of
+//!   regenerating data from seeds and weights from init. Without the flag
+//!   the ring (and model) are reset and training starts from epoch 0.
+//! * `--regions K --place-threads T` — anneal every placement with the
+//!   region-parallel annealer (`PlaceStrategy::ParallelRegions`): the
+//!   single-large-design case where the sweep alone cannot fill the
+//!   worker pool. The corpus checksum is identical for every `T` at the
+//!   same `K` — thread count never changes the data (the CI parallel
+//!   smoke pins this).
 
 use painting_on_placement as pop;
 use pop::core::dataset::DesignDataset;
 use pop::core::Pix2Pix;
 use pop::pipeline::{
     generate_corpus_sequential, generate_corpus_with_stats, scenario, EpochPrefetcher, EpochRing,
-    PipelineOptions,
+    PipelineOptions, TrainCheckpoint,
 };
+use pop::place::PlaceStrategy;
 
-/// FNV-1a over every value of every pair (tensors + full provenance,
-/// wall-clock timings included: the cache round-trips them bitwise).
-fn corpus_checksum(corpus: &[DesignDataset]) -> u64 {
+/// Parses `512`, `64K`/`64KB`, `16M`/`16MB` or `1G`/`1GB` into bytes;
+/// an unrecognised suffix is an error, never a silently wrong multiplier.
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let split = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
+    let (digits, suffix) = s.split_at(split);
+    let mult: u64 = match suffix.to_ascii_uppercase().as_str() {
+        "" => 1,
+        "K" | "KB" => 1 << 10,
+        "M" | "MB" => 1 << 20,
+        "G" | "GB" => 1 << 30,
+        other => return Err(format!("bad byte suffix '{other}' in '{s}'")),
+    };
+    digits
+        .parse::<u64>()
+        .map(|v| v * mult)
+        .map_err(|_| format!("bad byte count '{s}'"))
+}
+
+/// FNV-1a over every value of every pair. With `with_timings`, the
+/// wall-clock provenance is folded in too (the cache round-trips it
+/// bitwise, so cold-vs-warm runs must agree on the full checksum);
+/// without, the checksum covers only the deterministic data — the number
+/// two *fresh* generations are compared by (e.g. the CI parallel smoke's
+/// thread-count-invariance check).
+fn corpus_checksum(corpus: &[DesignDataset], with_timings: bool) -> u64 {
     let mut h = pop::core::dataset::Fnv1a::new();
     for ds in corpus {
         h.eat_bytes(ds.name.as_bytes());
@@ -38,8 +74,10 @@ fn corpus_checksum(corpus: &[DesignDataset]) -> u64 {
             h.eat(p.meta.place_seed);
             h.eat(p.meta.true_mean_congestion.to_bits() as u64);
             h.eat(p.meta.true_max_congestion.to_bits() as u64);
-            h.eat(p.meta.route_micros);
-            h.eat(p.meta.place_micros);
+            if with_timings {
+                h.eat(p.meta.route_micros);
+                h.eat(p.meta.place_micros);
+            }
             for v in p.x.data().iter().chain(p.y.data()) {
                 h.eat(v.to_bits() as u64);
             }
@@ -51,19 +89,43 @@ fn corpus_checksum(corpus: &[DesignDataset]) -> u64 {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut name = "smoke".to_string();
     let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut cache_budget: Option<u64> = None;
     let mut resume = false;
+    let mut regions: Option<usize> = None;
+    let mut place_threads = 4usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--cache-dir" => {
                 cache_dir = Some(args.next().ok_or("--cache-dir needs a path")?.into());
             }
+            "--cache-budget" => {
+                cache_budget = Some(parse_bytes(
+                    &args.next().ok_or("--cache-budget needs a byte count")?,
+                )?);
+            }
             "--resume" => resume = true,
+            "--regions" => {
+                regions = Some(args.next().ok_or("--regions needs a count")?.parse()?);
+            }
+            "--place-threads" => {
+                place_threads = args
+                    .next()
+                    .ok_or("--place-threads needs a count")?
+                    .parse()?;
+            }
             other => name = other.to_string(),
         }
     }
-    let spec = scenario::by_name(&name)
+    let mut spec = scenario::by_name(&name)
         .ok_or_else(|| format!("unknown scenario '{name}' (see pop::pipeline::scenario)"))?;
+    if let Some(regions) = regions {
+        spec.place_strategy = PlaceStrategy::ParallelRegions {
+            regions,
+            threads: place_threads,
+        };
+        println!("place strategy: parallel ({regions} regions, {place_threads} threads)");
+    }
     println!(
         "scenario '{}': design {}, {} variant(s) x {} pairs at {}x{} px",
         spec.name,
@@ -78,6 +140,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(dir) = &cache_dir {
         opts = opts.with_cache_dir(dir);
         println!("cache dir: {}", dir.display());
+    }
+    if let Some(bytes) = cache_budget {
+        opts = opts.with_cache_budget(bytes);
+        println!("cache budget: {bytes} bytes (LRU sweep after each write)");
     }
     let (corpus, stats) = generate_corpus_with_stats(std::slice::from_ref(&spec), &opts)?;
     println!(
@@ -119,7 +185,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ds.channel_width
         );
     }
-    println!("corpus checksum: {:016x}", corpus_checksum(&corpus));
+    println!("corpus checksum: {:016x}", corpus_checksum(&corpus, true));
+    println!("data checksum: {:016x}", corpus_checksum(&corpus, false));
 
     // Background prefetch feeding the streaming trainer: epoch 2 generates
     // while epoch 1 trains. With a cache dir, epochs spill into an
@@ -127,14 +194,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // from the last completed epoch instead of regenerating from seeds.
     let epochs = 2;
     let config = spec.config();
-    let mut model = Pix2Pix::new(&config, 7)?;
     let history = match &cache_dir {
         Some(dir) => {
             let ring_dir = dir.join("ring");
             if !resume {
                 let _ = std::fs::remove_dir_all(&ring_dir);
             }
-            let mut ring = EpochRing::new(&ring_dir, epochs.max(2));
+            let ring = EpochRing::new(&ring_dir, epochs.max(2));
+            // Weights checkpoint alongside the epoch ring: a resumed run
+            // continues from the trained model, not fresh initialisation.
+            let mut checkpoint = TrainCheckpoint::new(ring.clone(), ring_dir.join("model.ckpt"));
+            let mut model = match checkpoint.restore(&config)? {
+                Some(model) if resume => {
+                    println!(
+                        "model checkpoint: restored weights + optimiser state ({} epoch(s) already trained)",
+                        ring.completed_epochs()
+                    );
+                    model
+                }
+                _ => {
+                    if resume && ring.completed_epochs() > 0 {
+                        // Trained epochs but no model checkpoint (data-only
+                        // ring from an older run, or a deleted file):
+                        // resuming the data stream under fresh weights
+                        // would silently skip training — reset the ring so
+                        // data and weights restart together.
+                        println!(
+                            "model checkpoint missing: resetting the epoch ring so data and                              weights restart together"
+                        );
+                        let _ = std::fs::remove_dir_all(&ring_dir);
+                    }
+                    Pix2Pix::new(&config, 7)?
+                }
+            };
             let prefetcher =
                 EpochPrefetcher::start_with_ring(vec![spec], opts, epochs, 1, ring.clone());
             println!(
@@ -142,9 +234,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 prefetcher.first_epoch()
             );
             let stream: Result<Vec<_>, _> = prefetcher.collect();
-            model.train_stream_resumable(stream?, &mut ring)
+            model.train_stream_resumable(stream?, &mut checkpoint)
         }
         None => {
+            let mut model = Pix2Pix::new(&config, 7)?;
             let prefetcher = EpochPrefetcher::start(vec![spec], opts, epochs, 1);
             let stream: Result<Vec<_>, _> = prefetcher.collect();
             model.train_stream(stream?)
