@@ -6,25 +6,12 @@ use crate::config::ExperimentConfig;
 use crate::dataset::DesignDataset;
 use crate::error::CoreError;
 use crate::features::{assemble_input, tensor_to_image};
-use crate::forecaster::Forecaster;
+use crate::forecaster::{ExclusiveForecaster, Forecaster};
 use crate::trainer::Pix2Pix;
 use pop_arch::Arch;
 use pop_netlist::Netlist;
-use pop_nn::Tensor;
 use pop_place::{Annealer, PlaceOptions};
 use pop_raster::{render_connectivity, render_placement, Image, Layout, PixelOwner};
-use std::cell::RefCell;
-
-/// Adapts an exclusively-borrowed model to the shared [`Forecaster`]
-/// contract for single-threaded callers (the original `&mut Pix2Pix` app
-/// entry points delegate through this).
-struct ExclusiveForecaster<'a>(RefCell<&'a mut Pix2Pix>);
-
-impl Forecaster for ExclusiveForecaster<'_> {
-    fn forecast(&self, x: &Tensor) -> Result<Tensor, CoreError> {
-        Ok(self.0.borrow_mut().forecast(x))
-    }
-}
 
 /// A floorplan region over which congestion is aggregated — the objectives
 /// of Figure 9 ("min-congestion at the upper side / lower side /
@@ -210,7 +197,7 @@ pub fn realtime_forecast(
     max_snapshots: usize,
 ) -> Result<Vec<RealtimeSnapshot>, CoreError> {
     realtime_forecast_with(
-        &ExclusiveForecaster(RefCell::new(model)),
+        &ExclusiveForecaster::new(model),
         arch,
         netlist,
         place_options,

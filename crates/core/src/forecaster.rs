@@ -18,6 +18,7 @@ use crate::features::tensor_to_image;
 use crate::trainer::Pix2Pix;
 use pop_nn::Tensor;
 use pop_raster::Image;
+use std::cell::RefCell;
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// The inference contract: paint a routing heat map for one input feature
@@ -39,6 +40,20 @@ pub trait Forecaster {
     /// Propagates [`Forecaster::forecast`] failures.
     fn forecast_image(&self, x: &Tensor) -> Result<Image, CoreError> {
         Ok(tensor_to_image(&self.forecast(x)?))
+    }
+
+    /// Paints heat maps for many inputs. The default implementation loops
+    /// [`Forecaster::forecast`]; implementations backed by a model override
+    /// it with one stacked forward pass
+    /// ([`Pix2Pix::forecast_batch`] is bitwise-identical to per-sample
+    /// inference), which is what lets an evaluation compute *every* metric
+    /// from a single batched inference sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Forecaster::forecast`] failures.
+    fn forecast_batch(&self, xs: &[&Tensor]) -> Result<Vec<Tensor>, CoreError> {
+        xs.iter().map(|x| self.forecast(x)).collect()
     }
 }
 
@@ -77,6 +92,38 @@ impl SharedForecaster {
 impl Forecaster for SharedForecaster {
     fn forecast(&self, x: &Tensor) -> Result<Tensor, CoreError> {
         Ok(self.lock().forecast(x))
+    }
+
+    fn forecast_batch(&self, xs: &[&Tensor]) -> Result<Vec<Tensor>, CoreError> {
+        Ok(self.lock().forecast_batch(xs))
+    }
+}
+
+/// Adapts an exclusively-borrowed model to the shared [`Forecaster`]
+/// contract for the duration of a single-threaded evaluation loop — the
+/// seam that lets `&mut Pix2Pix` entry points (the Table 2 binaries, the
+/// classic `metrics` helpers) drive the same batched single-pass
+/// evaluation code the serving/eval layers use, without a mutex.
+pub struct ExclusiveForecaster<'a> {
+    inner: RefCell<&'a mut Pix2Pix>,
+}
+
+impl<'a> ExclusiveForecaster<'a> {
+    /// Borrows `model` exclusively for forecasting.
+    pub fn new(model: &'a mut Pix2Pix) -> Self {
+        ExclusiveForecaster {
+            inner: RefCell::new(model),
+        }
+    }
+}
+
+impl Forecaster for ExclusiveForecaster<'_> {
+    fn forecast(&self, x: &Tensor) -> Result<Tensor, CoreError> {
+        Ok(self.inner.borrow_mut().forecast(x))
+    }
+
+    fn forecast_batch(&self, xs: &[&Tensor]) -> Result<Vec<Tensor>, CoreError> {
+        Ok(self.inner.borrow_mut().forecast_batch(xs))
     }
 }
 
@@ -121,6 +168,44 @@ mod tests {
         let x = Tensor::randn([1, 4, 16, 16], 0.0, 0.5, 9);
         let mut replica = replica;
         assert_eq!(shared.forecast(&x).unwrap(), replica.forecast(&x));
+    }
+
+    #[test]
+    fn exclusive_forecaster_matches_the_model_and_batches() {
+        let mut model = tiny_model(7);
+        let xs: Vec<Tensor> = (0..3)
+            .map(|s| Tensor::randn([1, 4, 16, 16], 0.0, 0.5, 20 + s))
+            .collect();
+        let direct: Vec<Tensor> = xs.iter().map(|x| model.forecast(x)).collect();
+        let f = ExclusiveForecaster::new(&mut model);
+        let refs: Vec<&Tensor> = xs.iter().collect();
+        assert_eq!(f.forecast_batch(&refs).unwrap(), direct);
+        assert_eq!(f.forecast(&xs[0]).unwrap(), direct[0]);
+    }
+
+    #[test]
+    fn default_forecast_batch_loops_forecast() {
+        // A Forecaster that only implements `forecast` still batches via
+        // the default method — one result per input, in order.
+        struct Doubler;
+        impl Forecaster for Doubler {
+            fn forecast(&self, x: &Tensor) -> Result<Tensor, CoreError> {
+                let mut out = x.clone();
+                out.scale(2.0);
+                Ok(out)
+            }
+        }
+        let xs: Vec<Tensor> = (0..2)
+            .map(|s| Tensor::randn([1, 1, 4, 4], 0.0, 1.0, s))
+            .collect();
+        let refs: Vec<&Tensor> = xs.iter().collect();
+        let out = Doubler.forecast_batch(&refs).unwrap();
+        assert_eq!(out.len(), 2);
+        for (o, x) in out.iter().zip(&xs) {
+            let mut want = x.clone();
+            want.scale(2.0);
+            assert_eq!(o, &want);
+        }
     }
 
     #[test]

@@ -59,6 +59,7 @@ mod unet;
 pub use config::{ExperimentConfig, SkipMode};
 pub use disc::PatchDiscriminator;
 pub use error::CoreError;
-pub use forecaster::{Forecaster, SharedForecaster};
+pub use forecaster::{ExclusiveForecaster, Forecaster, SharedForecaster};
+pub use metrics::{EvalReport, MetricSet, PairEval};
 pub use trainer::{NoCheckpoint, Pix2Pix, StreamCheckpoint, TrainHistory};
 pub use unet::UNetGenerator;

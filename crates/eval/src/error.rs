@@ -1,0 +1,62 @@
+use pop_core::CoreError;
+use pop_pipeline::PipelineError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the evaluation harness.
+#[derive(Debug)]
+pub enum EvalError {
+    /// The matrix specification is internally inconsistent (no scenarios,
+    /// duplicate names, mixed resolutions, zero replicates, …).
+    BadSpec(String),
+    /// Corpus generation / scenario expansion failed.
+    Pipeline(PipelineError),
+    /// Model construction, training or metric evaluation failed.
+    Core(CoreError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::BadSpec(m) => write!(f, "bad matrix spec: {m}"),
+            EvalError::Pipeline(e) => write!(f, "corpus generation failed: {e}"),
+            EvalError::Core(e) => write!(f, "evaluation failed: {e}"),
+        }
+    }
+}
+
+impl Error for EvalError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EvalError::BadSpec(_) => None,
+            EvalError::Pipeline(e) => Some(e),
+            EvalError::Core(e) => Some(e),
+        }
+    }
+}
+
+impl From<PipelineError> for EvalError {
+    fn from(e: PipelineError) -> Self {
+        EvalError::Pipeline(e)
+    }
+}
+
+impl From<CoreError> for EvalError {
+    fn from(e: CoreError) -> Self {
+        EvalError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure_site() {
+        assert!(EvalError::BadSpec("x".into()).to_string().contains("spec"));
+        let p: EvalError = PipelineError::BadScenario("y".into()).into();
+        assert!(p.to_string().contains("corpus"));
+        let c: EvalError = CoreError::Eval("z".into()).into();
+        assert!(c.to_string().contains("evaluation"));
+    }
+}

@@ -1,0 +1,178 @@
+//! `pop-eval` — the scenario-conditioned evaluation harness: Table 2 at
+//! scale, across distributions.
+//!
+//! The paper reports Acc.1/Acc.2/Top10 on a single data distribution. This
+//! crate answers the distribution-shift question the scenario registry
+//! raises (LHNN/GOALPlace framing): **how does a model trained on scenario
+//! X score on scenario Y's data?**
+//!
+//! One [`evaluate_matrix`] run:
+//!
+//! 1. trains one model per scenario (× [`MatrixSpec::replicates`] seeds)
+//!    through the existing `pop-pipeline` streaming path —
+//!    [`EpochPrefetcher`](pop_pipeline::EpochPrefetcher) generation
+//!    overlapped with training, every pair flowing through the cache-aware
+//!    `CorpusStore` when [`MatrixSpec::options`] names a cache dir;
+//! 2. generates each scenario's **held-out split**
+//!    ([`ScenarioSpec::holdout_jobs`](pop_pipeline::ScenarioSpec::holdout_jobs)):
+//!    the same designs, placement-sweep seeds provably disjoint from every
+//!    training epoch, cache-fingerprinted so warm re-runs regenerate
+//!    nothing;
+//! 3. scores every `(model, split)` pairing — the K×K matrix — on a
+//!    `pop-exec` worker pool, each cell a *single* batched inference sweep
+//!    per strategy feeding all metrics (Acc.1, Acc.2, top-k overlap,
+//!    Pearson, Spearman, NRMS);
+//! 4. aggregates seed replicates into per-cell mean ± 95 % CI, computes
+//!    the **diagonal-vs-off-diagonal generalization gap**, and scores the
+//!    RUDY analytical baseline every diagonal cell should beat.
+//!
+//! Everything is deterministic in the spec: the matrix (and its
+//! `BENCH_eval.json` serialisation) is byte-for-byte identical across
+//! runs and worker-thread counts.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use pop_eval::{evaluate_matrix, MatrixSpec};
+//! use pop_pipeline::scenario;
+//!
+//! let spec = MatrixSpec::new(vec![
+//!     scenario::by_name("smoke").unwrap(),
+//!     // …more scenarios sharing the same resolution…
+//! ]);
+//! let matrix = evaluate_matrix(&spec)?;
+//! assert!(matrix.is_complete());
+//! println!("{}", matrix.to_json());
+//! # Ok::<(), pop_eval::EvalError>(())
+//! ```
+
+mod error;
+mod matrix;
+mod report;
+
+pub use error::EvalError;
+pub use matrix::{evaluate_matrix, MatrixSpec};
+pub use report::{CellMetrics, CellStats, EvalMatrix, METRIC_NAMES};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pop_core::{ExclusiveForecaster, MetricSet, Pix2Pix};
+    use pop_pipeline::scenario::by_name;
+    use pop_pipeline::{generate_holdout_with_stats, PipelineOptions, ScenarioSpec};
+
+    fn tiny(name: &str, design: &str, seed: u64) -> ScenarioSpec {
+        ScenarioSpec {
+            name: name.into(),
+            design: design.into(),
+            pairs_per_design: 2,
+            seed,
+            ..by_name("smoke").unwrap()
+        }
+    }
+
+    fn tiny_spec() -> MatrixSpec {
+        MatrixSpec {
+            train_epochs: 1,
+            eval_pairs: 2,
+            replicates: 2,
+            finetune_pairs: 1,
+            finetune_epochs: 1,
+            options: PipelineOptions::with_workers(2),
+            threads: 2,
+            ..MatrixSpec::new(vec![tiny("a", "diffeq2", 1), tiny("b", "diffeq1", 2)])
+        }
+    }
+
+    #[test]
+    fn golden_matrix_is_identical_across_runs_and_thread_counts() {
+        // The determinism gate, mirroring the pipeline's bitwise-identity
+        // tests: the full matrix — every cell mean, every CI, the JSON
+        // bytes — is a pure function of the spec. Fan-out width must only
+        // change wall-clock.
+        let mut spec = tiny_spec();
+        spec.threads = 1;
+        let sequential = evaluate_matrix(&spec).unwrap();
+        spec.threads = 4;
+        let parallel = evaluate_matrix(&spec).unwrap();
+        assert_eq!(sequential, parallel, "thread count changed the matrix");
+        assert_eq!(sequential.to_json(), parallel.to_json());
+        // And run-to-run.
+        let again = evaluate_matrix(&spec).unwrap();
+        assert_eq!(sequential, again);
+
+        // Structural sanity of the golden matrix.
+        assert!(sequential.is_complete(), "complete, NaN-free matrix");
+        assert_eq!(sequential.k(), 2);
+        assert_eq!(sequential.cells[0][0].replicates, 2);
+        assert!(
+            sequential.generalization_gap().is_some(),
+            "a 2x2 matrix reports the diagonal-vs-off-diagonal gap"
+        );
+        for b in &sequential.baseline {
+            let b = b.expect("baseline enabled by default");
+            assert!((0.0..=1.0).contains(&b.accuracy));
+        }
+        // No cache configured: every pair was generated, none served warm
+        // — and generated exactly ONCE per scenario (replicates replay the
+        // buffered corpus): 2 scenarios x (1 epoch + 1 holdout) jobs.
+        assert_eq!(sequential.corpus.cache_hits, 0);
+        assert_eq!(sequential.corpus.jobs, 4);
+    }
+
+    #[test]
+    fn warm_holdout_rerun_reports_an_identical_eval_report() {
+        // The hold-out cache contract at the metric level: a warm
+        // CorpusStore re-run of the eval split is 100 % hits, zero
+        // regenerated pairs, and the EvalReport computed on it is
+        // *identical* (exact f32 equality) to the cold run's.
+        let dir = std::env::temp_dir().join("pop_eval_warm_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let scenario = tiny("warm-report", "diffeq2", 3);
+        let opts = PipelineOptions::with_workers(2).with_cache_dir(&dir);
+
+        let (cold, cold_stats) =
+            generate_holdout_with_stats(std::slice::from_ref(&scenario), 3, 2, &opts).unwrap();
+        assert_eq!(cold_stats.cache_hits, 0);
+        let (warm, warm_stats) =
+            generate_holdout_with_stats(std::slice::from_ref(&scenario), 3, 2, &opts).unwrap();
+        assert!(warm_stats.fully_warm(), "{warm_stats:?}");
+
+        let config = scenario.config();
+        let mut model = Pix2Pix::new(&config, 5).unwrap();
+        let metrics = MetricSet::from_config(&config);
+        let cold_report = metrics
+            .evaluate(&ExclusiveForecaster::new(&mut model), &cold[0])
+            .unwrap();
+        let warm_report = metrics
+            .evaluate(&ExclusiveForecaster::new(&mut model), &warm[0])
+            .unwrap();
+        assert_eq!(cold_report, warm_report);
+        assert!(cold_report.is_finite());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cached_matrix_rerun_regenerates_zero_pairs() {
+        // End-to-end warm-run acceptance: with a cache dir, the second
+        // full matrix run streams every training epoch AND every eval
+        // split from disk — zero place/route stage executions — and
+        // produces the identical matrix.
+        let dir = std::env::temp_dir().join("pop_eval_warm_matrix_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut spec = tiny_spec();
+        spec.replicates = 1;
+        spec.options = PipelineOptions::with_workers(2).with_cache_dir(&dir);
+
+        let cold = evaluate_matrix(&spec).unwrap();
+        assert_eq!(cold.corpus.cache_hits, 0, "{:?}", cold.corpus);
+
+        let warm = evaluate_matrix(&spec).unwrap();
+        assert!(warm.corpus.fully_warm(), "{:?}", warm.corpus);
+        assert_eq!(warm.corpus.jobs, 4, "2 scenarios x (1 epoch + 1 holdout)");
+        // Identical evaluation either way (corpus counters aside).
+        assert_eq!(cold.cells, warm.cells);
+        assert_eq!(cold.baseline, warm.baseline);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -30,4 +30,4 @@ mod scoped;
 
 pub use pool::WorkerPool;
 pub use queue::{BoundedQueue, PushError};
-pub use scoped::run_scoped;
+pub use scoped::{run_scoped, scoped_map};

@@ -42,6 +42,53 @@ where
     })
 }
 
+/// Maps `items` through `f` on `workers` scoped threads, returning the
+/// results **in item order** regardless of scheduling — the deterministic
+/// fan-out primitive for independent compute cells (the eval harness runs
+/// its K×K evaluation matrix through this). Workers claim items from a
+/// shared atomic cursor, so uneven per-item cost balances automatically;
+/// `f` receives `(index, &item)` and may borrow from the caller's stack.
+///
+/// With `workers <= 1` (or a single item) the map runs inline on the
+/// calling thread — same results, no spawn cost.
+///
+/// # Panics
+///
+/// Propagates a panic if any worker's `f` panicked (after all workers have
+/// been joined, so no work is silently lost in flight).
+pub fn scoped_map<T, R, F>(name: &str, workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = workers.min(items.len());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<R>>> =
+        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let panicked = run_scoped(name, workers, |_| {
+        let (next, slots, f) = (&next, &slots, &f);
+        move || loop {
+            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let Some(item) = items.get(i) else { break };
+            let result = f(i, item);
+            *slots[i].lock().expect("scoped_map slot lock") = Some(result);
+        }
+    });
+    assert_eq!(panicked, 0, "scoped_map: {panicked} worker(s) panicked");
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("scoped_map slot lock")
+                .expect("scoped_map: every item maps to exactly one result")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,5 +139,45 @@ mod tests {
     #[test]
     fn zero_workers_is_a_no_op() {
         assert_eq!(run_scoped("scoped-empty", 0, |_| || ()), 0);
+    }
+
+    #[test]
+    fn scoped_map_returns_results_in_item_order() {
+        let items: Vec<usize> = (0..50).collect();
+        // Uneven per-item cost: late items finish first on some workers.
+        let map = |i: usize, v: &usize| {
+            if i.is_multiple_of(7) {
+                std::thread::yield_now();
+            }
+            v * v
+        };
+        let expected: Vec<usize> = items.iter().map(|v| v * v).collect();
+        for workers in [1, 3, 8] {
+            assert_eq!(
+                scoped_map("map-test", workers, &items, map),
+                expected,
+                "workers = {workers}"
+            );
+        }
+        // Empty input, and borrowing from the caller's stack.
+        let empty: Vec<usize> = Vec::new();
+        assert!(scoped_map("map-empty", 4, &empty, |_, v| *v).is_empty());
+        let offset = 10usize;
+        let shifted = scoped_map("map-borrow", 2, &items, |_, v| v + offset);
+        assert_eq!(shifted[3], 13);
+    }
+
+    #[test]
+    fn scoped_map_propagates_worker_panics() {
+        let items: Vec<usize> = (0..8).collect();
+        let result = std::panic::catch_unwind(|| {
+            scoped_map("map-panic", 2, &items, |_, v| {
+                if *v == 5 {
+                    panic!("deliberate test panic");
+                }
+                *v
+            })
+        });
+        assert!(result.is_err(), "a panicking cell must not vanish silently");
     }
 }

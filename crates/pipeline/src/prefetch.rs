@@ -23,13 +23,13 @@
 //! route again.
 
 use crate::error::PipelineError;
-use crate::run::{expand, generate_jobs, PipelineOptions};
+use crate::run::{expand, generate_jobs_with_stats, GenStats, PipelineOptions};
 use crate::scenario::{DesignJob, ScenarioSpec};
 use pop_core::dataset::{atomic_write, fingerprint, read_pair, write_pair, Fnv1a, Pair};
 use pop_core::{model_io, CoreError, ExperimentConfig, Pix2Pix, StreamCheckpoint};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
 const RING_MAGIC: &[u8; 8] = b"POPRING1";
@@ -323,7 +323,23 @@ impl EpochPrefetcher {
         epochs: usize,
         depth: usize,
     ) -> Self {
-        Self::start_inner(scenarios, opts, epochs, depth, None)
+        Self::start_inner(scenarios, opts, epochs, depth, None, None)
+    }
+
+    /// [`EpochPrefetcher::start`] with a shared [`GenStats`] sink: every
+    /// epoch's generation counters (jobs, cache hits, actual place/route
+    /// stage executions) are folded into `stats` as the epoch completes.
+    /// This is how a consumer of the *streaming* training path (e.g. the
+    /// eval harness) can still prove the cache contract — a warm re-run
+    /// reports 100 % hits and zero stage runs across every epoch.
+    pub fn start_observed(
+        scenarios: Vec<ScenarioSpec>,
+        opts: PipelineOptions,
+        epochs: usize,
+        depth: usize,
+        stats: Arc<Mutex<GenStats>>,
+    ) -> Self {
+        Self::start_inner(scenarios, opts, epochs, depth, None, Some(stats))
     }
 
     /// [`EpochPrefetcher::start`] with a spill-to-disk [`EpochRing`]: every
@@ -342,7 +358,7 @@ impl EpochPrefetcher {
         depth: usize,
         ring: EpochRing,
     ) -> Self {
-        Self::start_inner(scenarios, opts, epochs, depth, Some(ring))
+        Self::start_inner(scenarios, opts, epochs, depth, Some(ring), None)
     }
 
     fn start_inner(
@@ -351,6 +367,7 @@ impl EpochPrefetcher {
         epochs: usize,
         depth: usize,
         ring: Option<EpochRing>,
+        stats: Option<Arc<Mutex<GenStats>>>,
     ) -> Self {
         let first_epoch = ring
             .as_ref()
@@ -361,7 +378,8 @@ impl EpochPrefetcher {
             .name("pop-pipe-prefetch".into())
             .spawn(move || {
                 for epoch in first_epoch..epochs {
-                    let result = epoch_pairs(&scenarios, epoch, &opts, ring.as_ref());
+                    let result =
+                        epoch_pairs(&scenarios, epoch, &opts, ring.as_ref(), stats.as_ref());
                     let failed = result.is_err();
                     if tx.send(result).is_err() {
                         return; // consumer hung up — stop generating
@@ -406,6 +424,7 @@ fn epoch_pairs(
     epoch: usize,
     opts: &PipelineOptions,
     ring: Option<&EpochRing>,
+    stats: Option<&Arc<Mutex<GenStats>>>,
 ) -> Result<Vec<Pair>, PipelineError> {
     let jobs = shifted_jobs(scenarios, epoch)?;
     let key = epoch_key(&jobs);
@@ -414,7 +433,10 @@ fn epoch_pairs(
             return Ok(pairs);
         }
     }
-    let datasets = generate_jobs(jobs, opts)?;
+    let (datasets, gen) = generate_jobs_with_stats(jobs, opts)?;
+    if let Some(stats) = stats {
+        stats.lock().expect("prefetch stats lock").absorb(gen);
+    }
     let pairs: Vec<Pair> = datasets.into_iter().flat_map(|d| d.pairs).collect();
     if let Some(ring) = ring {
         ring.store_epoch(key, epoch, &pairs)
@@ -424,17 +446,16 @@ fn epoch_pairs(
 }
 
 /// Expands scenarios into jobs whose *placement-sweep* seeds are advanced
-/// past every earlier epoch. Only `config.seed` shifts — the netlist
-/// variant derivation (the scenario seed) stays fixed, so every epoch
-/// re-places the *same* designs rather than inventing new ones.
+/// past every earlier epoch (via
+/// [`advance_sweep_seeds`](crate::scenario::advance_sweep_seeds) — the
+/// same arithmetic the hold-out split shifts by, which is what makes eval
+/// seeds provably disjoint from every training epoch). Only `config.seed`
+/// shifts — the netlist variant derivation (the scenario seed) stays
+/// fixed, so every epoch re-places the *same* designs rather than
+/// inventing new ones.
 fn shifted_jobs(scenarios: &[ScenarioSpec], epoch: usize) -> Result<Vec<DesignJob>, PipelineError> {
     let mut jobs = expand(scenarios)?;
-    for job in &mut jobs {
-        job.config.seed = job
-            .config
-            .seed
-            .wrapping_add(epoch as u64 * job.config.pairs_per_design as u64);
-    }
+    crate::scenario::advance_sweep_seeds(&mut jobs, epoch);
     Ok(jobs)
 }
 
@@ -682,6 +703,43 @@ mod tests {
     }
 
     #[test]
+    fn observed_prefetch_reports_generation_stats() {
+        let dir = std::env::temp_dir().join("pop_prefetch_observed_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = PipelineOptions::with_workers(2).with_cache_dir(&dir);
+
+        let cold_stats = Arc::new(Mutex::new(GenStats::default()));
+        let cold = EpochPrefetcher::start_observed(
+            vec![tiny()],
+            opts.clone(),
+            2,
+            1,
+            Arc::clone(&cold_stats),
+        )
+        .collect_epochs()
+        .unwrap();
+        assert_eq!(cold.len(), 2);
+        let stats = *cold_stats.lock().unwrap();
+        assert_eq!(stats.jobs, 2, "one job per epoch");
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.place_stage_runs, 4, "2 epochs x 2 pairs");
+        assert!(!stats.fully_warm());
+
+        // Warm: the same epochs stream from the CorpusStore — the stats
+        // sink is how streaming-path consumers prove it.
+        let warm_stats = Arc::new(Mutex::new(GenStats::default()));
+        let warm =
+            EpochPrefetcher::start_observed(vec![tiny()], opts, 2, 1, Arc::clone(&warm_stats))
+                .collect_epochs()
+                .unwrap();
+        assert_eq!(warm, cold);
+        let stats = *warm_stats.lock().unwrap();
+        assert_eq!((stats.jobs, stats.cache_hits), (2, 2));
+        assert!(stats.fully_warm());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn spilled_epochs_stream_back_from_disk() {
         let ring = tmp_ring("spill", 4);
         let scenarios = vec![tiny()];
@@ -693,6 +751,7 @@ mod tests {
             0,
             &PipelineOptions::with_workers(2),
             Some(&ring),
+            None,
         )
         .unwrap();
         let spilled = ring.load_epoch(key, 0).expect("epoch spilled");
@@ -704,6 +763,7 @@ mod tests {
             0,
             &PipelineOptions::with_workers(2),
             Some(&ring),
+            None,
         )
         .unwrap();
         assert_eq!(warm, cold);

@@ -116,6 +116,26 @@ pub struct GenStats {
     pub cache_write_failures: usize,
 }
 
+impl GenStats {
+    /// Folds another run's counters into this one — consumers spanning
+    /// many generation runs (the epoch prefetcher's observed mode, the
+    /// eval harness's per-scenario hold-out splits) accumulate one total.
+    pub fn absorb(&mut self, other: GenStats) {
+        self.jobs += other.jobs;
+        self.cache_hits += other.cache_hits;
+        self.place_stage_runs += other.place_stage_runs;
+        self.route_stage_runs += other.route_stage_runs;
+        self.cache_write_failures += other.cache_write_failures;
+    }
+
+    /// Whether this run streamed *everything* from the cache: every job a
+    /// hit, zero place/route stage executions — the observable the warm
+    /// re-run acceptance checks assert.
+    pub fn fully_warm(&self) -> bool {
+        self.cache_hits == self.jobs && self.place_stage_runs == 0 && self.route_stage_runs == 0
+    }
+}
+
 struct PlaceTask {
     job: usize,
     index: usize,
@@ -563,6 +583,44 @@ pub fn generate_jobs_with_stats(
         cache_write_failures: cache_write_failures.load(Ordering::Relaxed),
     };
     Ok((datasets, stats))
+}
+
+/// Expands every scenario's **held-out evaluation split**
+/// ([`ScenarioSpec::holdout_jobs`]): same designs, placement-sweep seeds
+/// advanced past `train_epochs` training epochs, `eval_pairs` placements
+/// per variant — in scenario order.
+///
+/// # Errors
+///
+/// Propagates scenario validation failures.
+pub fn expand_holdout(
+    scenarios: &[ScenarioSpec],
+    eval_pairs: usize,
+    train_epochs: usize,
+) -> Result<Vec<DesignJob>, PipelineError> {
+    let mut jobs = Vec::new();
+    for s in scenarios {
+        jobs.extend(s.holdout_jobs(eval_pairs, train_epochs)?);
+    }
+    Ok(jobs)
+}
+
+/// Generates every scenario's held-out evaluation split on the parallel
+/// pipeline ([`expand_holdout`] → [`generate_jobs_with_stats`]), datasets
+/// in scenario order. The split is cache-fingerprint-aware: with a
+/// [`PipelineOptions::cache_dir`] configured, a warm re-run reports 100 %
+/// cache hits and executes zero place/route stages.
+///
+/// # Errors
+///
+/// Propagates scenario validation and generation failures.
+pub fn generate_holdout_with_stats(
+    scenarios: &[ScenarioSpec],
+    eval_pairs: usize,
+    train_epochs: usize,
+    opts: &PipelineOptions,
+) -> Result<(Vec<DesignDataset>, GenStats), PipelineError> {
+    generate_jobs_with_stats(expand_holdout(scenarios, eval_pairs, train_epochs)?, opts)
 }
 
 /// Generates the corpus described by `scenarios` on the parallel pipeline:

@@ -204,6 +204,60 @@ impl ScenarioSpec {
     pub fn total_pairs(&self) -> usize {
         self.variants * self.pairs_per_design
     }
+
+    /// Expands the scenario's **held-out evaluation split**: the same
+    /// netlist variants as [`ScenarioSpec::jobs`] (the designs are
+    /// identical — this is a placement-distribution split, not a design
+    /// split), but with the placement-sweep seeds advanced past
+    /// `train_epochs` full training epochs and `eval_pairs` placements per
+    /// variant. Because [`advance_sweep_seeds`] is the *same* arithmetic
+    /// the epoch prefetcher shifts training epochs by, the eval sweep's
+    /// seed range `[seed + train_epochs·pairs, …)` is disjoint from every
+    /// training epoch's range by construction.
+    ///
+    /// The shifted `(seed, pairs_per_design)` flow into the cache
+    /// fingerprint, so the eval split gets its own `CorpusStore` entries:
+    /// a warm re-run regenerates nothing and can never collide with (or be
+    /// served from) a training-epoch cache entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScenarioSpec::validate`] failures; `eval_pairs = 0` is
+    /// rejected as a bad scenario.
+    pub fn holdout_jobs(
+        &self,
+        eval_pairs: usize,
+        train_epochs: usize,
+    ) -> Result<Vec<DesignJob>, PipelineError> {
+        if eval_pairs == 0 {
+            return Err(PipelineError::BadScenario(
+                "holdout eval_pairs must be positive".into(),
+            ));
+        }
+        let mut jobs = self.jobs()?;
+        // Shift FIRST (the shift distance is measured in *training*
+        // pairs-per-epoch), then resize the sweep to the eval pair count.
+        advance_sweep_seeds(&mut jobs, train_epochs);
+        for job in &mut jobs {
+            job.config.pairs_per_design = eval_pairs;
+        }
+        Ok(jobs)
+    }
+}
+
+/// Advances every job's placement-sweep seed past `epochs` full epochs of
+/// its scenario's sweep (`seed += epochs · pairs_per_design`) — the one
+/// seed-shift arithmetic shared by the epoch prefetcher (training epoch
+/// `e` shifts by `e`) and the hold-out split (which shifts past *all*
+/// training epochs). Only the sweep seed moves; netlist variant seeds are
+/// fixed at expansion time, so every shift re-places the same designs.
+pub fn advance_sweep_seeds(jobs: &mut [DesignJob], epochs: usize) {
+    for job in jobs {
+        job.config.seed = job
+            .config
+            .seed
+            .wrapping_add(epochs as u64 * job.config.pairs_per_design as u64);
+    }
 }
 
 /// The named scenarios shipped with the pipeline. Each is a starting point:
@@ -366,6 +420,39 @@ mod tests {
             ScenarioSpec::default().config().place_strategy,
             PlaceStrategy::Sequential
         );
+    }
+
+    #[test]
+    fn holdout_jobs_shift_sweep_seeds_but_never_the_designs() {
+        let scenario = ScenarioSpec {
+            variants: 2,
+            pairs_per_design: 3,
+            ..ScenarioSpec::default()
+        };
+        let train = scenario.jobs().unwrap();
+        let eval = scenario.holdout_jobs(5, 4).unwrap();
+        assert_eq!(eval.len(), train.len());
+        for (t, e) in train.iter().zip(&eval) {
+            // Identical netlists: a placement-distribution split, not a
+            // design split.
+            assert_eq!(t.spec, e.spec);
+            // Sweep seed advanced past 4 epochs of 3 pairs each…
+            assert_eq!(e.config.seed, t.config.seed.wrapping_add(12));
+            // …and the sweep resized to the eval pair count.
+            assert_eq!(e.config.pairs_per_design, 5);
+        }
+        // The shift matches advance_sweep_seeds (the prefetcher's epoch
+        // arithmetic), so eval seeds are provably past every epoch.
+        let mut shifted = scenario.jobs().unwrap();
+        advance_sweep_seeds(&mut shifted, 4);
+        for (s, e) in shifted.iter().zip(&eval) {
+            assert_eq!(s.config.seed, e.config.seed);
+        }
+        // A zero-pair eval split is rejected, not silently empty.
+        assert!(matches!(
+            scenario.holdout_jobs(0, 1),
+            Err(PipelineError::BadScenario(_))
+        ));
     }
 
     #[test]

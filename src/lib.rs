@@ -22,7 +22,12 @@
 //! * [`serve`] — the batched forecast-serving engine: micro-batching
 //!   worker pool, LRU model registry, backpressured clients and serving
 //!   telemetry for running many concurrent forecast streams against
-//!   trained checkpoints.
+//!   trained checkpoints;
+//! * [`eval`] — the scenario-conditioned evaluation harness: per-scenario
+//!   models trained through the streaming pipeline and scored against
+//!   every scenario's held-out split, producing the K×K cross-scenario
+//!   generalization matrix ([`eval::MatrixSpec`] /
+//!   [`eval::evaluate_matrix`]).
 //!
 //! # Quickstart
 //!
@@ -83,6 +88,7 @@
 
 pub use pop_arch as arch;
 pub use pop_core as core;
+pub use pop_eval as eval;
 pub use pop_exec as exec;
 pub use pop_netlist as netlist;
 pub use pop_nn as nn;

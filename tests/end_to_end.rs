@@ -79,7 +79,7 @@ fn leave_one_out_then_finetune_flows() {
     // Both are valid probabilities; Top10 well-defined.
     assert!((0.0..=1.0).contains(&acc1));
     assert!((0.0..=1.0).contains(&acc2));
-    let top10 = metrics::top10_accuracy(&mut model, test);
+    let top10 = metrics::top10_accuracy(&mut model, test).unwrap();
     assert!((0.0..=1.0).contains(&top10));
 }
 

@@ -1,0 +1,127 @@
+//! Property tests for the metric invariants of `pop_core::metrics`: the
+//! scalar metrics are total functions whose documented edge cases
+//! (tie-heavy rankings, constant vectors, degenerate `k`) hold for
+//! arbitrary bounded inputs — no `NaN` ever reaches an `EvalReport`.
+
+use painting_on_placement as pop;
+use pop::core::metrics::{nrms, pearson, spearman, top_k_overlap};
+use proptest::prelude::*;
+
+/// Tie-heavy score vectors: values quantised to a coarse 0.25 grid, so
+/// duplicates (the historical failure mode of rank metrics) are common.
+/// (The offline proptest shim's `collection::vec` takes a fixed length;
+/// properties draw a separate `len` and slice.)
+fn quantized_scores() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec((-8i32..8).prop_map(|q| q as f32 * 0.25), 24)
+}
+
+/// Unconstrained (but finite) score vectors for the pure range checks.
+fn raw_scores() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-1.0e3f32..1.0e3, 24)
+}
+
+/// One deterministic permutation applied to both vectors: rotation by `r`
+/// then reversal — enough structure to catch any input-order dependence.
+fn permute(v: &[f32], r: usize) -> Vec<f32> {
+    let n = v.len();
+    let mut out: Vec<f32> = v.iter().cycle().skip(r % n).take(n).cloned().collect();
+    out.reverse();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `top_k_overlap` ∈ [0, 1]; identical inputs (ties and all) score
+    /// exactly 1.0; permuting both vectors together never changes the
+    /// value; `k = 0` and `k > len` have defined values.
+    #[test]
+    fn top_k_overlap_invariants(
+        scores in quantized_scores(),
+        other in quantized_scores(),
+        len in 1usize..24,
+        k in 0usize..30,
+        rot in 0usize..24,
+    ) {
+        let n = len;
+        let (a, b) = (&scores[..n], &other[..n]);
+        let v = top_k_overlap(a, b, k);
+        prop_assert!((0.0..=1.0).contains(&v), "out of range: {v}");
+        // Identical inputs are a perfect retrieval, however tie-heavy.
+        prop_assert_eq!(top_k_overlap(a, a, k), 1.0);
+        let constant = vec![0.5f32; n];
+        prop_assert_eq!(top_k_overlap(&constant, &constant, k), 1.0);
+        // Permutation invariance: same reordering of both vectors.
+        prop_assert_eq!(top_k_overlap(&permute(a, rot), &permute(b, rot), k), v);
+        // Degenerate k: clamped (k > len) and vacuously perfect (k = 0).
+        prop_assert_eq!(top_k_overlap(a, b, n + 100), top_k_overlap(a, b, n));
+        prop_assert_eq!(top_k_overlap(a, b, 0), 1.0);
+    }
+
+    /// `pearson`/`spearman` ∈ [-1, 1], are invariant under positive
+    /// affine maps (scale/shift) of either argument, treat constant
+    /// vectors as defined 0.0, and never emit NaN.
+    #[test]
+    fn correlation_invariants(
+        scores in quantized_scores(),
+        other in quantized_scores(),
+        len in 1usize..24,
+        scale in 0.25f32..4.0,
+        shift in -5.0f32..5.0,
+        rot in 0usize..24,
+    ) {
+        let n = len;
+        let (a, b) = (&scores[..n], &other[..n]);
+        let p = pearson(a, b);
+        let s = spearman(a, b);
+        prop_assert!((-1.0..=1.0).contains(&p), "pearson {p}");
+        prop_assert!((-1.0..=1.0).contains(&s), "spearman {s}");
+        // Positive affine transform of one side: Pearson within float
+        // drift, Spearman exact (ranks are untouched).
+        let at: Vec<f32> = a.iter().map(|v| v * scale + shift).collect();
+        prop_assert!((pearson(&at, b) - p).abs() < 1e-3);
+        prop_assert_eq!(spearman(&at, b), s);
+        // Permutation invariance (average ranks make ties order-free).
+        prop_assert_eq!(spearman(&permute(a, rot), &permute(b, rot)), s);
+        // Constant vectors: the defined 0.0, not a NaN from zero variance.
+        let flat = vec![shift; n];
+        prop_assert_eq!(pearson(&flat, b), 0.0);
+        prop_assert_eq!(spearman(&flat, b), 0.0);
+        prop_assert_eq!(pearson(a, &flat), 0.0);
+    }
+
+    /// Range checks also hold for unquantised magnitudes.
+    #[test]
+    fn correlation_and_overlap_bounds_on_raw_floats(
+        scores in raw_scores(),
+        other in raw_scores(),
+        len in 2usize..24,
+        k in 0usize..40,
+    ) {
+        let n = len;
+        let (a, b) = (&scores[..n], &other[..n]);
+        prop_assert!((-1.0..=1.0).contains(&pearson(a, b)));
+        prop_assert!((-1.0..=1.0).contains(&spearman(a, b)));
+        prop_assert!((0.0..=1.0).contains(&top_k_overlap(a, b, k)));
+    }
+
+    /// `nrms` ≥ 0, equals 0 exactly on matching inputs, stays finite and
+    /// positive for a real perturbation — including on constant
+    /// ("zero-range") truth vectors, where the divisor falls back to 1.
+    #[test]
+    fn nrms_invariants(scores in quantized_scores(), which in 0usize..24) {
+        prop_assert_eq!(nrms(&scores, &scores), 0.0);
+        let i = which % scores.len();
+        let mut off = scores.clone();
+        off[i] += 0.5;
+        let v = nrms(&off, &scores);
+        prop_assert!(v > 0.0 && v.is_finite(), "perturbed nrms {v}");
+        // Constant truth: defined, not NaN.
+        let flat = vec![1.25f32; scores.len()];
+        prop_assert_eq!(nrms(&flat, &flat), 0.0);
+        let mut off_flat = flat.clone();
+        off_flat[i] -= 0.5;
+        let w = nrms(&off_flat, &flat);
+        prop_assert!(w > 0.0 && w.is_finite(), "constant-truth nrms {w}");
+    }
+}
