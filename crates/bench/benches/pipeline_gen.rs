@@ -103,6 +103,63 @@ fn place_parallel_bench(host_parallelism: usize) -> String {
     )
 }
 
+/// The observability tax, measured: the same pipeline corpus generated
+/// with the span subscriber disabled (a disabled `span!` is one relaxed
+/// load and a branch) vs enabled (full capture into per-thread rings).
+/// Min-of-N wall clocks on both sides — the robust estimator against
+/// scheduler noise — and the delta is asserted under 3 %: tracing must
+/// never be a number anyone hesitates to leave on.
+fn obs_overhead_bench() -> String {
+    const RUNS: usize = 3;
+    // Sized so one run is hundreds of milliseconds: the 3 % bound needs
+    // enough absolute wall clock that scheduler jitter cannot fake (or
+    // mask) a real regression.
+    let scenarios = vec![ScenarioSpec {
+        name: "bench-obs".into(),
+        design_scale: 0.1,
+        resolution: 64,
+        pairs_per_design: 24,
+        ..ScenarioSpec::default()
+    }];
+    let opts = PipelineOptions::with_workers(WORKERS);
+    let run_once = || {
+        let t = Instant::now();
+        let _ = generate_corpus(&scenarios, &opts).expect("obs-overhead corpus");
+        t.elapsed().as_secs_f64()
+    };
+
+    pop_obs::disable_tracing();
+    let mut noop = f64::INFINITY;
+    for _ in 0..RUNS {
+        noop = noop.min(run_once());
+    }
+    pop_obs::enable_tracing();
+    let mut traced = f64::INFINITY;
+    for _ in 0..RUNS {
+        traced = traced.min(run_once());
+        // Drain between runs so ring occupancy never caps what a run
+        // records (dropped spans would make tracing look cheaper).
+        let set = pop_obs::drain_spans();
+        assert_eq!(set.dropped, 0, "span rings must not overflow this workload");
+    }
+    pop_obs::disable_tracing();
+
+    let overhead = traced / noop - 1.0;
+    println!(
+        "obs overhead: noop {noop:.3} s, traced {traced:.3} s, delta {:+.2}%",
+        overhead * 100.0
+    );
+    assert!(
+        overhead < 0.03,
+        "span tracing must cost < 3% of pipeline wall clock (got {:+.2}%)",
+        overhead * 100.0
+    );
+    format!(
+        "{{ \"runs\": {RUNS}, \"noop_seconds\": {noop:.4}, \
+         \"traced_seconds\": {traced:.4}, \"overhead\": {overhead:.4} }}"
+    )
+}
+
 /// The "standard corpus" of the acceptance criterion: three scenarios,
 /// three design families, mixed fabric density/aspect — heavy enough per
 /// pair (tens of milliseconds of place + route) that stage overlap, not
@@ -224,6 +281,9 @@ fn main() {
     // Single-large-design placement parallelism (the tentpole of PR 4).
     let place_parallel = place_parallel_bench(host_parallelism);
 
+    // Observability tax: traced vs noop subscriber on the same corpus.
+    let obs_overhead = obs_overhead_bench();
+
     let json = format!(
         "{{\n  \"bench\": \"pipeline_gen\",\n  \"scenarios\": {},\n  \"total_pairs\": {},\n  \
          \"host_parallelism\": {},\n  \"workers\": {},\n  \
@@ -234,7 +294,8 @@ fn main() {
          \"cold_vs_warm\": {:.4}, \"jobs\": {}, \"warm_cache_hits\": {}, \
          \"warm_place_stage_runs\": {}, \"warm_route_stage_runs\": {}, \
          \"identical\": true }},\n  \
-         \"place_parallel\": {place_parallel}\n}}\n",
+         \"place_parallel\": {place_parallel},\n  \
+         \"obs_overhead\": {obs_overhead}\n}}\n",
         scenarios.len(),
         total_pairs,
         host_parallelism,

@@ -91,6 +91,12 @@ fn bench_serve(c: &mut Criterion) {
         stats.max_batch,
         stats.mean_latency_us / 1e3,
     );
+    println!(
+        "engine latency percentiles: p50 {:.1} ms, p99 {:.1} ms, max {:.1} ms",
+        stats.p50_latency_us as f64 / 1e3,
+        stats.p99_latency_us as f64 / 1e3,
+        stats.max_latency_us as f64 / 1e3,
+    );
 }
 
 criterion_group!(benches, bench_serve);

@@ -17,6 +17,9 @@
 //!   --cache-dir DIR     corpus cache: a warm re-run regenerates nothing
 //!   --out PATH          where to write the JSON (default repo-root
 //!                       BENCH_eval.json)
+//!   --trace-out PATH    enable span tracing and write the run's
+//!                       pop_obs::RunReport (eval_train/eval_holdout/
+//!                       eval_cell span tree + metrics) to PATH
 //! ```
 //!
 //! The printed summary includes machine-checkable lines (`matrix
@@ -54,12 +57,12 @@ fn ci_scenarios() -> Vec<ScenarioSpec> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Default axis: three registry scenarios whose *data* differs at the
-    // registry's design scale. (The fabric-density and aspect knobs of
-    // `dense`/`wide` round away on the tiny auto-sized grids, so those
-    // scenarios only separate from `baseline` at larger design scales;
-    // the net-profile axes — design family, fanout, locality — shift the
-    // distribution at every scale.)
+    // Default axis: three registry scenarios that differ along the
+    // net-profile knobs — design family, fanout, locality — which shift
+    // the distribution at every design scale. (`dense`/`wide` are now
+    // sized so their fabric knobs genuinely bite, but at that scale each
+    // cell costs minutes of annealing; the default axis keeps the matrix
+    // cheap. Add them explicitly via --scenarios for the full spread.)
     let mut names = vec![
         "baseline".to_string(),
         "highfanout".to_string(),
@@ -75,6 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut tolerance: Option<f32> = None;
     let mut cache_dir: Option<std::path::PathBuf> = None;
     let mut out: Option<std::path::PathBuf> = None;
+    let mut trace_out: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |what: &str| args.next().ok_or(format!("{arg} needs {what}"));
@@ -96,6 +100,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--tolerance" => tolerance = Some(value("a per-channel tolerance")?.parse()?),
             "--cache-dir" => cache_dir = Some(value("a path")?.into()),
             "--out" => out = Some(value("a path")?.into()),
+            "--trace-out" => trace_out = Some(value("a path")?.into()),
             other => return Err(format!("unknown argument '{other}'").into()),
         }
     }
@@ -150,6 +155,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         t = spec.threads,
     );
     let t0 = Instant::now();
+    if trace_out.is_some() {
+        pop_obs::enable_tracing();
+    }
     let matrix = evaluate_matrix(&spec)?;
     let elapsed = t0.elapsed();
 
@@ -161,6 +169,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     std::fs::write(&path, matrix.to_json())?;
     println!("wrote {}", path.display());
+
+    if let Some(trace_path) = &trace_out {
+        let report = pop_obs::RunReport::capture("eval_matrix", t0, pop_obs::global());
+        report.write_json(trace_path)?;
+        let text = std::fs::read_to_string(trace_path)?;
+        pop_obs::json::parse(&text).map_err(|e| format!("trace report invalid: {e}"))?;
+        let span_count = |name: &str| {
+            pop_obs::find_span(&report.spans, name)
+                .map(|n| n.count)
+                .unwrap_or(0)
+        };
+        println!(
+            "trace report: {} ({} root spans, {} dropped) parses OK",
+            trace_path.display(),
+            report.spans.len(),
+            report.dropped_spans
+        );
+        println!(
+            "trace eval spans: eval_train={} eval_holdout={} eval_cell={}",
+            span_count("eval_train"),
+            span_count("eval_holdout"),
+            span_count("eval_cell"),
+        );
+    }
     Ok(())
 }
 

@@ -1043,11 +1043,24 @@ impl CorpusStore {
         config: &ExperimentConfig,
     ) -> Result<ClaimOutcome, CoreError> {
         let claim = self.claim_path(spec, config);
+        // Telemetry: how long this process sat behind another's claim
+        // (zero probes on the uncontended path).
+        let mut wait_start: Option<std::time::Instant> = None;
+        let note_wait = |start: Option<std::time::Instant>| {
+            if let Some(start) = start {
+                let registry = pop_obs::global();
+                registry.counter("cache.claim_waits").inc();
+                registry
+                    .histogram("cache.claim_wait_us")
+                    .record_duration(start.elapsed());
+            }
+        };
         loop {
             // Probe the cache first: whoever held the claim may have
             // finished (this is the "second process waits, then streams
             // the first one's work" path).
             if let Some(ds) = self.load(spec, config)? {
+                note_wait(wait_start);
                 return Ok(ClaimOutcome::Cached(Box::new(ds)));
             }
             std::fs::create_dir_all(&self.dir)
@@ -1070,6 +1083,7 @@ impl CorpusStore {
                     let nonce = TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let stamp = format!("{}.{} {}\n", std::process::id(), nonce, now);
                     let _ = file.write_all(stamp.as_bytes());
+                    note_wait(wait_start);
                     return Ok(ClaimOutcome::Claimed(ClaimGuard { path: claim, stamp }));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
@@ -1090,6 +1104,7 @@ impl CorpusStore {
                         }
                         continue;
                     }
+                    wait_start.get_or_insert_with(std::time::Instant::now);
                     std::thread::sleep(CLAIM_POLL_INTERVAL);
                 }
                 Err(e) => return Err(CoreError::Cache(format!("claim {}: {e}", claim.display()))),

@@ -341,6 +341,13 @@ impl Pix2Pix {
         order: &mut [usize],
         history: &mut TrainHistory,
     ) {
+        let _span = pop_obs::span!(
+            "train_epoch",
+            epoch = history.generator_loss.len(),
+            pairs = pairs.len()
+        );
+        let obs = pop_obs::global();
+        let step_us = obs.histogram("train.step_us");
         // Fisher-Yates with the trainer's RNG: deterministic by seed.
         for i in (1..order.len()).rev() {
             let j = self.rng.gen_range(0..=i);
@@ -350,7 +357,9 @@ impl Pix2Pix {
         let mut sum_d = 0.0f64;
         let mut sum_l1 = 0.0f64;
         for &idx in order.iter() {
+            let step_started = std::time::Instant::now();
             let losses = self.train_step(&pairs[idx].x, &pairs[idx].y);
+            step_us.record_duration(step_started.elapsed());
             let g_total = losses.g_gan
                 + if self.config.use_l1 {
                     self.config.lambda_l1 * losses.g_l1
@@ -365,6 +374,11 @@ impl Pix2Pix {
         history.generator_loss.push((sum_g / n) as f32);
         history.discriminator_loss.push((sum_d / n) as f32);
         history.l1.push((sum_l1 / n) as f32);
+        obs.counter("train.epochs").inc();
+        obs.counter("train.steps").add(pairs.len() as u64);
+        obs.gauge("train.loss.generator").set(sum_g / n);
+        obs.gauge("train.loss.discriminator").set(sum_d / n);
+        obs.gauge("train.loss.l1").set(sum_l1 / n);
     }
 
     /// Strategy 2 of §5.1: update a trained model with a few pairs from the

@@ -304,6 +304,7 @@ pub fn evaluate_matrix(spec: &MatrixSpec) -> Result<EvalMatrix, EvalError> {
     let mut eval_jobs: Vec<Vec<DesignJob>> = Vec::with_capacity(k);
     let mut eval_sets: Vec<Vec<DesignDataset>> = Vec::with_capacity(k);
     for scenario in &spec.scenarios {
+        let _span = pop_obs::span!("eval_holdout", scenario = &scenario.name);
         let jobs = scenario.holdout_jobs(spec.eval_pairs, spec.train_epochs)?;
         let (sets, gen) = generate_jobs_with_stats(jobs.clone(), &spec.options)?;
         stats.lock().expect("stats lock").absorb(gen);
@@ -316,6 +317,7 @@ pub fn evaluate_matrix(spec: &MatrixSpec) -> Result<EvalMatrix, EvalError> {
     // scenario and replayed for the other replicates.
     let mut models: Vec<Vec<Pix2Pix>> = Vec::with_capacity(k);
     for scenario in &spec.scenarios {
+        let _span = pop_obs::span!("eval_train", scenario = &scenario.name);
         models.push(train_replicates(scenario, spec, &stats)?);
     }
 
@@ -327,6 +329,7 @@ pub fn evaluate_matrix(spec: &MatrixSpec) -> Result<EvalMatrix, EvalError> {
         .collect();
     let outcomes = scoped_map("pop-eval-cell", spec.threads.max(1), &cell_ids, |_, ids| {
         let (i, j, r) = *ids;
+        let _span = pop_obs::span!("eval_cell", train = i, eval = j, replicate = r);
         evaluate_cell(&models[i][r], &eval_sets[j], spec)
     });
     let mut per_cell: Vec<Vec<CellMetrics>> = vec![Vec::with_capacity(reps); k * k];

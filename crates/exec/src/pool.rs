@@ -1,6 +1,8 @@
 //! A small named worker pool over `std::thread`, joined on drop.
 
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A fixed set of named worker threads.
 ///
@@ -19,6 +21,11 @@ impl WorkerPool {
     /// Spawns `workers` threads named `<name>-<index>`, each running the
     /// closure produced by `make(index)`.
     ///
+    /// Each spawn increments the global `exec.pool.<name>.workers` counter
+    /// and every worker records its lifetime (spawn to exit — busy plus any
+    /// queue idle, which the queue's own `pop_wait_us` histogram breaks
+    /// out) into the `exec.pool.<name>.worker_us` histogram.
+    ///
     /// # Panics
     ///
     /// Panics when the OS refuses to spawn a thread.
@@ -26,12 +33,22 @@ impl WorkerPool {
     where
         F: FnOnce() + Send + 'static,
     {
+        let registry = pop_obs::global();
+        registry
+            .counter(&format!("exec.pool.{name}.workers"))
+            .add(workers as u64);
+        let lifetime = registry.histogram(&format!("exec.pool.{name}.worker_us"));
         let handles = (0..workers)
             .map(|i| {
                 let body = make(i);
+                let lifetime = Arc::clone(&lifetime);
                 std::thread::Builder::new()
                     .name(format!("{name}-{i}"))
-                    .spawn(body)
+                    .spawn(move || {
+                        let started = Instant::now();
+                        body();
+                        lifetime.record_duration(started.elapsed());
+                    })
                     .expect("failed to spawn worker thread")
             })
             .collect();
@@ -107,6 +124,19 @@ mod tests {
             }
         });
         assert_eq!(pool.join(), 1);
+    }
+
+    #[test]
+    fn pool_records_spawn_count_and_worker_lifetimes() {
+        let mut pool = WorkerPool::spawn("metrics-test", 2, |_| {
+            move || std::thread::sleep(std::time::Duration::from_millis(5))
+        });
+        assert_eq!(pool.join(), 0);
+        let snap = pop_obs::global().snapshot();
+        assert_eq!(snap.counter("exec.pool.metrics-test.workers"), Some(2));
+        let lifetimes = snap.histogram("exec.pool.metrics-test.worker_us").unwrap();
+        assert_eq!(lifetimes.count, 2);
+        assert!(lifetimes.max >= 5_000, "workers lived >= 5ms");
     }
 
     #[test]

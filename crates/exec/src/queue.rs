@@ -9,9 +9,10 @@
 //! `max_wait` past the first item for stragglers — the serving engine's
 //! micro-batcher.
 
+use pop_obs::{Counter, Gauge, Histogram};
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Why an enqueue was refused. The rejected item is handed back so the
@@ -63,6 +64,30 @@ struct QueueState<T> {
     closed: bool,
 }
 
+/// Telemetry handles for a [`BoundedQueue::named`] queue, registered in
+/// the global [`pop_obs`] registry under `exec.queue.<name>.*`: the
+/// current `depth` gauge, counters of pushes/pops that had to block, and
+/// a histogram of how long consumers sat idle in a blocking pop.
+#[derive(Debug)]
+struct QueueMetrics {
+    depth: Arc<Gauge>,
+    push_waits: Arc<Counter>,
+    pop_waits: Arc<Counter>,
+    pop_wait_us: Arc<Histogram>,
+}
+
+impl QueueMetrics {
+    fn register(name: &str) -> QueueMetrics {
+        let registry = pop_obs::global();
+        QueueMetrics {
+            depth: registry.gauge(&format!("exec.queue.{name}.depth")),
+            push_waits: registry.counter(&format!("exec.queue.{name}.push_waits")),
+            pop_waits: registry.counter(&format!("exec.queue.{name}.pop_waits")),
+            pop_wait_us: registry.histogram(&format!("exec.queue.{name}.pop_wait_us")),
+        }
+    }
+}
+
 /// Bounded multi-producer / multi-consumer queue with graceful shutdown
 /// and an optional batch-coalescing pop.
 #[derive(Debug)]
@@ -71,6 +96,7 @@ pub struct BoundedQueue<T> {
     state: Mutex<QueueState<T>>,
     not_empty: Condvar,
     not_full: Condvar,
+    metrics: Option<QueueMetrics>,
 }
 
 impl<T> BoundedQueue<T> {
@@ -89,11 +115,28 @@ impl<T> BoundedQueue<T> {
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
+            metrics: None,
         }
+    }
+
+    /// Like [`BoundedQueue::new`], but wired into the global observability
+    /// registry: publishes an `exec.queue.<name>.depth` gauge, counters of
+    /// blocked pushes/pops, and a `pop_wait_us` idle-time histogram.
+    pub fn named(capacity: usize, name: &str) -> Self {
+        let mut q = BoundedQueue::new(capacity);
+        q.metrics = Some(QueueMetrics::register(name));
+        q
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
         self.state.lock().expect("queue mutex poisoned")
+    }
+
+    #[inline]
+    fn note_depth(&self, depth: usize) {
+        if let Some(m) = &self.metrics {
+            m.depth.set(depth as f64);
+        }
     }
 
     /// Non-blocking enqueue: the backpressure path.
@@ -111,6 +154,7 @@ impl<T> BoundedQueue<T> {
             return Err(PushError::Full(item));
         }
         st.deque.push_back(item);
+        self.note_depth(st.deque.len());
         drop(st);
         self.not_empty.notify_one();
         Ok(())
@@ -124,13 +168,21 @@ impl<T> BoundedQueue<T> {
     /// while) waiting for space.
     pub fn push(&self, item: T) -> Result<(), PushError<T>> {
         let mut st = self.lock();
+        let mut waited = false;
         while !st.closed && st.deque.len() >= self.capacity {
+            waited = true;
             st = self.not_full.wait(st).expect("queue mutex poisoned");
+        }
+        if waited {
+            if let Some(m) = &self.metrics {
+                m.push_waits.inc();
+            }
         }
         if st.closed {
             return Err(PushError::Closed(item));
         }
         st.deque.push_back(item);
+        self.note_depth(st.deque.len());
         drop(st);
         self.not_empty.notify_one();
         Ok(())
@@ -140,14 +192,23 @@ impl<T> BoundedQueue<T> {
     /// drained — the worker shutdown signal.
     pub fn pop(&self) -> Option<T> {
         let mut st = self.lock();
+        let mut wait_start: Option<Instant> = None;
         loop {
             if let Some(item) = st.deque.pop_front() {
+                self.note_depth(st.deque.len());
                 drop(st);
+                if let (Some(m), Some(start)) = (&self.metrics, wait_start) {
+                    m.pop_waits.inc();
+                    m.pop_wait_us.record_duration(start.elapsed());
+                }
                 self.not_full.notify_all();
                 return Some(item);
             }
             if st.closed {
                 return None;
+            }
+            if self.metrics.is_some() {
+                wait_start.get_or_insert_with(Instant::now);
             }
             st = self.not_empty.wait(st).expect("queue mutex poisoned");
         }
@@ -166,8 +227,13 @@ impl<T> BoundedQueue<T> {
     {
         let max_batch = max_batch.max(1);
         let mut st = self.lock();
+        let mut wait_start: Option<Instant> = None;
         loop {
             if let Some(first) = st.deque.pop_front() {
+                if let (Some(m), Some(start)) = (&self.metrics, wait_start) {
+                    m.pop_waits.inc();
+                    m.pop_wait_us.record_duration(start.elapsed());
+                }
                 fn take_matching<T, K: PartialEq>(
                     batch: &mut Vec<T>,
                     st: &mut QueueState<T>,
@@ -222,6 +288,7 @@ impl<T> BoundedQueue<T> {
                 // notifications were consumed above, so re-notify before
                 // returning the batch.
                 let leftover = !st.deque.is_empty();
+                self.note_depth(st.deque.len());
                 drop(st);
                 if leftover {
                     self.not_empty.notify_one();
@@ -232,6 +299,9 @@ impl<T> BoundedQueue<T> {
             }
             if st.closed {
                 return None;
+            }
+            if self.metrics.is_some() {
+                wait_start.get_or_insert_with(Instant::now);
             }
             st = self.not_empty.wait(st).expect("queue mutex poisoned");
         }
@@ -369,6 +439,45 @@ mod tests {
             .unwrap();
         assert_eq!(batch.len(), 2);
         producer.join().unwrap();
+    }
+
+    #[test]
+    fn named_queue_publishes_depth_and_wait_metrics() {
+        let q = Arc::new(BoundedQueue::named(1, "unit-metrics"));
+        q.push(1u32).unwrap();
+        let snap = pop_obs::global().snapshot();
+        assert_eq!(snap.gauge("exec.queue.unit-metrics.depth"), Some(1.0));
+
+        // A blocked push and a blocked pop both count as waits.
+        let pusher = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(2).unwrap())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(1));
+        pusher.join().unwrap();
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        assert_eq!(q.pop(), Some(2));
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(3).unwrap();
+        assert_eq!(popper.join().unwrap(), Some(3));
+
+        let snap = pop_obs::global().snapshot();
+        assert_eq!(snap.gauge("exec.queue.unit-metrics.depth"), Some(0.0));
+        assert!(snap.counter("exec.queue.unit-metrics.push_waits").unwrap() >= 1);
+        assert!(snap.counter("exec.queue.unit-metrics.pop_waits").unwrap() >= 1);
+        let waits = snap
+            .histogram("exec.queue.unit-metrics.pop_wait_us")
+            .unwrap();
+        assert!(waits.count >= 1);
+        assert!(
+            waits.max >= 10_000,
+            "popper idled >= 10ms, saw {}",
+            waits.max
+        );
     }
 
     #[test]

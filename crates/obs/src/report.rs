@@ -1,0 +1,261 @@
+//! The `RunReport`: one JSON document tying a run's span tree, metric
+//! snapshot, host parallelism, and wall clock together — the artifact a
+//! `--trace-out PATH` flag writes and CI smoke steps parse back.
+
+use crate::json;
+use crate::metrics::{MetricsSnapshot, Registry};
+use crate::span::{SpanNode, SpanSet};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// A completed run's observability capture.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Free-form run label (binary name, scenario, …).
+    pub label: String,
+    /// Wall-clock duration of the observed window, milliseconds.
+    pub wall_ms: f64,
+    /// `std::thread::available_parallelism` at capture time.
+    pub host_parallelism: usize,
+    /// Aggregated span forest (thread roots at top level).
+    pub spans: Vec<SpanNode>,
+    /// Spans lost to full per-thread rings (0 in healthy runs).
+    pub dropped_spans: u64,
+    /// Every registered counter/gauge/histogram, name-sorted.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunReport {
+    /// Captures the current global state: drains all span buffers and
+    /// snapshots the given registry. `started` anchors the wall clock —
+    /// pass the instant tracing was enabled.
+    pub fn capture(label: &str, started: Instant, registry: &Registry) -> RunReport {
+        let set: SpanSet = crate::span::drain();
+        RunReport {
+            label: label.to_string(),
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            host_parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            spans: set.tree(),
+            dropped_spans: set.dropped,
+            metrics: registry.snapshot(),
+        }
+    }
+
+    /// Serializes the report with the repo's hand-rolled JSON conventions:
+    /// deterministic key order, six-decimal floats, two-space indent.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"label\": {},", json::str_lit(&self.label));
+        let _ = writeln!(out, "  \"wall_ms\": {},", json::num(self.wall_ms));
+        let _ = writeln!(out, "  \"host_parallelism\": {},", self.host_parallelism);
+        let _ = writeln!(out, "  \"dropped_spans\": {},", self.dropped_spans);
+        out.push_str("  \"spans\": [");
+        write_span_forest(&mut out, &self.spans, 2);
+        out.push_str("],\n");
+        self.write_metrics(&mut out);
+        out.push_str("}\n");
+        out
+    }
+
+    fn write_metrics(&self, out: &mut String) {
+        out.push_str("  \"metrics\": {\n");
+        out.push_str("    \"counters\": {");
+        for (i, (name, value)) in self.metrics.counters.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}      {}: {}", json::str_lit(name), value);
+        }
+        if !self.metrics.counters.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("},\n");
+        out.push_str("    \"gauges\": {");
+        for (i, (name, value)) in self.metrics.gauges.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                out,
+                "{sep}      {}: {}",
+                json::str_lit(name),
+                json::num(*value)
+            );
+        }
+        if !self.metrics.gauges.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("},\n");
+        out.push_str("    \"histograms\": {");
+        for (i, (name, h)) in self.metrics.histograms.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                out,
+                "{sep}      {}: {{\"count\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+                json::str_lit(name),
+                h.count,
+                json::num(h.mean()),
+                h.percentile(0.50),
+                h.percentile(0.90),
+                h.percentile(0.99),
+                h.max,
+            );
+        }
+        if !self.metrics.histograms.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("}\n");
+        out.push_str("  }\n");
+    }
+
+    /// Writes the JSON document to `path`, creating parent directories.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn write_span_forest(out: &mut String, forest: &[SpanNode], depth: usize) {
+    if forest.is_empty() {
+        return;
+    }
+    let pad = "  ".repeat(depth);
+    for (i, node) in forest.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        let _ = write!(
+            out,
+            "{sep}{pad}  {{\"name\": {}, \"count\": {}, \"total_us\": {}, \"self_us\": {}, \"children\": [",
+            json::str_lit(&node.name),
+            node.count,
+            node.total_ns / 1_000,
+            node.self_ns() / 1_000,
+        );
+        write_span_forest(out, &node.children, depth + 1);
+        if !node.children.is_empty() {
+            let _ = write!(out, "{pad}  ");
+        }
+        out.push_str("]}");
+    }
+    out.push('\n');
+    out.push_str(&pad);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn report_json_round_trips_through_own_parser() {
+        let registry = Registry::new();
+        registry.counter("demo.count").add(7);
+        registry.gauge("demo.level").set(2.5);
+        let h = registry.histogram("demo.latency_us");
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        let report = RunReport {
+            label: "unit \"test\"".to_string(),
+            wall_ms: 12.5,
+            host_parallelism: 4,
+            spans: vec![SpanNode {
+                name: "outer".to_string(),
+                count: 2,
+                total_ns: 5_000_000,
+                child_ns: 2_000_000,
+                children: vec![SpanNode {
+                    name: "inner".to_string(),
+                    count: 2,
+                    total_ns: 2_000_000,
+                    child_ns: 0,
+                    children: Vec::new(),
+                }],
+            }],
+            dropped_spans: 0,
+            metrics: registry.snapshot(),
+        };
+        let doc = parse(&report.to_json()).expect("report parses");
+        assert_eq!(doc.get("label").unwrap().as_str(), Some("unit \"test\""));
+        assert_eq!(doc.get("host_parallelism").unwrap().as_u64(), Some(4));
+        let spans = doc.get("spans").unwrap().as_array().unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].get("name").unwrap().as_str(), Some("outer"));
+        assert_eq!(spans[0].get("total_us").unwrap().as_u64(), Some(5_000));
+        assert_eq!(spans[0].get("self_us").unwrap().as_u64(), Some(3_000));
+        let inner = &spans[0].get("children").unwrap().as_array().unwrap()[0];
+        assert_eq!(inner.get("name").unwrap().as_str(), Some("inner"));
+        let metrics = doc.get("metrics").unwrap();
+        assert_eq!(
+            metrics
+                .get("counters")
+                .unwrap()
+                .get("demo.count")
+                .unwrap()
+                .as_u64(),
+            Some(7)
+        );
+        assert_eq!(
+            metrics
+                .get("gauges")
+                .unwrap()
+                .get("demo.level")
+                .unwrap()
+                .as_f64(),
+            Some(2.5)
+        );
+        let hist = metrics
+            .get("histograms")
+            .unwrap()
+            .get("demo.latency_us")
+            .unwrap();
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(3));
+        assert!(hist.get("p50").unwrap().as_u64().unwrap() >= 20);
+        assert_eq!(hist.get("max").unwrap().as_u64(), Some(30));
+    }
+
+    #[test]
+    fn empty_report_is_valid_json() {
+        let registry = Registry::new();
+        let report = RunReport {
+            label: String::new(),
+            wall_ms: 0.0,
+            host_parallelism: 1,
+            spans: Vec::new(),
+            dropped_spans: 0,
+            metrics: registry.snapshot(),
+        };
+        let doc = parse(&report.to_json()).expect("empty report parses");
+        assert_eq!(doc.get("spans").unwrap().as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn write_json_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join(format!(
+            "pop-obs-report-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock")
+                .as_nanos()
+        ));
+        let path = dir.join("nested/trace.json");
+        let registry = Registry::new();
+        let report = RunReport {
+            label: "disk".to_string(),
+            wall_ms: 1.0,
+            host_parallelism: 1,
+            spans: Vec::new(),
+            dropped_spans: 0,
+            metrics: registry.snapshot(),
+        };
+        report.write_json(&path).expect("writes");
+        let text = std::fs::read_to_string(&path).expect("reads back");
+        assert!(parse(&text).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,151 @@
+//! Property and stress tests for the observability substrate: histogram
+//! percentiles bracket the true quantile within one bucket's relative
+//! error for arbitrary sample sets, counters stay exact under concurrent
+//! recording, and span nesting reconstructs wall time from self + child.
+
+use pop_obs::{find_span, Counter, Histogram};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// The histogram's precision contract: 16 sub-buckets per octave, so any
+/// reported percentile overstates the true quantile by at most 1/16
+/// relative error (plus one for the bucket-bound rounding).
+fn bucket_bound(true_quantile: u64) -> u64 {
+    true_quantile + true_quantile / 16 + 1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For an arbitrary sample set, every reported percentile must sit in
+    /// `[true_quantile, true_quantile * (1 + 1/16)]` — never understating,
+    /// overstating by at most one bucket's width.
+    #[test]
+    fn percentiles_bracket_true_quantile(
+        samples in collection::vec(0u64..2_000_000, 200),
+        pct in 1usize..100,
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let p = pct as f64 / 100.0;
+        // The snapshot reports the rank-⌈p·n⌉ sample's bucket bound.
+        let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let true_q = sorted[rank - 1];
+        let reported = h.snapshot().percentile(p);
+        prop_assert!(
+            reported >= true_q,
+            "p{pct} understated: reported {reported} < true {true_q}"
+        );
+        prop_assert!(
+            reported <= bucket_bound(true_q),
+            "p{pct} overstated: reported {reported} > bound {} (true {true_q})",
+            bucket_bound(true_q)
+        );
+    }
+
+    /// The mean comes from an exact running sum, not buckets.
+    #[test]
+    fn mean_is_exact(samples in collection::vec(0u64..1_000_000, 64)) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let expected = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        prop_assert!((h.snapshot().mean() - expected).abs() < 1e-6);
+    }
+}
+
+/// Eight threads hammering one counter and one histogram concurrently:
+/// totals must be exact — no lost updates on the lock-free record path.
+#[test]
+fn concurrent_recording_is_exact() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 50_000;
+    let counter = Arc::new(Counter::default());
+    let hist = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let counter = Arc::clone(&counter);
+            let hist = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    hist.record(t * PER_THREAD + i);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("recorder thread");
+    }
+    assert_eq!(counter.get(), THREADS * PER_THREAD);
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    // Sum of 0..N-1 over all threads: exact under concurrency too.
+    let n = THREADS * PER_THREAD;
+    assert_eq!(snap.sum, n * (n - 1) / 2);
+    assert_eq!(snap.max, n - 1);
+    // Bucket counts individually add up to the total.
+    let bucketed: u64 = snap.nonzero_buckets().iter().map(|&(_, c)| c).sum();
+    assert_eq!(bucketed, n);
+}
+
+/// Span nesting across three levels: at every level of the aggregated
+/// tree, self-time + direct-child time reconstructs wall time exactly
+/// (same timestamps on both sides), and measured sleeps show up where
+/// they were spent.
+#[test]
+fn span_nesting_attributes_time_by_level() {
+    pop_obs::drain_spans(); // shed records from other tests in this binary
+    pop_obs::enable_tracing();
+    {
+        let _run = pop_obs::span!("prop_run");
+        std::thread::sleep(std::time::Duration::from_millis(3));
+        for job in 0..2 {
+            let _outer = pop_obs::span!("prop_outer", job = job);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let _inner = pop_obs::span!("prop_inner");
+            std::thread::sleep(std::time::Duration::from_millis(4));
+        }
+    }
+    pop_obs::disable_tracing();
+    let set = pop_obs::drain_spans();
+    let ours: Vec<_> = set
+        .records
+        .iter()
+        .filter(|r| r.name.starts_with("prop_"))
+        .cloned()
+        .collect();
+    assert_eq!(ours.len(), 5, "1 run + 2 outer + 2 inner");
+    let tree = pop_obs::SpanSet {
+        records: ours,
+        dropped: 0,
+    }
+    .tree();
+
+    let run = find_span(&tree, "prop_run").expect("run span");
+    let outer = find_span(&tree, "prop_outer").expect("outer span");
+    let inner = find_span(&tree, "prop_inner").expect("inner span");
+    assert_eq!((run.count, outer.count, inner.count), (1, 2, 2));
+
+    // Exact reconstruction at every level: self + child = total.
+    for node in [run, outer, inner] {
+        assert_eq!(
+            node.self_ns() + node.child_ns,
+            node.total_ns,
+            "{}: self+child must equal total",
+            node.name
+        );
+    }
+    // The sleeps land in the level that performed them.
+    assert!(run.self_ns() >= 3_000_000, "run self >= 3ms");
+    assert!(outer.self_ns() >= 2 * 2_000_000, "outer self >= 2×2ms");
+    assert!(inner.self_ns() >= 2 * 4_000_000, "inner self >= 2×4ms");
+    // And the parent's total covers everything beneath it.
+    assert!(run.total_ns >= run.child_ns);
+    assert!(outer.total_ns >= inner.total_ns);
+}

@@ -258,10 +258,23 @@ pub fn generate_jobs_with_stats(
     let route_runs = Arc::new(AtomicUsize::new(0));
     let cache_write_failures = Arc::new(AtomicUsize::new(0));
 
+    // Global observability: counters mirror the per-run GenStats (which
+    // stays the function's return value — the registry accumulates across
+    // runs, GenStats is this run's exact ledger), queues publish depth
+    // gauges and idle-time histograms under `exec.queue.pipe-*`.
+    let obs = pop_obs::global();
+    let obs_jobs = obs.counter("pipeline.jobs");
+    let obs_pairs = obs.counter("pipeline.pairs");
+    let obs_cache_hits = obs.counter("pipeline.cache.hits");
+    let obs_cache_misses = obs.counter("pipeline.cache.misses");
+    let obs_cache_write_failures = obs.counter("pipeline.cache.write_failures");
+    obs_jobs.add(njobs as u64);
+
     let q_prep: Arc<BoundedQueue<(usize, DesignJob)>> = Arc::new(BoundedQueue::new(njobs));
-    let q_place: Arc<BoundedQueue<PlaceTask>> = Arc::new(BoundedQueue::new(depth));
-    let q_route: Arc<BoundedQueue<RouteTask>> = Arc::new(BoundedQueue::new(depth));
-    let q_raster: Arc<BoundedQueue<RasterTask>> = Arc::new(BoundedQueue::new(depth));
+    let q_place: Arc<BoundedQueue<PlaceTask>> = Arc::new(BoundedQueue::named(depth, "pipe-place"));
+    let q_route: Arc<BoundedQueue<RouteTask>> = Arc::new(BoundedQueue::named(depth, "pipe-route"));
+    let q_raster: Arc<BoundedQueue<RasterTask>> =
+        Arc::new(BoundedQueue::named(depth, "pipe-raster"));
     let (tx, rx) = mpsc::channel::<Event>();
 
     // Seed the first stage up front (capacity == njobs, so this never
@@ -300,6 +313,8 @@ pub fn generate_jobs_with_stats(
         let q_place = Arc::clone(&q_place);
         let slots = Arc::clone(&slots);
         let store = store.clone();
+        let obs_cache_hits = Arc::clone(&obs_cache_hits);
+        let obs_cache_misses = Arc::clone(&obs_cache_misses);
         let tx = tx.clone();
         move || {
             while let Some((job, design_job)) = q_prep.pop() {
@@ -313,6 +328,7 @@ pub fn generate_jobs_with_stats(
                 if let Some(store) = &store {
                     match store.begin(&design_job.spec, &design_job.config) {
                         Ok(ClaimOutcome::Cached(ds)) => {
+                            obs_cache_hits.inc();
                             let _ = tx.send(Event::Dataset {
                                 job,
                                 ds,
@@ -320,16 +336,22 @@ pub fn generate_jobs_with_stats(
                             });
                             continue;
                         }
-                        Ok(ClaimOutcome::Claimed(guard)) => claim = Some(guard),
+                        Ok(ClaimOutcome::Claimed(guard)) => {
+                            obs_cache_misses.inc();
+                            claim = Some(guard);
+                        }
                         Err(error) => {
                             let _ = tx.send(Event::Failed { job, error });
                             continue;
                         }
                     }
                 }
-                let prepared = run_stage(std::panic::AssertUnwindSafe(|| {
-                    DesignContext::prepare(&design_job.spec, &design_job.config)
-                }));
+                let prepared = {
+                    let _span = pop_obs::span!("prep", job = job, design = &design_job.spec.name);
+                    run_stage(std::panic::AssertUnwindSafe(|| {
+                        DesignContext::prepare(&design_job.spec, &design_job.config)
+                    }))
+                };
                 match prepared {
                     Ok(ctx) => {
                         let ctx = Arc::new(ctx);
@@ -371,8 +393,10 @@ pub fn generate_jobs_with_stats(
         move || {
             while let Some(t) = q_place.pop() {
                 place_runs.fetch_add(1, Ordering::Relaxed);
-                let placed =
-                    run_stage(std::panic::AssertUnwindSafe(|| t.ctx.place_stage(&t.popts)));
+                let placed = {
+                    let _span = pop_obs::span!("place_stage", job = t.job, pair = t.index);
+                    run_stage(std::panic::AssertUnwindSafe(|| t.ctx.place_stage(&t.popts)))
+                };
                 match placed {
                     Ok((placement, place_micros)) => {
                         let task = RouteTask {
@@ -403,9 +427,12 @@ pub fn generate_jobs_with_stats(
         move || {
             while let Some(t) = q_route.pop() {
                 route_runs.fetch_add(1, Ordering::Relaxed);
-                let routed = run_stage(std::panic::AssertUnwindSafe(|| {
-                    t.ctx.route_stage(&t.placement)
-                }));
+                let routed = {
+                    let _span = pop_obs::span!("route_stage", job = t.job, pair = t.index);
+                    run_stage(std::panic::AssertUnwindSafe(|| {
+                        t.ctx.route_stage(&t.placement)
+                    }))
+                };
                 match routed {
                     Ok((routing, route_micros)) => {
                         let task = RasterTask {
@@ -435,6 +462,8 @@ pub fn generate_jobs_with_stats(
         let slots = Arc::clone(&slots);
         let store = store.clone();
         let cache_write_failures = Arc::clone(&cache_write_failures);
+        let obs_pairs = Arc::clone(&obs_pairs);
+        let obs_cache_write_failures = Arc::clone(&obs_cache_write_failures);
         let tx = tx.clone();
         move || {
             while let Some(t) = q_raster.pop() {
@@ -448,23 +477,29 @@ pub fn generate_jobs_with_stats(
                     place_micros,
                     route_micros,
                 } = t;
-                let rastered = run_stage(std::panic::AssertUnwindSafe(|| {
-                    Ok(task_ctx.raster_stage(
-                        index,
-                        &popts,
-                        &placement,
-                        &routing,
-                        place_micros,
-                        route_micros,
-                    ))
-                }));
+                let rastered = {
+                    let _span = pop_obs::span!("raster_stage", job = job, pair = index);
+                    run_stage(std::panic::AssertUnwindSafe(|| {
+                        Ok(task_ctx.raster_stage(
+                            index,
+                            &popts,
+                            &placement,
+                            &routing,
+                            place_micros,
+                            route_micros,
+                        ))
+                    }))
+                };
                 // Release this task's context handle before assembly so
                 // the slot's Arc is the last one standing on a job's final
                 // pair and try_unwrap below reclaims the context without a
                 // deep clone (netlist + routing graph).
                 drop(task_ctx);
                 let pair = match rastered {
-                    Ok(pair) => pair,
+                    Ok(pair) => {
+                        obs_pairs.inc();
+                        pair
+                    }
                     Err(error) => {
                         let _ = tx.send(Event::Failed { job, error });
                         continue;
@@ -508,6 +543,7 @@ pub fn generate_jobs_with_stats(
                     // pays, by regenerating this job.
                     if let Err(error) = store.store(&ds, &spec, &config) {
                         cache_write_failures.fetch_add(1, Ordering::Relaxed);
+                        obs_cache_write_failures.inc();
                         eprintln!(
                             "pop-pipeline: cache write failed for '{}' (delivering uncached): {error}",
                             spec.name

@@ -5,8 +5,46 @@ use crate::options::PlaceOptions;
 use crate::placement::{required_site_kind, Placement};
 use pop_arch::Arch;
 use pop_netlist::{BlockId, Netlist};
+use pop_obs::{Counter, Gauge, Histogram};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Handles onto the global registry's annealer telemetry, resolved once
+/// per annealer so the per-temperature record path never takes the
+/// registration lock. Shared by the sequential and region-parallel
+/// annealers ([`crate::ParallelAnnealer`] runs one [`Annealer`] per
+/// region, so region temperatures land in the same series).
+#[derive(Debug)]
+pub(crate) struct AnnealTelemetry {
+    /// Per-temperature acceptance ratio, recorded in percent.
+    acceptance_pct: Arc<Histogram>,
+    /// Per-temperature wall time.
+    temp_us: Arc<Histogram>,
+    /// Cost after the most recent completed temperature.
+    cost: Arc<Gauge>,
+    /// Temperature after the most recent completed step.
+    temperature: Arc<Gauge>,
+    proposed: Arc<Counter>,
+    accepted: Arc<Counter>,
+    temps: Arc<Counter>,
+}
+
+impl AnnealTelemetry {
+    pub(crate) fn register() -> AnnealTelemetry {
+        let registry = pop_obs::global();
+        AnnealTelemetry {
+            acceptance_pct: registry.histogram("place.acceptance_pct"),
+            temp_us: registry.histogram("place.temp_us"),
+            cost: registry.gauge("place.cost"),
+            temperature: registry.gauge("place.temperature"),
+            proposed: registry.counter("place.moves.proposed"),
+            accepted: registry.counter("place.moves.accepted"),
+            temps: registry.counter("place.temperatures"),
+        }
+    }
+}
 
 /// Progress snapshot of an annealing run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,6 +105,8 @@ pub struct Annealer<'a> {
     moves_total: u64,
     outer_iters: usize,
     done: bool,
+    telemetry: AnnealTelemetry,
+    temp_started: Instant,
 }
 
 impl<'a> Annealer<'a> {
@@ -120,6 +160,8 @@ impl<'a> Annealer<'a> {
             moves_total: 0,
             outer_iters: 0,
             done: false,
+            telemetry: AnnealTelemetry::register(),
+            temp_started: Instant::now(),
         };
 
         annealer.temperature = annealer.calibrate_initial_temperature();
@@ -187,9 +229,22 @@ impl<'a> Annealer<'a> {
     }
 
     /// Completes one temperature step: update acceptance, range limit,
-    /// temperature, and the exit criterion.
+    /// temperature, and the exit criterion; records the step's telemetry
+    /// (acceptance, cost trajectory, per-temperature wall time) into the
+    /// global registry.
     fn end_of_temperature(&mut self) {
         let acceptance = self.accepted_this_temp as f64 / self.moves_this_temp.max(1) as f64;
+        self.telemetry
+            .acceptance_pct
+            .record((acceptance * 100.0).round() as u64);
+        self.telemetry
+            .temp_us
+            .record_duration(self.temp_started.elapsed());
+        self.telemetry.proposed.add(self.moves_this_temp);
+        self.telemetry.accepted.add(self.accepted_this_temp);
+        self.telemetry.temps.inc();
+        self.temp_started = Instant::now();
+
         self.last_acceptance = acceptance;
         self.moves_this_temp = 0;
         self.accepted_this_temp = 0;
@@ -202,6 +257,8 @@ impl<'a> Annealer<'a> {
 
         // Refresh the exact cost to cancel accumulated float drift.
         self.kernel.refresh_costs();
+        self.telemetry.cost.set(self.kernel.total_cost());
+        self.telemetry.temperature.set(self.temperature);
 
         let exit_t = self.options.exit_t_factor * self.kernel.total_cost()
             / self.netlist.nets().len().max(1) as f64;
@@ -370,6 +427,27 @@ mod tests {
         let fast = run(0.5);
         let slow = run(0.95);
         assert!(fast < slow, "alpha 0.5 ({fast}) vs 0.95 ({slow})");
+    }
+
+    #[test]
+    fn annealing_records_per_temperature_telemetry() {
+        let (arch, netlist) = setup();
+        let before = pop_obs::global().snapshot();
+        let mut annealer = Annealer::new(&arch, &netlist, &PlaceOptions::default()).unwrap();
+        annealer.run();
+        let outer = annealer.stats().outer_iters as u64;
+        assert!(outer > 0);
+        let after = pop_obs::global().snapshot();
+        // The registry is global and other tests also anneal: assert deltas.
+        let delta =
+            |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+        assert!(delta("place.temperatures") >= outer);
+        assert!(delta("place.moves.proposed") >= delta("place.moves.accepted"));
+        assert!(delta("place.moves.proposed") > 0);
+        let acc = after.histogram("place.acceptance_pct").unwrap();
+        assert!(acc.count >= outer);
+        assert!(acc.max <= 100, "acceptance is a percentage");
+        assert!(after.gauge("place.cost").unwrap() > 0.0);
     }
 
     #[test]

@@ -69,6 +69,11 @@ pub fn place(
     netlist: &Netlist,
     options: &PlaceOptions,
 ) -> Result<Placement, PlaceError> {
+    let _span = pop_obs::span!(
+        "place",
+        blocks = netlist.blocks().len(),
+        seed = options.seed
+    );
     match options.strategy {
         PlaceStrategy::Sequential => {
             let mut annealer = Annealer::new(arch, netlist, options)?;

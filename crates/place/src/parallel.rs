@@ -481,6 +481,7 @@ impl<'a> ParallelAnnealer<'a> {
         // exact *incremental* refresh of the moved blocks' nets: region
         // deltas were scored against frozen remote positions, the refresh
         // restores ground truth at O(nets touched), not O(all nets).
+        let merge_started = std::time::Instant::now();
         let mut merged: Vec<(BlockId, pop_arch::SiteId)> = Vec::new();
         for slot in &outcomes {
             let outcome = slot
@@ -494,6 +495,9 @@ impl<'a> ParallelAnnealer<'a> {
         }
         self.kernel.placement_mut().apply_assignments(&merged);
         self.kernel.refresh_blocks(merged.iter().map(|&(b, _)| b));
+        pop_obs::global()
+            .histogram("place.region.merge_us")
+            .record_duration(merge_started.elapsed());
     }
 
     /// Runs the schedule to completion.

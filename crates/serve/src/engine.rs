@@ -207,6 +207,7 @@ fn worker_loop(
             std::thread::sleep(cfg.forward_delay);
         }
         let inputs: Vec<&Tensor> = batch.iter().map(|r| &r.input).collect();
+        let _span = pop_obs::span!("serve_batch", size = batch.len());
         let started = Instant::now();
         // A panicking forward (impossible for spec-checked inputs, but the
         // model is swappable) must not wedge the whole engine: convert it

@@ -1,6 +1,12 @@
-//! Serving telemetry: lock-free counters the engine updates on the hot
-//! path, snapshotted on demand.
+//! Serving telemetry: lock-free counters plus a latency histogram the
+//! engine updates on the hot path, snapshotted on demand.
+//!
+//! Latencies feed a per-engine [`pop_obs::Histogram`] (each engine owns
+//! its series — two engines in one process must not pollute each other's
+//! percentiles), so snapshots report true p50/p99 rather than the
+//! mean/max-only view the first serving milestone shipped with.
 
+use pop_obs::Histogram;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Aggregate counters shared by the queue, workers and clients. All fields
@@ -27,6 +33,9 @@ pub struct ServeStats {
     pub(crate) latency_us_max: AtomicU64,
     /// Total time spent inside generator forward passes, microseconds.
     pub(crate) forward_us_total: AtomicU64,
+    /// Per-request latency distribution (microseconds) — the percentile
+    /// source. Recording is one atomic increment; see [`pop_obs`].
+    pub(crate) latency_us: Histogram,
 }
 
 impl ServeStats {
@@ -49,6 +58,7 @@ impl ServeStats {
         self.latency_us_total
             .fetch_add(latency_us, Ordering::Relaxed);
         self.latency_us_max.fetch_max(latency_us, Ordering::Relaxed);
+        self.latency_us.record(latency_us);
     }
 
     /// A consistent-enough point-in-time copy of the counters.
@@ -58,6 +68,7 @@ impl ServeStats {
         let batches = self.batches.load(Ordering::Relaxed);
         let batched_requests = self.batched_requests.load(Ordering::Relaxed);
         let done = completed + failed;
+        let latency = self.latency_us.snapshot();
         StatsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
@@ -75,6 +86,8 @@ impl ServeStats {
             } else {
                 self.latency_us_total.load(Ordering::Relaxed) as f64 / done as f64
             },
+            p50_latency_us: latency.percentile(0.50),
+            p99_latency_us: latency.percentile(0.99),
             max_latency_us: self.latency_us_max.load(Ordering::Relaxed),
             forward_us_total: self.forward_us_total.load(Ordering::Relaxed),
         }
@@ -100,6 +113,12 @@ pub struct StatsSnapshot {
     pub mean_batch_occupancy: f64,
     /// Mean enqueue→response latency in microseconds.
     pub mean_latency_us: f64,
+    /// Median enqueue→response latency in microseconds (histogram bucket
+    /// upper bound: never understates, overstates ≤ 1/16 relative).
+    pub p50_latency_us: u64,
+    /// 99th-percentile enqueue→response latency in microseconds (same
+    /// bucket-bound convention).
+    pub p99_latency_us: u64,
     /// Worst-case single-request latency in microseconds.
     pub max_latency_us: u64,
     /// Cumulative time inside generator forwards, microseconds.
@@ -137,5 +156,34 @@ mod tests {
         let snap = ServeStats::default().snapshot();
         assert_eq!(snap.mean_batch_occupancy, 0.0);
         assert_eq!(snap.mean_latency_us, 0.0);
+        assert_eq!(snap.p50_latency_us, 0);
+        assert_eq!(snap.p99_latency_us, 0);
+    }
+
+    #[test]
+    fn snapshot_reports_true_percentiles() {
+        let s = ServeStats::default();
+        // A long-tail distribution the old mean/max view hid: 98 fast
+        // requests and two stragglers. The mean lands near 118 µs and max
+        // at 1 ms — only the percentiles show the real service level.
+        for _ in 0..98 {
+            s.record_request_done(true, 100);
+        }
+        s.record_request_done(true, 1000);
+        s.record_request_done(true, 1000);
+        let snap = s.snapshot();
+        assert!(
+            (100..=107).contains(&snap.p50_latency_us),
+            "p50 {} should bracket 100µs within one bucket",
+            snap.p50_latency_us
+        );
+        assert!(
+            (1000..=1063).contains(&snap.p99_latency_us),
+            "p99 {} should bracket the 1ms straggler within one bucket",
+            snap.p99_latency_us
+        );
+        assert_eq!(snap.max_latency_us, 1000);
+        assert!(snap.p50_latency_us <= snap.p99_latency_us);
+        assert!(snap.p99_latency_us <= snap.max_latency_us);
     }
 }

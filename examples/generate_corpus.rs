@@ -6,7 +6,7 @@
 //! ```text
 //! cargo run --release --example generate_corpus [scenario] \
 //!     [--cache-dir DIR] [--cache-budget BYTES] [--resume] \
-//!     [--regions K] [--place-threads T]
+//!     [--regions K] [--place-threads T] [--trace-out PATH]
 //! ```
 //!
 //! * `--cache-dir DIR` — generate through a `CorpusStore` rooted at `DIR`:
@@ -30,6 +30,12 @@
 //!   worker pool. The corpus checksum is identical for every `T` at the
 //!   same `K` — thread count never changes the data (the CI parallel
 //!   smoke pins this).
+//! * `--trace-out PATH` — enable span tracing and write a
+//!   `pop_obs::RunReport` (span tree + metric snapshot + wall clock) to
+//!   `PATH` at exit. The run self-validates the report: it parses the
+//!   written file back with `pop_obs::json::parse` and, on cold runs,
+//!   asserts every pipeline stage (prep/place/route/raster) recorded at
+//!   least one span. The CI obs-smoke greps the printed `trace …` lines.
 
 use painting_on_placement as pop;
 use pop::core::dataset::DesignDataset;
@@ -93,11 +99,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut resume = false;
     let mut regions: Option<usize> = None;
     let mut place_threads = 4usize;
+    let mut trace_out: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--cache-dir" => {
                 cache_dir = Some(args.next().ok_or("--cache-dir needs a path")?.into());
+            }
+            "--trace-out" => {
+                trace_out = Some(args.next().ok_or("--trace-out needs a path")?.into());
             }
             "--cache-budget" => {
                 cache_budget = Some(parse_bytes(
@@ -117,6 +127,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             other => name = other.to_string(),
         }
     }
+    // Tracing is enabled before any pipeline work so the report's span
+    // window covers corpus generation AND the streamed training epochs.
+    let run_started = std::time::Instant::now();
+    if trace_out.is_some() {
+        pop::obs::enable_tracing();
+    }
+
     let mut spec = scenario::by_name(&name)
         .ok_or_else(|| format!("unknown scenario '{name}' (see pop::pipeline::scenario)"))?;
     if let Some(regions) = regions {
@@ -126,6 +143,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         println!("place strategy: parallel ({regions} regions, {place_threads} threads)");
     }
+    let spec_name = spec.name.clone();
     println!(
         "scenario '{}': design {}, {} variant(s) x {} pairs at {}x{} px",
         spec.name,
@@ -150,6 +168,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "cache hits: {}/{} (place-stage runs: {}, route-stage runs: {})",
         stats.cache_hits, stats.jobs, stats.place_stage_runs, stats.route_stage_runs
     );
+    // The global observability counters must tell the same story as this
+    // run's GenStats ledger (this is the first pipeline run in the
+    // process, so the registry deltas ARE this run's totals).
+    {
+        let snap = pop::obs::global().snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        let (hits, misses) = (
+            counter("pipeline.cache.hits"),
+            counter("pipeline.cache.misses"),
+        );
+        assert_eq!(hits, stats.cache_hits as u64, "obs hit counter vs stats");
+        if cache_dir.is_some() {
+            assert_eq!(
+                misses,
+                (stats.jobs - stats.cache_hits) as u64,
+                "obs miss counter vs stats"
+            );
+        }
+        assert_eq!(counter("pipeline.jobs"), stats.jobs as u64);
+        println!("obs cache counters agree with pipeline stats (hits {hits}, misses {misses})");
+    }
     let warm = stats.cache_hits == stats.jobs;
     if warm {
         assert_eq!(
@@ -248,5 +293,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         history.generator_loss.len(),
         history.generator_loss.last().copied().unwrap_or(f32::NAN)
     );
+
+    if let Some(path) = &trace_out {
+        let report = pop::obs::RunReport::capture(
+            &format!("generate_corpus:{}", spec_name),
+            run_started,
+            pop::obs::global(),
+        );
+        report.write_json(path)?;
+        // Self-validate: the written artifact must parse back with the
+        // crate's own JSON reader — the same check the CI obs-smoke does.
+        let text = std::fs::read_to_string(path)?;
+        pop::obs::json::parse(&text).map_err(|e| format!("trace report invalid: {e}"))?;
+        let span_count = |name: &str| {
+            pop::obs::find_span(&report.spans, name)
+                .map(|n| n.count)
+                .unwrap_or(0)
+        };
+        let stages = [
+            ("prep", span_count("prep")),
+            ("place_stage", span_count("place_stage")),
+            ("route_stage", span_count("route_stage")),
+            ("raster_stage", span_count("raster_stage")),
+            ("train_epoch", span_count("train_epoch")),
+        ];
+        println!(
+            "trace report: {} ({} root spans, {} dropped) parses OK",
+            path.display(),
+            report.spans.len(),
+            report.dropped_spans
+        );
+        let rendered: Vec<String> = stages.iter().map(|(n, c)| format!("{n}={c}")).collect();
+        println!("trace stage spans: {}", rendered.join(" "));
+        if !warm {
+            // A cold run executed every stage at least once; the span
+            // tree must show it. (Warm runs legitimately skip
+            // place/route, so coverage is only asserted when cold.)
+            for (name, count) in &stages {
+                assert!(*count > 0, "cold run recorded no '{name}' spans");
+            }
+            println!("trace stage coverage: all pipeline stages recorded");
+        }
+    }
     Ok(())
 }

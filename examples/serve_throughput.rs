@@ -86,6 +86,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.max_batch,
         stats.mean_latency_us / 1e3,
     );
+    println!(
+        "latency percentiles: p50 {:.1} ms, p99 {:.1} ms, max {:.1} ms",
+        stats.p50_latency_us as f64 / 1e3,
+        stats.p99_latency_us as f64 / 1e3,
+        stats.max_latency_us as f64 / 1e3,
+    );
     println!("speedup over sequential: {:.2}x", eng_qps / seq_qps);
     Ok(())
 }

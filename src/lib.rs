@@ -13,6 +13,10 @@
 //! * [`nn`] — the pure-Rust neural-network substrate;
 //! * [`exec`] — the shared concurrency substrate (bounded MPMC queues,
 //!   worker pools) both the serving engine and the data pipeline run on;
+//! * [`obs`] — the zero-dependency observability substrate: a process
+//!   global metrics registry (counters, gauges, log-bucketed latency
+//!   histograms), `span!`-based tracing with self/child time attribution,
+//!   and the JSON [`obs::RunReport`] binaries write via `--trace-out`;
 //! * [`core`] — the paper's contribution: the cGAN congestion forecaster,
 //!   its trainer, dataset pipeline, metrics and applications;
 //! * [`pipeline`] — the streaming, multi-threaded scenario/data-generation
@@ -92,6 +96,7 @@ pub use pop_eval as eval;
 pub use pop_exec as exec;
 pub use pop_netlist as netlist;
 pub use pop_nn as nn;
+pub use pop_obs as obs;
 pub use pop_pipeline as pipeline;
 pub use pop_place as place;
 pub use pop_raster as raster;
