@@ -1,0 +1,506 @@
+//! Kernel microbench: the register-blocked `linalg` kernels vs the PR-1
+//! reference kernels (embedded below, zero-skip and all) at the exact GEMM
+//! shapes batched inference creates at the serve configuration
+//! (`ExperimentConfig::quick()`: 64×64, 4 input channels, base filters 12,
+//! depth 6, batch 8), plus end-to-end f32 vs quantized `forecast_batch`
+//! throughput and the quantization accuracy delta.
+//!
+//! Emits `BENCH_kernels.json` at the workspace root and sanity-parses it
+//! back. `--smoke` runs one timed pass per shape (seconds, not minutes)
+//! and skips the throughput assertions — CI uses it to prove the artefact
+//! stays emittable and well-formed; the committed numbers come from a full
+//! run. `--note <text>` appends a line to the artefact's `notes` array
+//! (used to record the lto/codegen-units before/after).
+//!
+//! Run with `cargo bench -p pop-bench --bench kernels [-- --smoke]`.
+
+use pop_core::{ExperimentConfig, Forecaster, Pix2Pix};
+use pop_nn::linalg::{matmul_nn, matmul_nt, matmul_tn};
+use pop_nn::Tensor;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// PR-1 reference kernels, embedded verbatim (same fold order, `ikj` loops,
+// column tiling and the `== 0.0` skip) so old-vs-new is measured in one
+// binary under one profile.
+// ---------------------------------------------------------------------------
+
+fn ref_col_tile(rows: usize, n: usize) -> usize {
+    (262_144 / rows.max(1)).max(32).min(n.max(1))
+}
+
+fn ref_matmul_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let tile = ref_col_tile(k + m, n);
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + tile).min(n);
+        for i in 0..m {
+            let c_row = &mut c[i * n + j0..i * n + j1];
+            for kk in 0..k {
+                let aik = a[i * k + kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n + j0..kk * n + j1];
+                for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+        j0 = j1;
+    }
+}
+
+fn ref_matmul_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (av, bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+fn ref_matmul_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let tile = ref_col_tile(m, n);
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + tile).min(n);
+        for kk in 0..k {
+            let a_row = &a[kk * m..(kk + 1) * m];
+            let b_row = &b[kk * n + j0..kk * n + j1];
+            for i in 0..m {
+                let aki = a_row[i];
+                if aki == 0.0 {
+                    continue;
+                }
+                let c_row = &mut c[i * n + j0..i * n + j1];
+                for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aki * bv;
+                }
+            }
+        }
+        j0 = j1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The serve-shape GEMM inventory: every forward-path matmul the quick-config
+// U-Net issues for one batch-8 `forecast_batch` call. Encoder convs lower to
+// `nn` with (m, k, n) = (out_c, in_c·4·4, 8·ho·wo); decoder deconvs lower to
+// `tn` with (out_c·4·4, in_c, 8·h·w). Channel plan: enc 12,24,48,96,96,96;
+// dec 96,96,96,48,24,3 with skip concats (see pop-core's `UNetGenerator`).
+// ---------------------------------------------------------------------------
+
+struct GemmShape {
+    kernel: &'static str,
+    layer: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+}
+
+const SERVE_SHAPES: &[GemmShape] = &[
+    GemmShape {
+        kernel: "nn",
+        layer: "enc0",
+        m: 12,
+        k: 64,
+        n: 8192,
+    },
+    GemmShape {
+        kernel: "nn",
+        layer: "enc1",
+        m: 24,
+        k: 192,
+        n: 2048,
+    },
+    GemmShape {
+        kernel: "nn",
+        layer: "enc2",
+        m: 48,
+        k: 384,
+        n: 512,
+    },
+    GemmShape {
+        kernel: "nn",
+        layer: "enc3",
+        m: 96,
+        k: 768,
+        n: 128,
+    },
+    GemmShape {
+        kernel: "nn",
+        layer: "enc4",
+        m: 96,
+        k: 1536,
+        n: 32,
+    },
+    GemmShape {
+        kernel: "nn",
+        layer: "enc5",
+        m: 96,
+        k: 1536,
+        n: 8,
+    },
+    GemmShape {
+        kernel: "tn",
+        layer: "dec0",
+        m: 1536,
+        k: 96,
+        n: 8,
+    },
+    GemmShape {
+        kernel: "tn",
+        layer: "dec1",
+        m: 1536,
+        k: 192,
+        n: 32,
+    },
+    GemmShape {
+        kernel: "tn",
+        layer: "dec2",
+        m: 1536,
+        k: 192,
+        n: 128,
+    },
+    GemmShape {
+        kernel: "tn",
+        layer: "dec3",
+        m: 768,
+        k: 144,
+        n: 512,
+    },
+    GemmShape {
+        kernel: "tn",
+        layer: "dec4",
+        m: 384,
+        k: 72,
+        n: 2048,
+    },
+    GemmShape {
+        kernel: "tn",
+        layer: "dec5",
+        m: 48,
+        k: 36,
+        n: 8192,
+    },
+    // Backward-path shape (training, `C += A @ Bᵀ`), one representative.
+    GemmShape {
+        kernel: "nt",
+        layer: "bwd2",
+        m: 48,
+        k: 512,
+        n: 384,
+    },
+];
+
+/// Deterministic non-zero matrix filler (zeros would let the reference
+/// kernels' `== 0.0` skip fire and muddy the comparison).
+fn fill(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let x = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(seed | 1);
+            let v = ((x >> 33) as f32 / 2.0_f32.powi(31)) - 1.0;
+            if v == 0.0 {
+                0.5
+            } else {
+                v
+            }
+        })
+        .collect()
+}
+
+/// Min-of-`reps` per-call seconds for `iters` back-to-back calls of `f` —
+/// the robust estimator against scheduler noise on a shared host.
+fn time_per_call(reps: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+struct ShapeResult {
+    kernel: &'static str,
+    layer: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    flops: f64,
+    ref_secs: f64,
+    new_secs: f64,
+}
+
+fn bench_shape(shape: &GemmShape, smoke: bool) -> ShapeResult {
+    let &GemmShape {
+        kernel,
+        layer,
+        m,
+        k,
+        n,
+    } = shape;
+    let (a_len, b_len) = match kernel {
+        "nn" => (m * k, k * n),
+        "nt" => (m * k, n * k),
+        "tn" => (k * m, k * n),
+        other => unreachable!("unknown kernel {other}"),
+    };
+    let a = fill(a_len, 11);
+    let b = fill(b_len, 22);
+    let mut c_ref = vec![0.0f32; m * n];
+    let mut c_new = vec![0.0f32; m * n];
+    let run_ref: &dyn Fn(&mut [f32]) = &|c| match kernel {
+        "nn" => ref_matmul_nn(&a, &b, c, m, k, n),
+        "nt" => ref_matmul_nt(&a, &b, c, m, k, n),
+        _ => ref_matmul_tn(&a, &b, c, m, k, n),
+    };
+    let run_new: &dyn Fn(&mut [f32]) = &|c| match kernel {
+        "nn" => matmul_nn(&a, &b, c, m, k, n),
+        "nt" => matmul_nt(&a, &b, c, m, k, n),
+        _ => matmul_tn(&a, &b, c, m, k, n),
+    };
+
+    // Correctness checksum: same fold order ⇒ bitwise-equal outputs (the
+    // exhaustive proof lives in pop-nn's identity and property tests).
+    run_ref(&mut c_ref);
+    run_new(&mut c_new);
+    let same = c_ref
+        .iter()
+        .zip(&c_new)
+        .all(|(x, y)| x.to_bits() == y.to_bits());
+    assert!(same, "{kernel}/{layer}: new kernel diverged from reference");
+
+    // Size iterations so each measurement is long enough to trust: pilot
+    // one call, target ~60 ms per timed pass (1 pass in smoke mode).
+    let t0 = Instant::now();
+    c_ref.fill(0.0);
+    run_ref(&mut c_ref);
+    let pilot = t0.elapsed().as_secs_f64().max(1e-6);
+    let iters = if smoke {
+        1
+    } else {
+        ((0.06 / pilot).ceil() as usize).clamp(2, 400)
+    };
+    let reps = if smoke { 1 } else { 3 };
+
+    let ref_secs = time_per_call(reps, iters, || {
+        c_ref.fill(0.0);
+        run_ref(&mut c_ref);
+    });
+    let new_secs = time_per_call(reps, iters, || {
+        c_new.fill(0.0);
+        run_new(&mut c_new);
+    });
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    println!(
+        "{kernel}/{layer} ({m}x{k}x{n}): ref {:.2} GFLOP/s, new {:.2} GFLOP/s, {:.2}x",
+        flops / ref_secs / 1e9,
+        flops / new_secs / 1e9,
+        ref_secs / new_secs
+    );
+    ShapeResult {
+        kernel,
+        layer,
+        m,
+        k,
+        n,
+        flops,
+        ref_secs,
+        new_secs,
+    }
+}
+
+struct InferenceResult {
+    f32_images_per_sec: f64,
+    quant_images_per_sec: f64,
+    quant_speedup: f64,
+    quant_max_abs_delta: f64,
+}
+
+/// End-to-end `forecast_batch` at the serve shape: f32 vs the i8-quantized
+/// forecaster, same weights, same batch.
+fn bench_inference(smoke: bool) -> InferenceResult {
+    const BATCH: usize = 8;
+    let config = ExperimentConfig::quick();
+    let mut model = Pix2Pix::new(&config, 7).expect("quick config");
+    let quant = model.quantized();
+    let xs: Vec<Tensor> = (0..BATCH)
+        .map(|i| {
+            Tensor::randn(
+                [
+                    1,
+                    config.input_channels(),
+                    config.resolution,
+                    config.resolution,
+                ],
+                0.0,
+                0.5,
+                100 + i as u64,
+            )
+        })
+        .collect();
+    let refs: Vec<&Tensor> = xs.iter().collect();
+
+    let f32_out = model.forecast_batch(&refs);
+    let quant_out = quant.forecast_batch(&refs).expect("quantized forecast");
+    let mut max_delta = 0.0f64;
+    for (f, q) in f32_out.iter().zip(&quant_out) {
+        for (a, b) in f.data().iter().zip(q.data()) {
+            max_delta = max_delta.max((a - b).abs() as f64);
+        }
+    }
+
+    let (reps, iters) = if smoke { (1, 1) } else { (3, 3) };
+    let f32_secs = time_per_call(reps, iters, || {
+        let _ = model.forecast_batch(&refs);
+    });
+    let quant_secs = time_per_call(reps, iters, || {
+        let _ = quant.forecast_batch(&refs).expect("quantized forecast");
+    });
+    let f32_ips = BATCH as f64 / f32_secs;
+    let quant_ips = BATCH as f64 / quant_secs;
+    println!(
+        "forecast_batch (quick, batch {BATCH}): f32 {f32_ips:.2} img/s, \
+         quantized {quant_ips:.2} img/s ({:.2}x), max |Δ| {max_delta:.4}",
+        quant_ips / f32_ips
+    );
+    InferenceResult {
+        f32_images_per_sec: f32_ips,
+        quant_images_per_sec: quant_ips,
+        quant_speedup: quant_ips / f32_ips,
+        quant_max_abs_delta: max_delta,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut notes: Vec<String> = vec![format!(
+        "profile.bench: lto=thin, codegen-units=1, debug=true (workspace Cargo.toml)"
+    )];
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--note" {
+            notes.push(
+                it.next()
+                    .expect("--note requires a value")
+                    .replace('"', "'"),
+            );
+        }
+    }
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "kernels bench ({}), host parallelism {host_parallelism}",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let results: Vec<ShapeResult> = SERVE_SHAPES.iter().map(|s| bench_shape(s, smoke)).collect();
+
+    // Whole-forward-pass kernel throughput: total GEMM work over total GEMM
+    // time for one batch-8 forecast (the `nt` training shape excluded).
+    let fwd: Vec<&ShapeResult> = results.iter().filter(|r| r.kernel != "nt").collect();
+    let fwd_flops: f64 = fwd.iter().map(|r| r.flops).sum();
+    let fwd_ref: f64 = fwd.iter().map(|r| r.ref_secs).sum();
+    let fwd_new: f64 = fwd.iter().map(|r| r.new_secs).sum();
+    let fwd_speedup = fwd_ref / fwd_new;
+    println!(
+        "forward-pass GEMMs: ref {:.2} GFLOP/s, new {:.2} GFLOP/s, speedup {fwd_speedup:.2}x",
+        fwd_flops / fwd_ref / 1e9,
+        fwd_flops / fwd_new / 1e9
+    );
+
+    let inference = bench_inference(smoke);
+
+    if !smoke {
+        assert!(
+            fwd_speedup >= 1.3,
+            "batched-inference kernel throughput must be ≥1.3x the PR-1 kernels \
+             (got {fwd_speedup:.2}x)"
+        );
+        assert!(
+            inference.quant_speedup > 1.0,
+            "quantized inference must beat f32 (got {:.2}x)",
+            inference.quant_speedup
+        );
+    }
+    assert!(
+        inference.quant_max_abs_delta < 0.1,
+        "quantized outputs drifted from f32 (max |Δ| {:.4})",
+        inference.quant_max_abs_delta
+    );
+
+    let shapes_json: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"kernel\": \"{}\", \"layer\": \"{}\", \"m\": {}, \"k\": {}, \
+                 \"n\": {}, \"gflops_ref\": {:.4}, \"gflops_new\": {:.4}, \
+                 \"speedup\": {:.4} }}",
+                r.kernel,
+                r.layer,
+                r.m,
+                r.k,
+                r.n,
+                r.flops / r.ref_secs / 1e9,
+                r.flops / r.new_secs / 1e9,
+                r.ref_secs / r.new_secs
+            )
+        })
+        .collect();
+    let notes_json: Vec<String> = notes.iter().map(|n| format!("    \"{n}\"")).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"kernels\",\n  \"smoke\": {smoke},\n  \
+         \"host_parallelism\": {host_parallelism},\n  \
+         \"serve_shape\": {{ \"config\": \"quick\", \"resolution\": 64, \"batch\": 8 }},\n  \
+         \"shapes\": [\n{}\n  ],\n  \
+         \"forward_pass\": {{ \"gflops_ref\": {:.4}, \"gflops_new\": {:.4}, \
+         \"speedup\": {:.4} }},\n  \
+         \"inference\": {{ \"f32_images_per_sec\": {:.4}, \
+         \"quant_images_per_sec\": {:.4}, \"quant_speedup\": {:.4}, \
+         \"quant_max_abs_delta\": {:.6} }},\n  \
+         \"notes\": [\n{}\n  ]\n}}\n",
+        shapes_json.join(",\n"),
+        fwd_flops / fwd_ref / 1e9,
+        fwd_flops / fwd_new / 1e9,
+        fwd_speedup,
+        inference.f32_images_per_sec,
+        inference.quant_images_per_sec,
+        inference.quant_speedup,
+        inference.quant_max_abs_delta,
+        notes_json.join(",\n"),
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json");
+    std::fs::write(&out, &json).expect("write BENCH_kernels.json");
+
+    // Sanity-parse the artefact back: the keys CI greps for must survive a
+    // write/read round trip, and every number must have serialized finite.
+    let back = std::fs::read_to_string(&out).expect("read BENCH_kernels.json back");
+    for key in [
+        "\"bench\": \"kernels\"",
+        "\"shapes\"",
+        "\"forward_pass\"",
+        "\"speedup\"",
+        "\"quant_speedup\"",
+        "\"notes\"",
+    ] {
+        assert!(back.contains(key), "artefact missing {key}");
+    }
+    assert!(
+        !back.contains("NaN") && !back.contains(": inf") && !back.contains(": -inf"),
+        "artefact contains non-finite numbers"
+    );
+    println!("wrote {}", out.display());
+}

@@ -278,6 +278,14 @@ fn print_summary(matrix: &EvalMatrix) {
         "corpus: jobs {}, cache hits {}, place-stage runs {}, route-stage runs {}",
         c.jobs, c.cache_hits, c.place_stage_runs, c.route_stage_runs
     );
+    // Baseline replay accounting: with a cache dir, warm runs load the
+    // scored RUDY records from disk, so this must read `replays: 0`.
+    let snap = pop_obs::global().snapshot();
+    println!(
+        "baseline replays: {} (cached splits: {})",
+        snap.counter("eval.baseline.replay").unwrap_or(0),
+        snap.counter("eval.baseline.cached").unwrap_or(0)
+    );
     if c.fully_warm() {
         println!("warm run: corpus streamed straight from disk (zero pairs regenerated)");
     }

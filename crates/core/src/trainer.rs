@@ -393,6 +393,15 @@ impl Pix2Pix {
         self.gen.forward(x, false)
     }
 
+    /// Freezes the generator into an opt-in i8 inference snapshot: a
+    /// lock-free [`QuantizedForecaster`](crate::QuantizedForecaster) with
+    /// per-output-channel weight scales and batch-norm folded in. Accuracy
+    /// versus this f32 model is gated by the `quantized_accuracy_gate`
+    /// test (MetricSet delta on a held-out split).
+    pub fn quantized(&self) -> crate::QuantizedForecaster {
+        crate::QuantizedForecaster::new(self.gen.quantize())
+    }
+
     /// [`Pix2Pix::forecast`] decoded into an image.
     pub fn forecast_image(&mut self, x: &Tensor) -> Image {
         tensor_to_image(&self.forecast(x))

@@ -1,4 +1,5 @@
 use crate::config::SkipMode;
+use crate::quant::{QuantDecBlock, QuantEncBlock, QuantizedGenerator};
 use pop_nn::{
     BatchNorm2d, Conv2d, ConvTranspose2d, Dropout, Layer, LeakyRelu, Param, Relu, Tanh, Tensor,
 };
@@ -257,6 +258,40 @@ impl UNetGenerator {
     /// Decoder output channel widths per level.
     pub fn decoder_channels(&self) -> &[usize] {
         &self.dec_out_ch
+    }
+
+    /// Freezes this generator into an i8 inference snapshot
+    /// ([`QuantizedGenerator`]): batch-norm running statistics are folded
+    /// into each convolution's weights before quantization, dropout is
+    /// dropped (inference identity), activations are carried over.
+    pub fn quantize(&self) -> QuantizedGenerator {
+        let enc = self
+            .enc
+            .iter()
+            .map(|b| {
+                let affine = b.bn.as_ref().map(|bn| bn.inference_affine());
+                QuantEncBlock {
+                    conv: b
+                        .conv
+                        .quantize(affine.as_ref().map(|(a, s)| (a.as_slice(), s.as_slice()))),
+                    alpha: b.act.alpha(),
+                }
+            })
+            .collect();
+        let dec = self
+            .dec
+            .iter()
+            .map(|b| {
+                let affine = b.bn.as_ref().map(|bn| bn.inference_affine());
+                QuantDecBlock {
+                    deconv: b
+                        .deconv
+                        .quantize(affine.as_ref().map(|(a, s)| (a.as_slice(), s.as_slice()))),
+                    tanh: b.tanh.is_some(),
+                }
+            })
+            .collect();
+        QuantizedGenerator::from_parts(enc, dec, self.skip_at.clone(), self.in_channels)
     }
 }
 

@@ -5,7 +5,7 @@
 
 use crate::error::EvalError;
 use crate::report::{CellMetrics, CellStats, EvalMatrix};
-use pop_core::baseline::rudy_pair_evals;
+use pop_core::baseline::rudy_pair_evals_cached;
 use pop_core::dataset::{DesignDataset, Fnv1a, Pair};
 use pop_core::metrics::PairEval;
 use pop_core::{CoreError, EvalReport, ExclusiveForecaster, MetricSet, Pix2Pix};
@@ -258,21 +258,23 @@ fn evaluate_cell(
 /// same accuracy tolerance (the harness's, not the generation config's),
 /// same retrieval-set size, same rank correlations.
 ///
-/// Note: the replay re-anneals each eval placement (RUDY needs the
-/// placement geometry, which the cached datasets do not store), so the
-/// baseline step pays `K × eval_pairs` placements even on a warm corpus —
-/// see the ROADMAP follow-on about caching baseline records per split
-/// fingerprint.
+/// The replay re-anneals each eval placement (RUDY needs the placement
+/// geometry, which the cached datasets do not store) — but only on a cold
+/// split: with a cache dir configured the scored records themselves are
+/// persisted per split fingerprint ([`rudy_pair_evals_cached`]), so a
+/// warm run loads them from disk and re-anneals **nothing**.
 fn rudy_baseline(
     jobs: &[DesignJob],
     sets: &[DesignDataset],
     metrics: &MetricSet,
+    cache_dir: Option<&std::path::Path>,
 ) -> Result<EvalReport, CoreError> {
     let mut evals = Vec::new();
     for (job, ds) in jobs.iter().zip(sets) {
         let mut config = job.config.clone();
         config.tolerance = metrics.tolerance;
-        let (mut pair_evals, _calibration) = rudy_pair_evals(ds, &job.spec, &config)?;
+        let (mut pair_evals, _calibration) =
+            rudy_pair_evals_cached(ds, &job.spec, &config, cache_dir)?;
         evals.append(&mut pair_evals);
     }
     Ok(metrics.summarize(&evals))
@@ -349,7 +351,10 @@ pub fn evaluate_matrix(spec: &MatrixSpec) -> Result<EvalMatrix, EvalError> {
         eval_jobs
             .iter()
             .zip(&eval_sets)
-            .map(|(jobs, sets)| rudy_baseline(jobs, sets, &spec.metrics).map(Some))
+            .map(|(jobs, sets)| {
+                rudy_baseline(jobs, sets, &spec.metrics, spec.options.cache_dir.as_deref())
+                    .map(Some)
+            })
             .collect::<Result<_, CoreError>>()?
     } else {
         vec![None; k]

@@ -22,12 +22,17 @@
 //! A third user, the region-parallel annealer in `pop-place`, needs the
 //! same named-worker idiom but over *borrowed* state (architecture,
 //! netlist, placement snapshots on the caller's stack); [`run_scoped`]
-//! provides it via `std::thread::scope`.
+//! provides it via `std::thread::scope`, and [`ParkingPool`] provides the
+//! persistent park/unpark variant for fan-outs dispatched thousands of
+//! times per run (spawn once, park between rounds). [`set_pool_mode`]
+//! switches consumers between the two for apples-to-apples benchmarking.
 
+mod parked;
 mod pool;
 mod queue;
 mod scoped;
 
+pub use parked::{pool_mode, set_pool_mode, ParkingPool, PoolMode};
 pub use pool::WorkerPool;
 pub use queue::{BoundedQueue, PushError};
 pub use scoped::{run_scoped, scoped_map};

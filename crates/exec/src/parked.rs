@@ -1,0 +1,363 @@
+//! A persistent park/unpark worker pool for repeated scoped fan-outs.
+//!
+//! [`run_scoped`](crate::run_scoped) spawns and joins OS threads on every
+//! call — the right shape for a once-per-phase fan-out, but the
+//! region-parallel annealer in `pop-place` dispatches a round *thousands*
+//! of times per placement (`SYNC_ROUNDS` × epochs), and on that cadence
+//! per-round `thread::spawn`/`join` is pure overhead. [`ParkingPool`]
+//! spawns its workers once; between rounds they park on a condvar and a
+//! round dispatch is one mutex lock + `notify_all` instead of `K` spawns.
+//!
+//! The borrowed-state trick of `std::thread::scope` is preserved without
+//! scoped threads: [`ParkingPool::run`] erases the job's lifetime into a
+//! raw trait-object pointer, *blocks* until every worker has finished the
+//! round, and only then returns — so the job (and everything it borrows)
+//! provably outlives every use. A generation counter makes each round
+//! exactly-once per worker: a worker executes generation `g` if and only
+//! if its own counter lags, and the dispatcher cannot start `g + 1` until
+//! all workers have retired `g`.
+//!
+//! Telemetry (via [`pop_obs`]): `exec.pool.<name>.park_us` — how long
+//! workers sit parked between rounds (the respawn latency this pool
+//! eliminates turns into visible park time), `exec.pool.<name>.rounds` —
+//! dispatched rounds, and `exec.pool.<name>.panics` — jobs that panicked.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// How the region-parallel annealer runs its per-round fan-out. The
+/// default is the persistent pool; [`PoolMode::ScopedRespawn`] restores
+/// per-round [`run_scoped`](crate::run_scoped) spawning so benches and CI
+/// can compare the two executions (they must produce bitwise-identical
+/// results — the pool changes scheduling, never bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolMode {
+    /// Spawn once, park between rounds (the fast path).
+    Persistent,
+    /// Spawn and join scoped threads every round (the PR-4 behaviour).
+    ScopedRespawn,
+}
+
+static POOL_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the process-wide fan-out mode consumers of
+/// [`pool_mode`] honour. Benches/CI flip this to measure the
+/// persistent-pool gain against per-round respawning.
+pub fn set_pool_mode(mode: PoolMode) {
+    POOL_MODE.store(
+        match mode {
+            PoolMode::Persistent => 0,
+            PoolMode::ScopedRespawn => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The current process-wide fan-out mode (default
+/// [`PoolMode::Persistent`]).
+pub fn pool_mode() -> PoolMode {
+    match POOL_MODE.load(Ordering::Relaxed) {
+        0 => PoolMode::Persistent,
+        _ => PoolMode::ScopedRespawn,
+    }
+}
+
+/// A lifetime-erased `&(dyn Fn(usize) + Sync)`. Safe to send between
+/// threads because the referent is `Sync` and [`ParkingPool::run`] blocks
+/// until no worker can touch it again.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+unsafe impl Send for JobPtr {}
+
+struct PoolState {
+    /// Bumped once per dispatched round; workers execute a round iff their
+    /// private counter lags this one.
+    generation: u64,
+    job: Option<JobPtr>,
+    /// Workers that have not yet retired the current generation.
+    remaining: usize,
+    /// Panicking jobs observed in the current generation.
+    round_panics: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers park here between rounds.
+    work_cv: Condvar,
+    /// The dispatcher parks here until the round retires.
+    done_cv: Condvar,
+}
+
+/// A named, persistent worker pool dispatching borrowed-state jobs in
+/// synchronous rounds — the park/unpark replacement for calling
+/// [`run_scoped`](crate::run_scoped) in a hot loop.
+///
+/// # Example
+///
+/// ```
+/// use pop_exec::ParkingPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = ParkingPool::new("example", 4);
+/// let sum = AtomicUsize::new(0);
+/// // `sum` lives on this stack frame; `run` blocks until the round is done.
+/// let panicked = pool.run(&|worker| {
+///     sum.fetch_add(worker + 1, Ordering::Relaxed);
+/// });
+/// assert_eq!(panicked, 0);
+/// assert_eq!(sum.load(Ordering::Relaxed), 1 + 2 + 3 + 4);
+/// ```
+pub struct ParkingPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+    rounds: std::sync::Arc<pop_obs::Counter>,
+}
+
+impl std::fmt::Debug for ParkingPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParkingPool")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl ParkingPool {
+    /// Spawns `workers` threads named `<name>-<index>`; they park
+    /// immediately and wake per [`ParkingPool::run`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` is zero or the OS refuses to spawn a thread.
+    pub fn new(name: &str, workers: usize) -> Self {
+        assert!(workers > 0, "a pool needs at least one worker");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                generation: 0,
+                job: None,
+                remaining: 0,
+                round_panics: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let park_us = pop_obs::global().histogram(&format!("exec.pool.{name}.park_us"));
+        let panics = pop_obs::global().counter(&format!("exec.pool.{name}.panics"));
+        let handles = (0..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                let park_us = Arc::clone(&park_us);
+                let panics = Arc::clone(&panics);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{index}"))
+                    .spawn(move || worker_loop(index, &shared, &park_us, &panics))
+                    .expect("failed to spawn pool worker thread")
+            })
+            .collect();
+        ParkingPool {
+            shared,
+            handles,
+            workers,
+            rounds: pop_obs::global().counter(&format!("exec.pool.{name}.rounds")),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Dispatches one round: every worker runs `job(worker_index)` exactly
+    /// once, and the call blocks until all of them have finished. Returns
+    /// how many workers' jobs panicked this round (panics are contained,
+    /// the pool stays usable).
+    ///
+    /// `job` may borrow anything from the caller's stack — the blocking
+    /// round protocol guarantees no worker touches it after `run` returns.
+    pub fn run(&self, job: &(dyn Fn(usize) + Sync)) -> usize {
+        self.rounds.inc();
+        // Erase the borrow's lifetime. Sound because this function blocks
+        // below until `remaining == 0`, i.e. until every worker has
+        // finished calling the job and can never dereference it again.
+        let job_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(job) };
+        let ptr = JobPtr(job_static as *const _);
+        let mut state = self.shared.state.lock().expect("pool mutex poisoned");
+        debug_assert_eq!(state.remaining, 0, "previous round retired");
+        state.generation += 1;
+        state.job = Some(ptr);
+        state.remaining = self.workers;
+        state.round_panics = 0;
+        self.shared.work_cv.notify_all();
+        while state.remaining > 0 {
+            state = self
+                .shared
+                .done_cv
+                .wait(state)
+                .expect("pool mutex poisoned");
+        }
+        state.job = None;
+        state.round_panics
+    }
+}
+
+impl Drop for ParkingPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool mutex poisoned");
+            state.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(
+    index: usize,
+    shared: &Shared,
+    park_us: &pop_obs::Histogram,
+    panics: &pop_obs::Counter,
+) {
+    let mut seen_generation = 0u64;
+    loop {
+        let parked_at = Instant::now();
+        let job = {
+            let mut state = shared.state.lock().expect("pool mutex poisoned");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.generation > seen_generation {
+                    seen_generation = state.generation;
+                    break state.job.expect("dispatched round carries a job");
+                }
+                state = shared.work_cv.wait(state).expect("pool mutex poisoned");
+            }
+        };
+        park_us.record_duration(parked_at.elapsed());
+        // SAFETY: the dispatcher blocks in `run` until this worker (and all
+        // others) decrement `remaining` below, so the referent is alive.
+        let job: &(dyn Fn(usize) + Sync) = unsafe { &*job.0 };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(index)));
+        let mut state = shared.state.lock().expect("pool mutex poisoned");
+        if result.is_err() {
+            state.round_panics += 1;
+            panics.inc();
+        }
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_worker_runs_every_round_exactly_once() {
+        let pool = ParkingPool::new("parked-test", 3);
+        let per_worker: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..50 {
+            let panicked = pool.run(&|w| {
+                per_worker[w].fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(panicked, 0);
+        }
+        for (w, count) in per_worker.iter().enumerate() {
+            assert_eq!(count.load(Ordering::Relaxed), 50, "worker {w}");
+        }
+    }
+
+    #[test]
+    fn jobs_borrow_the_callers_stack() {
+        let pool = ParkingPool::new("parked-borrow", 4);
+        let inputs: Vec<usize> = (1..=100).collect();
+        let cursor = AtomicUsize::new(0);
+        let sum = AtomicUsize::new(0);
+        pool.run(&|_| loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(v) = inputs.get(i) else { break };
+            sum.fetch_add(*v, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn panics_are_counted_and_the_pool_survives() {
+        let pool = ParkingPool::new("parked-panic", 2);
+        let panicked = pool.run(&|w| {
+            if w == 0 {
+                panic!("deliberate test panic");
+            }
+        });
+        assert_eq!(panicked, 1);
+        // The pool is still serviceable after a panicked round.
+        let ran = AtomicUsize::new(0);
+        let panicked = pool.run(&|_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(panicked, 0);
+        assert_eq!(ran.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn results_match_run_scoped_for_a_worklist() {
+        // The pool and run_scoped are interchangeable executors for the
+        // cursor-over-items idiom the annealer uses.
+        let items: Vec<usize> = (0..37).collect();
+        let execute = |persistent: bool| -> usize {
+            let cursor = AtomicUsize::new(0);
+            let acc = AtomicUsize::new(0);
+            let job = |_w: usize| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(v) = items.get(i) else { break };
+                acc.fetch_add(v * v, Ordering::Relaxed);
+            };
+            if persistent {
+                let pool = ParkingPool::new("parked-vs-scoped", 3);
+                assert_eq!(pool.run(&job), 0);
+            } else {
+                let scoped = crate::run_scoped("parked-vs-scoped", 3, |w| move || job(w));
+                assert_eq!(scoped, 0);
+            }
+            acc.load(Ordering::Relaxed)
+        };
+        assert_eq!(execute(true), execute(false));
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        let pool = ParkingPool::new("parked-drop", 4);
+        pool.run(&|_| {});
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn mode_switch_round_trips() {
+        assert_eq!(pool_mode(), PoolMode::Persistent);
+        set_pool_mode(PoolMode::ScopedRespawn);
+        assert_eq!(pool_mode(), PoolMode::ScopedRespawn);
+        set_pool_mode(PoolMode::Persistent);
+        assert_eq!(pool_mode(), PoolMode::Persistent);
+    }
+
+    #[test]
+    fn telemetry_records_rounds_and_park_time() {
+        let pool = ParkingPool::new("parked-obs", 2);
+        for _ in 0..5 {
+            pool.run(&|_| {});
+        }
+        drop(pool);
+        let snap = pop_obs::global().snapshot();
+        assert!(snap.counter("exec.pool.parked-obs.rounds").unwrap_or(0) >= 5);
+        let park = snap.histogram("exec.pool.parked-obs.park_us");
+        assert!(park.is_some_and(|h| h.count > 0), "park_us must be fed");
+    }
+}

@@ -17,6 +17,11 @@ impl LeakyRelu {
             cached_input: None,
         }
     }
+
+    /// The negative slope.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
 }
 
 impl Default for LeakyRelu {

@@ -60,6 +60,23 @@ impl Conv2d {
     pub fn parameter_count(&self) -> usize {
         self.weight.len() + self.bias.len()
     }
+
+    /// i8 weight quantization with per-output-channel scales; `affine`
+    /// optionally folds a following per-channel inference transform
+    /// `y = a·conv + s` (batch-norm in eval mode) into the quantized
+    /// weights and bias.
+    pub fn quantize(&self, affine: Option<(&[f32], &[f32])>) -> crate::quant::QuantizedConv2d {
+        crate::quant::QuantizedConv2d::new(
+            self.in_c,
+            self.out_c,
+            self.k,
+            self.stride,
+            self.pad,
+            self.weight.value.data(),
+            &self.bias.value.data()[..self.out_c],
+            affine,
+        )
+    }
 }
 
 impl Layer for Conv2d {
@@ -248,6 +265,24 @@ impl ConvTranspose2d {
     /// Number of trainable scalars.
     pub fn parameter_count(&self) -> usize {
         self.weight.len() + self.bias.len()
+    }
+
+    /// i8 weight quantization (per output tap row), optionally folding a
+    /// per-output-channel inference affine — see [`Conv2d::quantize`].
+    pub fn quantize(
+        &self,
+        affine: Option<(&[f32], &[f32])>,
+    ) -> crate::quant::QuantizedConvTranspose2d {
+        crate::quant::QuantizedConvTranspose2d::new(
+            self.in_c,
+            self.out_c,
+            self.k,
+            self.stride,
+            self.pad,
+            self.weight.value.data(),
+            &self.bias.value.data()[..self.out_c],
+            affine,
+        )
     }
 }
 

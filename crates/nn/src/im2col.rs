@@ -71,27 +71,56 @@ pub fn im2col_strided(
         for ky in 0..k {
             for kx in 0..k {
                 let row = (ci * k + ky) * k + kx;
+                // The in-bounds output-x span for this tap is a fixed
+                // interval (`ix = ox·stride + kx − pad ∈ [0, w)`), so the
+                // inner loop needs no per-pixel bounds branch: zero-fill
+                // the edges, then bulk-copy (stride 1) or gather.
+                let (ox_lo, ox_hi) = tap_span(w, wo, stride, kx, pad);
                 let dst = &mut cols
                     [row * row_stride + col_offset..row * row_stride + col_offset + ho * wo];
                 for oy in 0..ho {
                     let iy = (oy * stride + ky) as isize - pad as isize;
+                    let out = &mut dst[oy * wo..(oy + 1) * wo];
                     if iy < 0 || iy >= h as isize {
-                        dst[oy * wo..(oy + 1) * wo].fill(0.0);
+                        out.fill(0.0);
                         continue;
                     }
                     let src_row = &x[(ci * h + iy as usize) * w..(ci * h + iy as usize + 1) * w];
-                    for ox in 0..wo {
-                        let ix = (ox * stride + kx) as isize - pad as isize;
-                        dst[oy * wo + ox] = if ix < 0 || ix >= w as isize {
-                            0.0
+                    out[..ox_lo].fill(0.0);
+                    out[ox_hi..].fill(0.0);
+                    if ox_lo < ox_hi {
+                        let ix0 = ox_lo * stride + kx - pad;
+                        if stride == 1 {
+                            out[ox_lo..ox_hi].copy_from_slice(&src_row[ix0..ix0 + (ox_hi - ox_lo)]);
                         } else {
-                            src_row[ix as usize]
-                        };
+                            for (o, s) in out[ox_lo..ox_hi]
+                                .iter_mut()
+                                .zip(src_row[ix0..].iter().step_by(stride))
+                            {
+                                *o = *s;
+                            }
+                        }
                     }
                 }
             }
         }
     }
+}
+
+/// The half-open output-x interval `[ox_lo, ox_hi)` for which kernel tap
+/// `kx` reads in-bounds input (`0 ≤ ox·stride + kx − pad < w`); outside it
+/// the tap sees zero padding.
+fn tap_span(w: usize, wo: usize, stride: usize, kx: usize, pad: usize) -> (usize, usize) {
+    let lo = if pad > kx {
+        (pad - kx).div_ceil(stride)
+    } else {
+        0
+    };
+    let hi = (w + pad)
+        .checked_sub(kx + 1)
+        .map(|last| (last / stride + 1).min(wo))
+        .unwrap_or(0);
+    (lo.min(hi), hi)
 }
 
 /// Adjoint of [`im2col`]: scatter-adds `cols: [c·k·k, ho·wo]` back into
@@ -118,6 +147,11 @@ pub fn col2im(
             for kx in 0..k {
                 let row = (ci * k + ky) * k + kx;
                 let src = &cols[row * out_plane..(row + 1) * out_plane];
+                // Same branch-free tap interval as `im2col_strided`; the
+                // scatter-add visits each destination once per (row, oy),
+                // at ascending `ox`, so the accumulation order matches the
+                // branchy loop exactly.
+                let (ox_lo, ox_hi) = tap_span(w, wo, stride, kx, pad);
                 for oy in 0..ho {
                     let iy = (oy * stride + ky) as isize - pad as isize;
                     if iy < 0 || iy >= h as isize {
@@ -125,10 +159,13 @@ pub fn col2im(
                     }
                     let dst_row =
                         &mut x[(ci * h + iy as usize) * w..(ci * h + iy as usize + 1) * w];
-                    for ox in 0..wo {
-                        let ix = (ox * stride + kx) as isize - pad as isize;
-                        if ix >= 0 && ix < w as isize {
-                            dst_row[ix as usize] += src[oy * wo + ox];
+                    if ox_lo < ox_hi {
+                        let ix0 = ox_lo * stride + kx - pad;
+                        for (s, d) in src[oy * wo + ox_lo..oy * wo + ox_hi]
+                            .iter()
+                            .zip(dst_row[ix0..].iter_mut().step_by(stride))
+                        {
+                            *d += *s;
                         }
                     }
                 }

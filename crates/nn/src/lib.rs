@@ -46,6 +46,7 @@ pub mod linalg;
 pub mod loss;
 mod norm;
 mod param;
+pub mod quant;
 mod tensor;
 
 pub use act::{LeakyRelu, Relu, Sigmoid, Tanh};

@@ -1,15 +1,31 @@
 //! Minimal dense matrix kernels used by the convolution layers.
 //!
-//! Row-major `f32` matrices as flat slices. The `ikj` loop order keeps the
-//! innermost loop streaming over contiguous memory, which the compiler
-//! auto-vectorises — enough throughput for the CPU-scale experiments.
+//! Row-major `f32` matrices as flat slices, shaped for the autovectorizer:
+//! every kernel works on **8-wide column panels** with a small block of
+//! independent accumulator registers (4 rows × 8 columns for `nn`/`tn`,
+//! 8 columns for `nt`), so the innermost loop is a fixed-width bundle of
+//! independent fused multiply-adds over contiguous `B` memory — the exact
+//! shape LLVM provably lowers to SIMD without `unsafe` or intrinsics.
+//!
+//! **Bitwise contract.** Register blocking only regroups *independent*
+//! output elements: each `C[i, j]` is seeded from the existing `C` value
+//! and accumulates its `k` products in ascending order, exactly like the
+//! scalar reference kernel, so results are bitwise-identical to a naive
+//! triple loop (`tests/kernel_prop.rs` pins this across odd shapes and
+//! tails). The old `if aik == 0.0` skip is gone: it broke the fixed-width
+//! panel shape (a data-dependent branch in the hot loop defeats
+//! vectorization) and, for the finite values these layers produce, adding
+//! a `±0.0` product is an accumulator no-op. Kernels assume finite inputs.
 //!
 //! `matmul_nn` / `matmul_tn` additionally tile over columns so the
-//! re-streamed `B` (and `C`) panels stay cache-resident when `n` is large —
-//! the regime batched inference creates by widening `n` to
-//! `batch · ho · wo`. Tiling only regroups *independent* output columns:
-//! every `C[i, j]` still accumulates over `k` in ascending order, so
-//! results are bitwise-identical to the untiled kernel.
+//! re-streamed `B` panel stays cache-resident when `n` is large — the
+//! regime batched inference creates by widening `n` to `batch · ho · wo`.
+
+/// Column-panel width: 8 f32 lanes (one AVX register, two SSE registers).
+const NR: usize = 8;
+/// Row-block height for the `nn`/`tn` kernels: 4 independent accumulator
+/// rows amortise each `B` panel load across 4 outputs.
+const MR: usize = 4;
 
 /// Column-tile width targeting a ~1 MiB working panel (`rows · tile · 4`
 /// bytes) so it stays inside the L2 cache.
@@ -26,29 +42,71 @@ pub fn matmul_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
     assert_eq!(a.len(), m * k, "A size");
     assert_eq!(b.len(), k * n, "B size");
     assert_eq!(c.len(), m * n, "C size");
-    // The B panel (k rows) is re-streamed for every output row; tile it.
-    let tile = col_tile(k + m, n);
+    // The B panel (k rows) is re-streamed for every 4-row block; tile it.
+    let tile = col_tile(k, n);
     let mut j0 = 0;
     while j0 < n {
         let j1 = (j0 + tile).min(n);
-        for i in 0..m {
-            let c_row = &mut c[i * n + j0..i * n + j1];
-            for kk in 0..k {
-                let aik = a[i * k + kk];
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = &b[kk * n + j0..kk * n + j1];
-                for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += aik * bv;
-                }
-            }
+        let mut i = 0;
+        while i + MR <= m {
+            let rows: [&[f32]; MR] = std::array::from_fn(|r| &a[(i + r) * k..(i + r + 1) * k]);
+            block_rows(&rows, b, c, i, k, n, j0, j1);
+            i += MR;
+        }
+        while i < m {
+            let rows = [&a[i * k..(i + 1) * k]];
+            block_rows(&rows, b, c, i, k, n, j0, j1);
+            i += 1;
         }
         j0 = j1;
     }
 }
 
+/// `C += Aᵀ @ B` where `A` is `k×m`, `B` is `k×n`, `C` is `m×n`.
+///
+/// Packs `Aᵀ` into a row-major scratch once (a cache-blocked transpose,
+/// each source line touched once), then runs the `nn` block kernel on it:
+/// reading `A` directly would stride the inner loop by `m` — one cache
+/// line per 4 floats, re-streamed for every column panel — which measures
+/// several times slower than the pack at the deconv shapes (`m` in the
+/// hundreds to thousands). The pack is O(m·k) against O(m·k·n) compute and
+/// does not touch the per-output fold order, so the bitwise contract is
+/// exactly `matmul_nn`'s.
+///
+/// # Panics
+///
+/// Panics when slice lengths do not match the dimensions.
+pub fn matmul_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), k * m, "A size");
+    assert_eq!(b.len(), k * n, "B size");
+    assert_eq!(c.len(), m * n, "C size");
+    const TB: usize = 32;
+    let mut at = vec![0.0f32; m * k];
+    let mut ib = 0;
+    while ib < m {
+        let i1 = (ib + TB).min(m);
+        let mut kb = 0;
+        while kb < k {
+            let k1 = (kb + TB).min(k);
+            for i in ib..i1 {
+                for kk in kb..k1 {
+                    at[i * k + kk] = a[kk * m + i];
+                }
+            }
+            kb = k1;
+        }
+        ib = i1;
+    }
+    matmul_nn(&at, b, c, m, k, n);
+}
+
 /// `C += A @ Bᵀ` where `A` is `m×k`, `B` is `n×k`, `C` is `m×n`.
+///
+/// Backward-only (weight gradients). The reduction runs along `k`, so the
+/// win here is 8 *independent* accumulator chains across output columns:
+/// each dot product still folds `k` in ascending order (bitwise-stable),
+/// but the chains interleave for instruction-level parallelism instead of
+/// serialising on one accumulator.
 ///
 /// # Panics
 ///
@@ -59,46 +117,80 @@ pub fn matmul_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
     assert_eq!(c.len(), m * n, "C size");
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let b_row = &b[j * k..(j + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j + NR <= n {
+            let b_rows: [&[f32]; NR] = std::array::from_fn(|l| &b[(j + l) * k..(j + l + 1) * k]);
+            let mut acc = [0.0f32; NR];
+            for (kk, &av) in a_row.iter().enumerate() {
+                for l in 0..NR {
+                    acc[l] += av * b_rows[l][kk];
+                }
+            }
+            for l in 0..NR {
+                c_row[j + l] += acc[l];
+            }
+            j += NR;
+        }
+        for jj in j..n {
+            let b_row = &b[jj * k..(jj + 1) * k];
             let mut acc = 0.0f32;
             for (av, bv) in a_row.iter().zip(b_row) {
                 acc += av * bv;
             }
-            c[i * n + j] += acc;
+            c_row[jj] += acc;
         }
     }
 }
 
-/// `C += Aᵀ @ B` where `A` is `k×m`, `B` is `k×n`, `C` is `m×n`.
-///
-/// # Panics
-///
-/// Panics when slice lengths do not match the dimensions.
-pub fn matmul_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    assert_eq!(a.len(), k * m, "A size");
-    assert_eq!(b.len(), k * n, "B size");
-    assert_eq!(c.len(), m * n, "C size");
-    // The whole C matrix (m rows) is re-streamed for every kk; tile it.
-    let tile = col_tile(m, n);
-    let mut j0 = 0;
-    while j0 < n {
-        let j1 = (j0 + tile).min(n);
+/// Shared row-block kernel for `matmul_nn`: `rows` holds R row slices of
+/// `A` (each of length `k`) for output rows `i0..i0+R`; accumulates the
+/// `[j0, j1)` column span of `C` in 8-wide register panels.
+#[allow(clippy::too_many_arguments)]
+fn block_rows<const R: usize>(
+    rows: &[&[f32]; R],
+    b: &[f32],
+    c: &mut [f32],
+    i0: usize,
+    k: usize,
+    n: usize,
+    j0: usize,
+    j1: usize,
+) {
+    let mut j = j0;
+    while j + NR <= j1 {
+        // Seed the register block from C so each output's accumulation
+        // chain is exactly `c += a·b` in ascending k — bitwise-identical
+        // to the scalar kernel.
+        let mut acc = [[0.0f32; NR]; R];
+        for (r, accr) in acc.iter_mut().enumerate() {
+            accr.copy_from_slice(&c[(i0 + r) * n + j..(i0 + r) * n + j + NR]);
+        }
         for kk in 0..k {
-            let a_row = &a[kk * m..(kk + 1) * m];
-            let b_row = &b[kk * n + j0..kk * n + j1];
-            for i in 0..m {
-                let aki = a_row[i];
-                if aki == 0.0 {
-                    continue;
-                }
-                let c_row = &mut c[i * n + j0..i * n + j1];
-                for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += aki * bv;
+            let bp: &[f32; NR] = b[kk * n + j..kk * n + j + NR]
+                .try_into()
+                .expect("panel width");
+            for (accr, row) in acc.iter_mut().zip(rows) {
+                let av = row[kk];
+                for l in 0..NR {
+                    accr[l] += av * bp[l];
                 }
             }
         }
-        j0 = j1;
+        for (r, accr) in acc.iter().enumerate() {
+            c[(i0 + r) * n + j..(i0 + r) * n + j + NR].copy_from_slice(accr);
+        }
+        j += NR;
+    }
+    // Column tail (< 8 wide): independent scalar chains, same fold order.
+    for jj in j..j1 {
+        for (r, row) in rows.iter().enumerate() {
+            let mut acc = c[(i0 + r) * n + jj];
+            for (kk, &av) in row.iter().enumerate() {
+                acc += av * b[kk * n + jj];
+            }
+            c[(i0 + r) * n + jj] = acc;
+        }
     }
 }
 
@@ -178,6 +270,34 @@ mod tests {
         let want = naive(&a, &b, m, k, n);
         for (x, y) in c.iter().zip(&want) {
             assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Shapes spanning the register-block boundaries: full 4×8 blocks,
+    /// row tails, column tails, and single-row/column degenerates must all
+    /// be **bitwise** equal to the naive triple loop (same per-element
+    /// fold order), not merely close.
+    #[test]
+    fn nn_is_bitwise_identical_to_naive_across_tails() {
+        for &(m, k, n) in &[
+            (4, 5, 8),
+            (4, 5, 16),
+            (5, 3, 9),
+            (7, 11, 23),
+            (1, 1, 1),
+            (8, 2, 7),
+            (9, 13, 40),
+        ] {
+            let a = randmat(m * k, 7);
+            let b = randmat(k * n, 8);
+            let mut c = vec![0.0; m * n];
+            matmul_nn(&a, &b, &mut c, m, k, n);
+            let want = naive(&a, &b, m, k, n);
+            assert_eq!(
+                c.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "shape ({m},{k},{n})"
+            );
         }
     }
 

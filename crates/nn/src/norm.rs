@@ -47,6 +47,21 @@ impl BatchNorm2d {
     pub fn channels(&self) -> usize {
         self.channels
     }
+
+    /// The inference-mode transform as a per-channel affine
+    /// `y = scale·x + shift` (running statistics baked in) — what a
+    /// quantized convolution folds into its weights.
+    pub fn inference_affine(&self) -> (Vec<f32>, Vec<f32>) {
+        let mut scale = vec![0.0f32; self.channels];
+        let mut shift = vec![0.0f32; self.channels];
+        for c in 0..self.channels {
+            let inv_std = 1.0 / (self.running_var[c] + self.eps).sqrt();
+            let g = self.gamma.value.data()[c];
+            scale[c] = g * inv_std;
+            shift[c] = self.beta.value.data()[c] - g * self.running_mean[c] * inv_std;
+        }
+        (scale, shift)
+    }
 }
 
 impl Layer for BatchNorm2d {

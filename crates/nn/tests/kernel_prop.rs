@@ -1,0 +1,165 @@
+//! Property tests pinning the register-blocked kernels to their scalar
+//! reference semantics across arbitrary shapes — full 4×8 blocks, row
+//! tails, column tails and degenerate single-row/column cases — plus the
+//! quantization round-trip error bound.
+//!
+//! The equality here is **bitwise** (`to_bits`), not approximate: the
+//! kernels' contract is that register blocking regroups independent
+//! outputs without changing any output's fold order (see
+//! `src/linalg.rs`).
+
+use pop_nn::linalg::{matmul_nn, matmul_nt, matmul_tn};
+use pop_nn::quant::{dot_q, quantize_symmetric, QMAX};
+use proptest::prelude::*;
+
+/// Scalar reference for `nn`/`tn`: each `C[i, j]` starts from the existing
+/// C value and folds the `k` products in ascending order.
+fn ref_accumulate(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = c[i * n + j];
+            for kk in 0..k {
+                acc += a[i * k + kk] * b[kk * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// Scalar reference for `nt` (`B` stored `n×k`): a zero-seeded dot folded
+/// in ascending `k`, then added onto C — the kernel's documented chain.
+fn ref_nt(a: &[f32], bt: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a[i * k + kk] * bt[j * k + kk];
+            }
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+fn transpose(x: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut t = vec![0.0; x.len()];
+    for r in 0..rows {
+        for cc in 0..cols {
+            t[cc * rows + r] = x[r * cols + cc];
+        }
+    }
+    t
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Deterministic filler so matrix content varies with the sampled seed but
+/// needs no O(m·k) strategy machinery.
+fn fill(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let x = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(seed.wrapping_mul(1442695040888963407) | 1);
+            ((x >> 33) as f32 / 2.0_f32.powi(31)) - 1.0
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `matmul_nn` is bitwise the scalar accumulate kernel for every
+    /// shape, including a non-zero starting C.
+    #[test]
+    fn nn_is_bitwise_naive(m in 1usize..40, k in 1usize..40, n in 1usize..40, seed in 0u64..1000) {
+        let a = fill(m * k, seed);
+        let b = fill(k * n, seed ^ 0xA5A5);
+        let c0 = fill(m * n, seed ^ 0x5A5A);
+        let mut got = c0.clone();
+        matmul_nn(&a, &b, &mut got, m, k, n);
+        let mut want = c0;
+        ref_accumulate(&a, &b, &mut want, m, k, n);
+        prop_assert_eq!(bits(&got), bits(&want), "shape ({}, {}, {})", m, k, n);
+    }
+
+    /// `matmul_tn` (A stored `k×m`) is bitwise the scalar accumulate
+    /// kernel on the transposed A.
+    #[test]
+    fn tn_is_bitwise_naive(m in 1usize..40, k in 1usize..40, n in 1usize..40, seed in 0u64..1000) {
+        let at = fill(k * m, seed);
+        let a = transpose(&at, k, m);
+        let b = fill(k * n, seed ^ 0x33CC);
+        let c0 = fill(m * n, seed ^ 0xCC33);
+        let mut got = c0.clone();
+        matmul_tn(&at, &b, &mut got, m, k, n);
+        let mut want = c0;
+        ref_accumulate(&a, &b, &mut want, m, k, n);
+        prop_assert_eq!(bits(&got), bits(&want), "shape ({}, {}, {})", m, k, n);
+    }
+
+    /// `matmul_nt` (B stored `n×k`) is bitwise the zero-seeded-dot-then-add
+    /// scalar chain.
+    #[test]
+    fn nt_is_bitwise_naive(m in 1usize..40, k in 1usize..40, n in 1usize..40, seed in 0u64..1000) {
+        let a = fill(m * k, seed);
+        let bt = fill(n * k, seed ^ 0x0F0F);
+        let c0 = fill(m * n, seed ^ 0xF0F0);
+        let mut got = c0.clone();
+        matmul_nt(&a, &bt, &mut got, m, k, n);
+        let mut want = c0;
+        ref_nt(&a, &bt, &mut want, m, k, n);
+        prop_assert_eq!(bits(&got), bits(&want), "shape ({}, {}, {})", m, k, n);
+    }
+
+    /// Symmetric i8 quantization round-trips every element within half a
+    /// quantization step (plus f32 rounding slack), and codes stay on the
+    /// signed-8-bit grid.
+    #[test]
+    fn quantize_roundtrip_is_half_step_bounded(
+        len in 1usize..256,
+        mag in 0.01f32..50.0,
+        seed in 0u64..10_000,
+    ) {
+        let values: Vec<f32> = fill(len, seed).iter().map(|v| v * mag).collect();
+        let mut q = vec![0i16; values.len()];
+        let scale = quantize_symmetric(&values, &mut q);
+        let maxabs = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        if maxabs == 0.0 {
+            prop_assert_eq!(scale, 0.0);
+            prop_assert!(q.iter().all(|&c| c == 0));
+        } else {
+            let step = maxabs / QMAX;
+            prop_assert!((scale - step).abs() <= step * 1e-6);
+            for (&v, &code) in values.iter().zip(&q) {
+                prop_assert!((-127..=127).contains(&code), "code {} off-grid", code);
+                let back = code as f32 * scale;
+                // Half a grid step, plus slack for the f32 roundings in
+                // `v * inv` and `code * scale` (both proportional to scale
+                // since |v| ≤ 127·scale).
+                prop_assert!(
+                    (back - v).abs() <= (0.5 + 1e-4) * scale + 1e-6,
+                    "|{} - {}| exceeds half step {}",
+                    back, v, 0.5 * scale
+                );
+            }
+        }
+    }
+
+    /// The widened i16 dot product is exact: it equals the i64 reference
+    /// for every pair of in-range code vectors.
+    #[test]
+    fn dot_q_matches_i64_reference(len in 0usize..512, seed in 0u64..10_000) {
+        let codes = |salt: u64| -> Vec<i16> {
+            fill(len, seed ^ salt)
+                .iter()
+                .map(|v| (v * QMAX).round() as i16)
+                .collect()
+        };
+        let a = codes(0);
+        let b = codes(0x9E37);
+        let want: i64 = a.iter().zip(&b).map(|(&x, &y)| x as i64 * y as i64).sum();
+        prop_assert_eq!(dot_q(&a, &b) as i64, want);
+    }
+}

@@ -5,7 +5,7 @@ use crate::error::ServeError;
 use crate::queue::{Request, RequestQueue};
 use crate::stats::{ServeStats, StatsSnapshot};
 use pop_core::features::tensor_to_image;
-use pop_core::{CoreError, Forecaster, Pix2Pix, SharedForecaster};
+use pop_core::{CoreError, Forecaster, Pix2Pix, QuantizedForecaster, SharedForecaster};
 use pop_exec::WorkerPool;
 use pop_nn::Tensor;
 use pop_raster::Image;
@@ -64,6 +64,31 @@ struct InputSpec {
     resolution: usize,
 }
 
+/// One worker's private model: the f32 checkpoint or its i8 snapshot
+/// (the registry's alternate replica kind). The quantized variant is a
+/// cheap `Arc`-free clone of immutable weights and forecasts through
+/// `&self` — no per-worker activation caches to replicate.
+#[derive(Debug)]
+enum Replica {
+    F32(Box<Pix2Pix>),
+    Quantized(QuantizedForecaster),
+}
+
+impl Replica {
+    fn forecast_batch(&mut self, xs: &[&Tensor]) -> Vec<Tensor> {
+        match self {
+            Replica::F32(model) => model.forecast_batch(xs),
+            Replica::Quantized(q) => q
+                .forecast_batch(xs)
+                .expect("quantized forecast is infallible"),
+        }
+    }
+
+    fn quantized(&self) -> bool {
+        matches!(self, Replica::Quantized(_))
+    }
+}
+
 impl InputSpec {
     fn check(&self, x: &Tensor) -> Result<(), ServeError> {
         let want = [1, self.channels, self.resolution, self.resolution];
@@ -109,34 +134,18 @@ impl ForecastEngine {
     /// Returns [`ServeError::BadConfig`] for a zero `max_batch`,
     /// `queue_capacity` or `workers`.
     pub fn start(model: Pix2Pix, config: EngineConfig) -> Result<Self, ServeError> {
-        config.validate()?;
         let spec = InputSpec {
             channels: model.config().input_channels(),
             resolution: model.config().resolution,
         };
-        let queue = Arc::new(RequestQueue::new(config.queue_capacity));
-        let stats = Arc::new(ServeStats::default());
         // One private replica per worker; the last worker takes the
         // original model instead of an extra clone.
-        let mut replicas: Vec<Pix2Pix> = Vec::with_capacity(config.workers);
+        let mut replicas: Vec<Replica> = Vec::with_capacity(config.workers);
         for _ in 1..config.workers {
-            replicas.push(model.clone());
+            replicas.push(Replica::F32(Box::new(model.clone())));
         }
-        replicas.push(model);
-        let workers = WorkerPool::spawn("pop-serve", config.workers, |_| {
-            let replica = replicas.pop().expect("one replica per worker");
-            let queue = Arc::clone(&queue);
-            let stats = Arc::clone(&stats);
-            let cfg = config.clone();
-            move || worker_loop(replica, queue, stats, cfg)
-        });
-        Ok(ForecastEngine {
-            queue,
-            stats,
-            spec,
-            config,
-            workers,
-        })
+        replicas.push(Replica::F32(Box::new(model)));
+        Self::start_replicas(replicas, spec, config)
     }
 
     /// Starts an engine over a [`SharedForecaster`] (e.g. handed out by the
@@ -151,6 +160,57 @@ impl ForecastEngine {
         config: EngineConfig,
     ) -> Result<Self, ServeError> {
         Self::start(model.replica(), config)
+    }
+
+    /// Starts an engine over an i8 snapshot ([`QuantizedForecaster`]) — the
+    /// opt-in quantized replica kind. Every worker clones the same
+    /// immutable snapshot; answers land in the quantized latency series of
+    /// [`StatsSnapshot`] (`p50_quant_latency_us` / `p99_quant_latency_us`).
+    ///
+    /// The snapshot carries no [`ExperimentConfig`]
+    /// (it is weights-only), so the serving geometry is taken from
+    /// `config_hint` — pass the config the checkpoint was trained with.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ForecastEngine::start`] validation failures.
+    pub fn start_quantized(
+        model: QuantizedForecaster,
+        config_hint: &pop_core::ExperimentConfig,
+        config: EngineConfig,
+    ) -> Result<Self, ServeError> {
+        let spec = InputSpec {
+            channels: config_hint.input_channels(),
+            resolution: config_hint.resolution,
+        };
+        let replicas: Vec<Replica> = (0..config.workers)
+            .map(|_| Replica::Quantized(model.clone()))
+            .collect();
+        Self::start_replicas(replicas, spec, config)
+    }
+
+    fn start_replicas(
+        mut replicas: Vec<Replica>,
+        spec: InputSpec,
+        config: EngineConfig,
+    ) -> Result<Self, ServeError> {
+        config.validate()?;
+        let queue = Arc::new(RequestQueue::new(config.queue_capacity));
+        let stats = Arc::new(ServeStats::default());
+        let workers = WorkerPool::spawn("pop-serve", config.workers, |_| {
+            let replica = replicas.pop().expect("one replica per worker");
+            let queue = Arc::clone(&queue);
+            let stats = Arc::clone(&stats);
+            let cfg = config.clone();
+            move || worker_loop(replica, queue, stats, cfg)
+        });
+        Ok(ForecastEngine {
+            queue,
+            stats,
+            spec,
+            config,
+            workers,
+        })
     }
 
     /// A cheap cloneable handle for submitting requests.
@@ -197,11 +257,12 @@ impl Drop for ForecastEngine {
 }
 
 fn worker_loop(
-    mut model: Pix2Pix,
+    mut model: Replica,
     queue: Arc<RequestQueue>,
     stats: Arc<ServeStats>,
     cfg: EngineConfig,
 ) {
+    let quantized = model.quantized();
     while let Some(batch) = queue.pop_batch(cfg.max_batch, cfg.max_wait) {
         if !cfg.forward_delay.is_zero() {
             std::thread::sleep(cfg.forward_delay);
@@ -221,7 +282,7 @@ fn worker_loop(
             Ok(outputs) => {
                 for (req, out) in batch.into_iter().zip(outputs) {
                     let latency_us = req.enqueued.elapsed().as_micros() as u64;
-                    stats.record_request_done(true, latency_us);
+                    stats.record_request_done(true, latency_us, quantized);
                     let _ = req.respond.send(Ok(out));
                 }
             }
@@ -229,7 +290,7 @@ fn worker_loop(
                 let msg = panic_message(&panic);
                 for req in batch {
                     let latency_us = req.enqueued.elapsed().as_micros() as u64;
-                    stats.record_request_done(false, latency_us);
+                    stats.record_request_done(false, latency_us, quantized);
                     let _ = req
                         .respond
                         .send(Err(ServeError::Model(format!("forward panicked: {msg}"))));

@@ -320,6 +320,78 @@ mod tests {
     }
 
     #[test]
+    fn quantized_engine_serves_the_snapshot_and_feeds_quant_stats() {
+        // The alternate replica kind end-to-end: a quantized engine must
+        // answer exactly what the snapshot answers directly, and its
+        // requests must land in the quantized latency series.
+        let model = tiny_model(11);
+        let quant = model.quantized();
+        let xs: Vec<Tensor> = (0..5).map(|s| input(200 + s)).collect();
+        let expected: Vec<Tensor> = xs
+            .iter()
+            .map(|x| Forecaster::forecast(&quant, x).unwrap())
+            .collect();
+
+        let engine = ForecastEngine::start_quantized(
+            quant,
+            model.config(),
+            EngineConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(20),
+                workers: 2,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let client = engine.client();
+        let pending: Vec<_> = xs.iter().map(|x| client.submit(x).unwrap()).collect();
+        for (p, want) in pending.into_iter().zip(&expected) {
+            assert_eq!(&p.wait().unwrap(), want);
+        }
+        let stats = engine.shutdown();
+        assert_eq!(stats.completed, 5);
+        assert_eq!(
+            stats.quant_completed, 5,
+            "all answers came from i8 replicas"
+        );
+        assert!(stats.p50_quant_latency_us > 0);
+        assert!(stats.p99_quant_latency_us >= stats.p50_quant_latency_us);
+    }
+
+    #[test]
+    fn f32_engine_leaves_quant_stats_empty() {
+        let engine = ForecastEngine::start(tiny_model(12), EngineConfig::default()).unwrap();
+        engine.client().forecast(&input(7)).unwrap();
+        let stats = engine.shutdown();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.quant_completed, 0);
+        assert_eq!(stats.p50_quant_latency_us, 0);
+    }
+
+    #[test]
+    fn registry_hands_out_cached_quantized_snapshots() {
+        let dir = std::env::temp_dir().join("pop_serve_registry_quant_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = tiny_config();
+        let path = dir.join("m.ckpt");
+        let mut model = tiny_model(31);
+        model_io::save_model(&mut model, &path).unwrap();
+
+        let registry = ModelRegistry::new(2);
+        let q1 = registry.get_or_load_quantized(&config, &path).unwrap();
+        let q2 = registry.get_or_load_quantized(&config, &path).unwrap();
+        assert_eq!(registry.loads(), 1, "one disk load serves both kinds");
+        let x = input(8);
+        let want = Forecaster::forecast(&model.quantized(), &x).unwrap();
+        assert_eq!(Forecaster::forecast(&q1, &x).unwrap(), want);
+        assert_eq!(Forecaster::forecast(&q2, &x).unwrap(), want);
+        // The f32 kind stays available from the same entry.
+        let f = registry.get_or_load(&config, &path).unwrap();
+        assert_eq!(f.forecast(&x).unwrap(), model.forecast(&x));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn registry_rejects_missing_checkpoints() {
         let registry = ModelRegistry::new(1);
         let err = registry

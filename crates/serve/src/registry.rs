@@ -4,7 +4,7 @@
 //! weights from disk on every request.
 
 use crate::error::ServeError;
-use pop_core::{model_io, ExperimentConfig, SharedForecaster};
+use pop_core::{model_io, ExperimentConfig, QuantizedForecaster, SharedForecaster};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
@@ -12,6 +12,9 @@ use std::sync::Mutex;
 #[derive(Debug)]
 struct Entry {
     model: SharedForecaster,
+    /// Lazily-built i8 snapshot of `model` — the alternate replica kind.
+    /// Built once per cache residency and evicted together with the entry.
+    quant: Option<QuantizedForecaster>,
     last_used: u64,
 }
 
@@ -88,11 +91,39 @@ impl ModelRegistry {
             path.to_path_buf(),
             Entry {
                 model: shared.clone(),
+                quant: None,
                 last_used: tick,
             },
         );
         Self::evict_lru(&mut inner, self.capacity);
         Ok(shared)
+    }
+
+    /// Returns the i8 snapshot of the checkpoint at `path` — the alternate
+    /// replica kind — loading the f32 model first if needed and quantizing
+    /// it once per cache residency (snapshots are immutable and cheap to
+    /// clone, so repeated requests share the same weights).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelRegistry::get_or_load`] failures.
+    pub fn get_or_load_quantized(
+        &self,
+        config: &ExperimentConfig,
+        path: &Path,
+    ) -> Result<QuantizedForecaster, ServeError> {
+        let model = self.get_or_load(config, path)?;
+        let mut inner = self.lock();
+        let entry = match inner.map.get_mut(path) {
+            Some(entry) => entry,
+            // Evicted between the two locks (capacity-1 race): quantize
+            // the handed-out model without re-caching.
+            None => return Ok(model.lock().quantized()),
+        };
+        if entry.quant.is_none() {
+            entry.quant = Some(entry.model.lock().quantized());
+        }
+        Ok(entry.quant.clone().expect("just built"))
     }
 
     /// Caches an already-built model under `path` (pre-warming, or serving
@@ -105,6 +136,7 @@ impl ModelRegistry {
             path.to_path_buf(),
             Entry {
                 model,
+                quant: None,
                 last_used: tick,
             },
         );

@@ -36,6 +36,12 @@ pub struct ServeStats {
     /// Per-request latency distribution (microseconds) — the percentile
     /// source. Recording is one atomic increment; see [`pop_obs`].
     pub(crate) latency_us: Histogram,
+    /// Latencies of requests answered by quantized (i8) replicas — a
+    /// separate series so a mixed fleet can compare the two replica kinds
+    /// from one snapshot.
+    pub(crate) quant_latency_us: Histogram,
+    /// Requests answered by quantized replicas.
+    pub(crate) quant_completed: AtomicU64,
 }
 
 impl ServeStats {
@@ -49,7 +55,7 @@ impl ServeStats {
             .fetch_add(forward_us, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_request_done(&self, ok: bool, latency_us: u64) {
+    pub(crate) fn record_request_done(&self, ok: bool, latency_us: u64, quantized: bool) {
         if ok {
             self.completed.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -59,6 +65,10 @@ impl ServeStats {
             .fetch_add(latency_us, Ordering::Relaxed);
         self.latency_us_max.fetch_max(latency_us, Ordering::Relaxed);
         self.latency_us.record(latency_us);
+        if quantized {
+            self.quant_completed.fetch_add(1, Ordering::Relaxed);
+            self.quant_latency_us.record(latency_us);
+        }
     }
 
     /// A consistent-enough point-in-time copy of the counters.
@@ -69,6 +79,7 @@ impl ServeStats {
         let batched_requests = self.batched_requests.load(Ordering::Relaxed);
         let done = completed + failed;
         let latency = self.latency_us.snapshot();
+        let quant_latency = self.quant_latency_us.snapshot();
         StatsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
@@ -90,6 +101,9 @@ impl ServeStats {
             p99_latency_us: latency.percentile(0.99),
             max_latency_us: self.latency_us_max.load(Ordering::Relaxed),
             forward_us_total: self.forward_us_total.load(Ordering::Relaxed),
+            quant_completed: self.quant_completed.load(Ordering::Relaxed),
+            p50_quant_latency_us: quant_latency.percentile(0.50),
+            p99_quant_latency_us: quant_latency.percentile(0.99),
         }
     }
 }
@@ -123,6 +137,13 @@ pub struct StatsSnapshot {
     pub max_latency_us: u64,
     /// Cumulative time inside generator forwards, microseconds.
     pub forward_us_total: u64,
+    /// Requests answered by quantized (i8) replicas.
+    pub quant_completed: u64,
+    /// Median latency of the quantized-path series, microseconds (zero
+    /// while no quantized replica has answered).
+    pub p50_quant_latency_us: u64,
+    /// 99th-percentile latency of the quantized-path series, microseconds.
+    pub p99_quant_latency_us: u64,
 }
 
 #[cfg(test)]
@@ -136,9 +157,9 @@ mod tests {
         s.record_batch(4, 1000);
         s.record_batch(2, 500);
         for _ in 0..4 {
-            s.record_request_done(true, 100);
+            s.record_request_done(true, 100, false);
         }
-        s.record_request_done(false, 300);
+        s.record_request_done(false, 300, false);
         let snap = s.snapshot();
         assert_eq!(snap.submitted, 10);
         assert_eq!(snap.completed, 4);
@@ -167,10 +188,10 @@ mod tests {
         // requests and two stragglers. The mean lands near 118 µs and max
         // at 1 ms — only the percentiles show the real service level.
         for _ in 0..98 {
-            s.record_request_done(true, 100);
+            s.record_request_done(true, 100, false);
         }
-        s.record_request_done(true, 1000);
-        s.record_request_done(true, 1000);
+        s.record_request_done(true, 1000, false);
+        s.record_request_done(true, 1000, false);
         let snap = s.snapshot();
         assert!(
             (100..=107).contains(&snap.p50_latency_us),
@@ -185,5 +206,41 @@ mod tests {
         assert_eq!(snap.max_latency_us, 1000);
         assert!(snap.p50_latency_us <= snap.p99_latency_us);
         assert!(snap.p99_latency_us <= snap.max_latency_us);
+    }
+
+    #[test]
+    fn quantized_requests_feed_their_own_percentile_series() {
+        let s = ServeStats::default();
+        // f32 replicas answer slowly, the quantized replica fast — the
+        // combined series must not hide the split.
+        for _ in 0..10 {
+            s.record_request_done(true, 2000, false);
+        }
+        for _ in 0..10 {
+            s.record_request_done(true, 200, true);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.completed, 20);
+        assert_eq!(snap.quant_completed, 10);
+        assert!(
+            (200..=213).contains(&snap.p50_quant_latency_us),
+            "quantized p50 {} should bracket 200µs within one bucket",
+            snap.p50_quant_latency_us
+        );
+        assert!(snap.p99_quant_latency_us < 2000);
+        assert!(
+            snap.p50_latency_us >= snap.p50_quant_latency_us,
+            "combined series includes the slow f32 half"
+        );
+    }
+
+    #[test]
+    fn quantized_series_is_zero_without_quantized_replicas() {
+        let s = ServeStats::default();
+        s.record_request_done(true, 500, false);
+        let snap = s.snapshot();
+        assert_eq!(snap.quant_completed, 0);
+        assert_eq!(snap.p50_quant_latency_us, 0);
+        assert_eq!(snap.p99_quant_latency_us, 0);
     }
 }
