@@ -68,6 +68,10 @@ pub fn pool_mode() -> PoolMode {
 /// until no worker can touch it again.
 #[derive(Clone, Copy)]
 struct JobPtr(*const (dyn Fn(usize) + Sync));
+// SAFETY: the referent is `Sync` (shared calls from any thread are fine)
+// and the round protocol in `ParkingPool::run` keeps it alive: `run`
+// blocks until every worker has retired the round, after which no worker
+// ever dereferences the pointer again.
 unsafe impl Send for JobPtr {}
 
 struct PoolState {
@@ -154,6 +158,7 @@ impl ParkingPool {
                 std::thread::Builder::new()
                     .name(format!("{name}-{index}"))
                     .spawn(move || worker_loop(index, &shared, &park_us, &panics))
+                    // lint: allow(panic_path) — construction-time, documented # Panics
                     .expect("failed to spawn pool worker thread")
             })
             .collect();
@@ -179,12 +184,15 @@ impl ParkingPool {
     /// round protocol guarantees no worker touches it after `run` returns.
     pub fn run(&self, job: &(dyn Fn(usize) + Sync)) -> usize {
         self.rounds.inc();
-        // Erase the borrow's lifetime. Sound because this function blocks
-        // below until `remaining == 0`, i.e. until every worker has
+        // SAFETY: erases the borrow's lifetime. Sound because this function
+        // blocks below until `remaining == 0`, i.e. until every worker has
         // finished calling the job and can never dereference it again.
         let job_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(job) };
         let ptr = JobPtr(job_static as *const _);
-        let mut state = self.shared.state.lock().expect("pool mutex poisoned");
+        // Worker panics are contained by catch_unwind; a poisoned lock can
+        // only mean a panic at a point where PoolState (plain counters) is
+        // still coherent, so recover instead of killing the dispatcher.
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
         debug_assert_eq!(state.remaining, 0, "previous round retired");
         state.generation += 1;
         state.job = Some(ptr);
@@ -196,7 +204,7 @@ impl ParkingPool {
                 .shared
                 .done_cv
                 .wait(state)
-                .expect("pool mutex poisoned");
+                .unwrap_or_else(|e| e.into_inner());
         }
         state.job = None;
         state.round_panics
@@ -206,7 +214,7 @@ impl ParkingPool {
 impl Drop for ParkingPool {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.state.lock().expect("pool mutex poisoned");
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             state.shutdown = true;
             self.shared.work_cv.notify_all();
         }
@@ -226,16 +234,24 @@ fn worker_loop(
     loop {
         let parked_at = Instant::now();
         let job = {
-            let mut state = shared.state.lock().expect("pool mutex poisoned");
+            let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if state.shutdown {
                     return;
                 }
+                // `run` only bumps the generation with a job installed; if
+                // that invariant ever breaks, park again rather than panic
+                // (a dead worker would hang the dispatcher forever).
                 if state.generation > seen_generation {
-                    seen_generation = state.generation;
-                    break state.job.expect("dispatched round carries a job");
+                    if let Some(job) = state.job {
+                        seen_generation = state.generation;
+                        break job;
+                    }
                 }
-                state = shared.work_cv.wait(state).expect("pool mutex poisoned");
+                state = shared
+                    .work_cv
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
             }
         };
         park_us.record_duration(parked_at.elapsed());
@@ -243,7 +259,7 @@ fn worker_loop(
         // others) decrement `remaining` below, so the referent is alive.
         let job: &(dyn Fn(usize) + Sync) = unsafe { &*job.0 };
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(index)));
-        let mut state = shared.state.lock().expect("pool mutex poisoned");
+        let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
         if result.is_err() {
             state.round_panics += 1;
             panics.inc();

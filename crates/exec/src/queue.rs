@@ -129,7 +129,10 @@ impl<T> BoundedQueue<T> {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
-        self.state.lock().expect("queue mutex poisoned")
+        // A panic while holding the lock poisons it; the queue state is a
+        // plain deque + flags (valid after any panic point), so recover
+        // rather than cascading the panic into every producer/consumer.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     #[inline]
@@ -171,7 +174,7 @@ impl<T> BoundedQueue<T> {
         let mut waited = false;
         while !st.closed && st.deque.len() >= self.capacity {
             waited = true;
-            st = self.not_full.wait(st).expect("queue mutex poisoned");
+            st = self.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
         }
         if waited {
             if let Some(m) = &self.metrics {
@@ -210,7 +213,7 @@ impl<T> BoundedQueue<T> {
             if self.metrics.is_some() {
                 wait_start.get_or_insert_with(Instant::now);
             }
-            st = self.not_empty.wait(st).expect("queue mutex poisoned");
+            st = self.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
         }
     }
 
@@ -243,9 +246,13 @@ impl<T> BoundedQueue<T> {
                 ) {
                     let mut i = 0;
                     while batch.len() < max_batch && i < st.deque.len() {
-                        if key_of(&st.deque[i]) == *key {
+                        let matches = st.deque.get(i).is_some_and(|it| key_of(it) == *key);
+                        if matches {
                             // `remove` preserves FIFO order of the rest.
-                            batch.push(st.deque.remove(i).expect("index in bounds"));
+                            match st.deque.remove(i) {
+                                Some(item) => batch.push(item),
+                                None => break,
+                            }
                         } else {
                             i += 1;
                         }
@@ -270,7 +277,7 @@ impl<T> BoundedQueue<T> {
                         let (next, timeout) = self
                             .not_empty
                             .wait_timeout(st, left)
-                            .expect("queue mutex poisoned");
+                            .unwrap_or_else(|e| e.into_inner());
                         st = next;
                         take_matching(&mut batch, &mut st, &batch_key, &key, max_batch);
                         // A wakeup may have been for a key this batch
@@ -303,7 +310,7 @@ impl<T> BoundedQueue<T> {
             if self.metrics.is_some() {
                 wait_start.get_or_insert_with(Instant::now);
             }
-            st = self.not_empty.wait(st).expect("queue mutex poisoned");
+            st = self.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
         }
     }
 

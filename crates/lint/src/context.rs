@@ -1,0 +1,464 @@
+//! Per-file analysis context shared by every rule engine: the token
+//! stream plus cheap structural facts — which tokens sit in test code,
+//! which sit inside `use` statements, the enclosing function of every
+//! token, and the `// lint: allow(rule)` escape hatches.
+
+use crate::lexer::{lex, Kind, Tok};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One workspace source file, by workspace-relative path.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// `/`-separated path relative to the workspace root
+    /// (e.g. `crates/core/src/dataset.rs`).
+    pub rel_path: String,
+    pub text: String,
+}
+
+impl SourceFile {
+    pub fn new(rel_path: impl Into<String>, text: impl Into<String>) -> Self {
+        SourceFile {
+            rel_path: rel_path.into(),
+            text: text.into(),
+        }
+    }
+}
+
+/// A `// lint: allow(rule)` annotation found in a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule it suppresses (`wall_clock`, `panic_path`, …).
+    pub rule: String,
+    /// Line the annotation sits on.
+    pub line: u32,
+    /// Lines it suppresses: its own line, plus the next line carrying
+    /// code when the annotation stands alone above a statement.
+    pub targets: Vec<u32>,
+}
+
+/// The analysis context for one file.
+pub struct FileCx<'a> {
+    pub file: &'a SourceFile,
+    pub toks: Vec<Tok>,
+    /// Indices into `toks` of non-comment tokens, in order.
+    pub code: Vec<usize>,
+    /// Per-`toks` index: inside `#[cfg(test)]` / `#[test]` / `#[bench]`
+    /// items (or the whole file, for `tests/` and `benches/` dirs).
+    in_test: Vec<bool>,
+    /// Per-`toks` index: inside a `use …;` statement.
+    in_use: Vec<bool>,
+    /// Per-`toks` index: enclosing fn, as an index into `fn_names`.
+    fn_of: Vec<Option<u32>>,
+    fn_names: Vec<String>,
+    pub allows: Vec<Allow>,
+}
+
+impl<'a> FileCx<'a> {
+    pub fn new(file: &'a SourceFile) -> Self {
+        let toks = lex(&file.text);
+        let code: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, Kind::LineComment | Kind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let whole_file_test = file.rel_path.contains("/tests/")
+            || file.rel_path.contains("/benches/")
+            || file.rel_path.starts_with("tests/")
+            || file.rel_path.starts_with("benches/");
+        let in_test = if whole_file_test {
+            vec![true; toks.len()]
+        } else {
+            mark_test_regions(&toks, &code, &file.text)
+        };
+        let in_use = mark_use_statements(&toks, &code, &file.text);
+        let (fn_of, fn_names) = map_enclosing_fns(&toks, &code, &file.text);
+        let allows = collect_allows(&toks, &code, &in_test, &file.text);
+        FileCx {
+            file,
+            toks,
+            code,
+            in_test,
+            in_use,
+            fn_of,
+            fn_names,
+            allows,
+        }
+    }
+
+    pub fn text(&self, tok: &Tok) -> &'a str {
+        tok.text(&self.file.text)
+    }
+
+    /// Whether the token at `toks` index `i` is inside test-only code.
+    pub fn is_test(&self, i: usize) -> bool {
+        self.in_test[i]
+    }
+
+    /// Whether the token at `toks` index `i` is inside a `use` statement.
+    pub fn is_use(&self, i: usize) -> bool {
+        self.in_use[i]
+    }
+
+    /// Name of the function enclosing `toks` index `i`, if any.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&str> {
+        self.fn_of[i].map(|f| self.fn_names[f as usize].as_str())
+    }
+
+    /// Opaque id of the enclosing fn — distinguishes two fns that share a
+    /// name (e.g. `lock` on two impls) for scan-boundary detection.
+    pub fn fn_id(&self, i: usize) -> Option<u32> {
+        self.fn_of[i]
+    }
+
+    /// The code token following `toks` index `i` (skipping comments).
+    pub fn next_code(&self, i: usize) -> Option<usize> {
+        let pos = self.code.partition_point(|&c| c <= i);
+        self.code.get(pos).copied()
+    }
+
+    /// The code token preceding `toks` index `i` (skipping comments).
+    pub fn prev_code(&self, i: usize) -> Option<usize> {
+        let pos = self.code.partition_point(|&c| c < i);
+        pos.checked_sub(1).map(|p| self.code[p])
+    }
+}
+
+/// Marks tokens covered by `#[cfg(test)]`, `#[test]` or `#[bench]` items.
+fn mark_test_regions(toks: &[Tok], code: &[usize], src: &str) -> Vec<bool> {
+    let mut in_test = vec![false; toks.len()];
+    let mut ranges: Vec<(usize, usize)> = Vec::new(); // toks-index ranges
+    let mut c = 0usize; // cursor into `code`
+    let mut pending = false;
+    while c < code.len() {
+        let i = code[c];
+        let tok = &toks[i];
+        if tok.kind == Kind::Punct
+            && tok.text(src) == "#"
+            && code.get(c + 1).is_some_and(|&j| toks[j].text(src) == "[")
+        {
+            // Collect the attribute's idents up to the matching `]`.
+            let mut depth = 0usize;
+            let mut idents: Vec<&str> = Vec::new();
+            let mut d = c + 1;
+            while d < code.len() {
+                let t = &toks[code[d]];
+                match (t.kind, t.text(src)) {
+                    (Kind::Punct, "[") => depth += 1,
+                    (Kind::Punct, "]") => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    (Kind::Ident, name) => idents.push(name),
+                    _ => {}
+                }
+                d += 1;
+            }
+            let has = |n: &str| idents.contains(&n);
+            let cfg_test = has("cfg") && has("test") && !has("not");
+            let direct_test = !has("cfg") && (has("test") || has("bench"));
+            if cfg_test || direct_test {
+                pending = true;
+            }
+            c = d + 1;
+            continue;
+        }
+        if pending {
+            // The attributed item: runs to the matching `}` of its first
+            // top-level `{`, or to a `;` if it has no body.
+            let start = i;
+            let mut depth = 0usize;
+            let mut d = c;
+            let mut end = code.len().saturating_sub(1);
+            while d < code.len() {
+                let t = &toks[code[d]];
+                if t.kind == Kind::Punct {
+                    match t.text(src) {
+                        "{" | "(" | "[" => depth += 1,
+                        "}" | ")" | "]" => {
+                            depth = depth.saturating_sub(1);
+                            if depth == 0 && t.text(src) == "}" {
+                                end = d;
+                                break;
+                            }
+                        }
+                        ";" if depth == 0 => {
+                            end = d;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                d += 1;
+            }
+            ranges.push((start, code[end.min(code.len() - 1)]));
+            pending = false;
+            c = end + 1;
+            continue;
+        }
+        c += 1;
+    }
+    for (a, b) in ranges {
+        for (i, flag) in in_test.iter_mut().enumerate() {
+            if i >= a && i <= b {
+                *flag = true;
+            }
+        }
+    }
+    in_test
+}
+
+/// Marks tokens inside `use …;` statements (imports are not usages).
+fn mark_use_statements(toks: &[Tok], code: &[usize], src: &str) -> Vec<bool> {
+    let mut in_use = vec![false; toks.len()];
+    let mut active = false;
+    for (pos, &i) in code.iter().enumerate() {
+        let tok = &toks[i];
+        if !active && tok.kind == Kind::Ident && tok.text(src) == "use" {
+            let starts_stmt = pos == 0
+                || matches!(
+                    toks[code[pos - 1]].text(src),
+                    ";" | "{" | "}" | "]" | "pub" | ")"
+                );
+            if starts_stmt {
+                active = true;
+            }
+        }
+        if active {
+            in_use[i] = true;
+            if tok.kind == Kind::Punct && tok.text(src) == ";" {
+                active = false;
+            }
+        }
+    }
+    in_use
+}
+
+/// Computes, for every token, the name of its innermost enclosing `fn`.
+fn map_enclosing_fns(toks: &[Tok], code: &[usize], src: &str) -> (Vec<Option<u32>>, Vec<String>) {
+    let mut fn_of = vec![None; toks.len()];
+    let mut names: Vec<String> = Vec::new();
+    let mut stack: Vec<(u32, usize)> = Vec::new(); // (name index, depth)
+    let mut pending: Option<u32> = None;
+    let mut depth = 0usize;
+    let mut code_pos = 0usize;
+    for (i, tok) in toks.iter().enumerate() {
+        // Current innermost fn applies to this token (comments included,
+        // so SAFETY comments attribute to the right context).
+        fn_of[i] = stack.last().map(|&(f, _)| f);
+        if matches!(tok.kind, Kind::LineComment | Kind::BlockComment) {
+            continue;
+        }
+        debug_assert_eq!(code[code_pos], i);
+        match (tok.kind, tok.text(src)) {
+            (Kind::Ident, "fn") => {
+                if let Some(&j) = code.get(code_pos + 1) {
+                    if toks[j].kind == Kind::Ident {
+                        names.push(toks[j].text(src).to_string());
+                        pending = Some((names.len() - 1) as u32);
+                    }
+                }
+            }
+            (Kind::Punct, "{") => {
+                depth += 1;
+                if let Some(f) = pending.take() {
+                    stack.push((f, depth));
+                    fn_of[i] = Some(f);
+                }
+            }
+            (Kind::Punct, "}") => {
+                if stack.last().is_some_and(|&(_, d)| d == depth) {
+                    stack.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            // A `;` before the body: trait method declaration, no body.
+            (Kind::Punct, ";") => pending = None,
+            _ => {}
+        }
+        code_pos += 1;
+    }
+    (fn_of, names)
+}
+
+/// Collects `// lint: allow(rule)` annotations. An annotation suppresses
+/// findings on its own line and — when it stands alone — on the next line
+/// that carries code. The marker must open the comment (prose that merely
+/// *mentions* the syntax is not an annotation), and test-only comments are
+/// ignored (rules skip test code, so an allow there could never fire).
+fn collect_allows(toks: &[Tok], code: &[usize], in_test: &[bool], src: &str) -> Vec<Allow> {
+    let code_lines: BTreeSet<u32> = code.iter().map(|&i| toks[i].line).collect();
+    let mut allows = Vec::new();
+    for (i, tok) in toks.iter().enumerate() {
+        if !matches!(tok.kind, Kind::LineComment | Kind::BlockComment) || in_test[i] {
+            continue;
+        }
+        let text = tok.text(src);
+        let opening = text.trim_start_matches(['/', '*', '!']).trim_start();
+        if !opening.starts_with("lint: allow(") {
+            continue;
+        }
+        let rest = &opening["lint: allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        if rule.is_empty() {
+            continue;
+        }
+        let mut targets = vec![tok.line];
+        if !code_lines.contains(&tok.line) {
+            // Standalone comment: it covers the next code-bearing line.
+            if let Some(&next) = code_lines.range(tok.line + 1..).next() {
+                targets.push(next);
+            }
+        }
+        allows.push(Allow {
+            rule,
+            line: tok.line,
+            targets,
+        });
+    }
+    allows
+}
+
+/// Suppression bookkeeping: which allows exist, which got used.
+pub struct AllowLedger {
+    /// (rule, line) → allow index, for the current file.
+    by_target: BTreeMap<(String, u32), usize>,
+    pub used: Vec<bool>,
+}
+
+impl AllowLedger {
+    pub fn new(allows: &[Allow]) -> Self {
+        let mut by_target = BTreeMap::new();
+        for (idx, a) in allows.iter().enumerate() {
+            for &t in &a.targets {
+                by_target.insert((a.rule.clone(), t), idx);
+            }
+        }
+        AllowLedger {
+            by_target,
+            used: vec![false; allows.len()],
+        }
+    }
+
+    /// True (and marks the allow used) when `rule` at `line` is suppressed.
+    pub fn suppresses(&mut self, rule: &str, line: u32) -> bool {
+        if let Some(&idx) = self.by_target.get(&(rule.to_string(), line)) {
+            self.used[idx] = true;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_modules_and_test_fns_are_marked() {
+        let file = SourceFile::new(
+            "crates/x/src/lib.rs",
+            r#"
+fn live() { work(); }
+
+#[test]
+fn unit() { assert!(true); }
+
+#[cfg(test)]
+mod tests {
+    fn helper() { inner(); }
+}
+
+fn also_live() {}
+"#,
+        );
+        let cx = FileCx::new(&file);
+        let flag = |name: &str| {
+            let i = cx
+                .toks
+                .iter()
+                .position(|t| cx.text(t) == name)
+                .unwrap_or_else(|| panic!("{name} not found"));
+            cx.is_test(i)
+        };
+        assert!(!flag("work"));
+        assert!(flag("assert"));
+        assert!(flag("inner"));
+        assert!(!flag("also_live"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_live_code() {
+        let file = SourceFile::new(
+            "crates/x/src/lib.rs",
+            "#[cfg(not(test))]\nfn shipping() { work(); }\n",
+        );
+        let cx = FileCx::new(&file);
+        let i = cx.toks.iter().position(|t| cx.text(t) == "work").unwrap();
+        assert!(!cx.is_test(i));
+    }
+
+    #[test]
+    fn files_under_tests_dirs_are_wholly_test() {
+        let file = SourceFile::new("crates/x/tests/integration.rs", "fn f() { g(); }");
+        let cx = FileCx::new(&file);
+        assert!((0..cx.toks.len()).all(|i| cx.is_test(i)));
+    }
+
+    #[test]
+    fn enclosing_fn_names_are_tracked_through_nesting() {
+        let file = SourceFile::new(
+            "crates/x/src/lib.rs",
+            "fn outer() { let c = |x| { inner_marker(); }; }\nfn second() { other_marker(); }",
+        );
+        let cx = FileCx::new(&file);
+        let ctx_of = |name: &str| {
+            let i = cx.toks.iter().position(|t| cx.text(t) == name).unwrap();
+            cx.enclosing_fn(i).map(str::to_string)
+        };
+        assert_eq!(ctx_of("inner_marker").as_deref(), Some("outer"));
+        assert_eq!(ctx_of("other_marker").as_deref(), Some("second"));
+    }
+
+    #[test]
+    fn use_statements_are_not_usage() {
+        let file = SourceFile::new(
+            "crates/x/src/lib.rs",
+            "use std::time::Instant;\nfn f() { let t = Instant::now(); }",
+        );
+        let cx = FileCx::new(&file);
+        let sites: Vec<bool> = cx
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| cx.text(t) == "Instant")
+            .map(|(i, _)| cx.is_use(i))
+            .collect();
+        assert_eq!(sites, vec![true, false]);
+    }
+
+    #[test]
+    fn allow_annotations_cover_their_own_and_the_next_code_line() {
+        let file = SourceFile::new(
+            "crates/x/src/lib.rs",
+            "// lint: allow(wall_clock) — provenance\nlet t = now();\nlet u = now(); // lint: allow(map_order)\n",
+        );
+        let cx = FileCx::new(&file);
+        assert_eq!(cx.allows.len(), 2);
+        assert_eq!(cx.allows[0].rule, "wall_clock");
+        assert_eq!(cx.allows[0].targets, vec![1, 2]);
+        assert_eq!(cx.allows[1].rule, "map_order");
+        assert_eq!(cx.allows[1].targets, vec![3]);
+        let mut ledger = AllowLedger::new(&cx.allows);
+        assert!(ledger.suppresses("wall_clock", 2));
+        assert!(!ledger.suppresses("wall_clock", 3));
+        assert!(ledger.suppresses("map_order", 3));
+        assert_eq!(ledger.used, vec![true, true]);
+    }
+}

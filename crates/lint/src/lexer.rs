@@ -1,0 +1,351 @@
+//! A small Rust lexer — comments, strings, identifiers, punctuation — in
+//! the same hand-rolled idiom as `pop-obs`'s JSON parser.
+//!
+//! This is deliberately *not* a parser: the rule engines in
+//! [`crate::rules`] only need to know, for every byte of a source file,
+//! whether it is comment, string-literal or code, which identifier it
+//! belongs to, and on which line it sits. A token stream with accurate
+//! comment/string boundaries is enough to answer all five rule families
+//! without a syntax tree, and it can never fall over on code the real
+//! compiler accepts (worst case a rule sees an odd token sequence and
+//! stays silent).
+
+/// What a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, …).
+    Ident,
+    /// Any string literal: `"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// A character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A numeric literal (split on `.` — good enough for the rules).
+    Num,
+    /// One punctuation byte (`.`, `(`, `{`, `!`, …).
+    Punct,
+    /// `// …` to end of line (including doc comments).
+    LineComment,
+    /// `/* … */`, nesting honoured (including doc comments).
+    BlockComment,
+}
+
+/// One token: kind, byte range and 1-based source line of its first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: Kind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+impl Tok {
+    /// The token's text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Tokenizes `src`. Unterminated strings/comments are tolerated (the token
+/// runs to end of input) so a half-edited file still lints.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let start = i;
+        let start_line = line;
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: Kind::LineComment,
+                    start,
+                    end: i,
+                    line: start_line,
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                let mut depth = 1usize;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: Kind::BlockComment,
+                    start,
+                    end: i,
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                i = lex_string(bytes, i, &mut line);
+                toks.push(Tok {
+                    kind: Kind::Str,
+                    start,
+                    end: i,
+                    line: start_line,
+                });
+            }
+            b'r' | b'b' if raw_or_byte_string_len(bytes, i).is_some() => {
+                // r"..", r#".."#, b"..", br#".."# — and b'..' byte chars.
+                let (kind, end) = lex_prefixed_literal(bytes, i, &mut line);
+                i = end;
+                toks.push(Tok {
+                    kind,
+                    start,
+                    end: i,
+                    line: start_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime vs char literal: a lifetime is `'` + ident run
+                // NOT followed by a closing `'`.
+                let mut j = i + 1;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                let is_lifetime = j > i + 1 && bytes.get(j) != Some(&b'\'');
+                if is_lifetime {
+                    i = j;
+                    toks.push(Tok {
+                        kind: Kind::Lifetime,
+                        start,
+                        end: i,
+                        line: start_line,
+                    });
+                } else {
+                    i = lex_char(bytes, i);
+                    toks.push(Tok {
+                        kind: Kind::Char,
+                        start,
+                        end: i,
+                        line: start_line,
+                    });
+                }
+            }
+            b if b.is_ascii_alphabetic() || b == b'_' => {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: Kind::Ident,
+                    start,
+                    end: i,
+                    line: start_line,
+                });
+            }
+            b if b.is_ascii_digit() => {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: Kind::Num,
+                    start,
+                    end: i,
+                    line: start_line,
+                });
+            }
+            _ => {
+                // One punctuation byte; multi-byte UTF-8 (only ever inside
+                // comments/strings in real Rust) is consumed bytewise too.
+                i += 1;
+                toks.push(Tok {
+                    kind: Kind::Punct,
+                    start,
+                    end: i,
+                    line: start_line,
+                });
+            }
+        }
+    }
+    toks
+}
+
+/// Length check for `r"`, `r#`, `b"`, `b'`, `br"`, `br#` prefixes at `i`;
+/// `None` means plain identifier territory.
+fn raw_or_byte_string_len(bytes: &[u8], i: usize) -> Option<usize> {
+    let rest = &bytes[i..];
+    let after = |n: usize| rest.get(n).copied();
+    match rest.first()? {
+        b'r' => match after(1)? {
+            b'"' | b'#' => Some(1),
+            _ => None,
+        },
+        b'b' => match after(1)? {
+            b'"' | b'\'' => Some(1),
+            b'r' => match after(2)? {
+                b'"' | b'#' => Some(2),
+                _ => None,
+            },
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Lexes a literal starting with an `r`/`b`/`br` prefix. Returns the token
+/// kind and the end offset.
+fn lex_prefixed_literal(bytes: &[u8], start: usize, line: &mut u32) -> (Kind, usize) {
+    let mut i = start;
+    let mut raw = false;
+    while i < bytes.len() && (bytes[i] == b'r' || bytes[i] == b'b') {
+        if bytes[i] == b'r' {
+            raw = true;
+        }
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'\'') {
+        // b'x' byte literal.
+        return (Kind::Char, lex_char(bytes, i));
+    }
+    if raw {
+        // Count the `#`s, find the closing `"#…#`.
+        let mut hashes = 0usize;
+        while bytes.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        if bytes.get(i) == Some(&b'"') {
+            i += 1;
+            loop {
+                match bytes.get(i) {
+                    None => break,
+                    Some(b'\n') => {
+                        *line += 1;
+                        i += 1;
+                    }
+                    Some(b'"') => {
+                        let close = &bytes[i + 1..];
+                        if close.len() >= hashes && close[..hashes].iter().all(|&c| c == b'#') {
+                            i += 1 + hashes;
+                            break;
+                        }
+                        i += 1;
+                    }
+                    Some(_) => i += 1,
+                }
+            }
+        }
+        (Kind::Str, i)
+    } else {
+        // b"..." — same body rules as a plain string.
+        (Kind::Str, lex_string(bytes, i, line))
+    }
+}
+
+/// Lexes a `"…"` body starting at the opening quote; returns the offset
+/// just past the closing quote.
+fn lex_string(bytes: &[u8], start: usize, line: &mut u32) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Lexes a `'…'` char/byte literal starting at the quote.
+fn lex_char(bytes: &[u8], start: usize) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            b'\n' => return i, // stray quote; don't swallow the file
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn comments_strings_and_code_are_separated() {
+        let src = "let s = \"a // not a comment\"; // real\n/* block\n*/ fn f() {}";
+        let ks = kinds(src);
+        assert!(ks.contains(&(Kind::Str, "\"a // not a comment\"".into())));
+        assert!(ks.contains(&(Kind::LineComment, "// real".into())));
+        assert!(ks.contains(&(Kind::BlockComment, "/* block\n*/".into())));
+        assert!(ks.contains(&(Kind::Ident, "fn".into())));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let ks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(ks.contains(&(Kind::Lifetime, "'a".into())));
+        assert!(ks.contains(&(Kind::Char, "'x'".into())));
+        assert!(ks.contains(&(Kind::Char, "'\\n'".into())));
+    }
+
+    #[test]
+    fn raw_and_byte_strings_lex_as_one_token() {
+        let src = r##"let a = r#"raw "quoted" body"#; let b = b"bytes"; let c = br#"x"#;"##;
+        let ks = kinds(src);
+        assert!(ks.contains(&(Kind::Str, r##"r#"raw "quoted" body"#"##.into())));
+        assert!(ks.contains(&(Kind::Str, "b\"bytes\"".into())));
+        assert!(ks.contains(&(Kind::Str, "br#\"x\"#".into())));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let src = "a\n/* x\ny */\nb \"s\ns\" c";
+        let toks = lex(src);
+        let find = |text: &str| toks.iter().find(|t| t.text(src) == text).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("c"), 5);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let ks = kinds("/* a /* b */ c */ x");
+        assert_eq!(ks[0], (Kind::BlockComment, "/* a /* b */ c */".into()));
+        assert_eq!(ks[1], (Kind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn unterminated_tokens_do_not_panic() {
+        assert!(!lex("\"never closed").is_empty());
+        assert!(!lex("/* never closed").is_empty());
+        assert!(!lex("r#\"never closed").is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! `pop-lint` CLI: lints the workspace, prints ranked findings and the
+//! greppable summary line, exits nonzero on any violation.
+//!
+//! ```text
+//! cargo run -p pop-lint                        # lint, exit 1 on findings
+//! cargo run -p pop-lint -- --json report.json  # also write the LintReport
+//! cargo run -p pop-lint -- --write-inventories # regenerate the committed
+//!                                              # UNSAFE_INVENTORY.md and
+//!                                              # OBS_NAMES.md, then re-lint
+//! cargo run -p pop-lint -- --root <dir>        # explicit workspace root
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut write_inventories = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--json" => json_path = args.next().map(PathBuf::from),
+            "--write-inventories" => write_inventories = true,
+            "--help" | "-h" => {
+                eprintln!("usage: pop-lint [--root DIR] [--json FILE] [--write-inventories]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("pop-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("pop-lint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut report = match pop_lint::run_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pop-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if write_inventories {
+        if let Err(e) = pop_lint::write_inventories(&root, &report) {
+            eprintln!("pop-lint: writing inventories failed: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("pop-lint: wrote UNSAFE_INVENTORY.md and OBS_NAMES.md; re-linting");
+        report = match pop_lint::run_workspace(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("pop-lint: rescan failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+    }
+
+    if let Some(path) = json_path {
+        match report.to_validated_json() {
+            Ok(text) => {
+                if let Err(e) = std::fs::write(&path, text) {
+                    eprintln!("pop-lint: writing {} failed: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+            Err(e) => {
+                eprintln!("pop-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    print!("{}", report.render());
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` declaring
+/// a `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

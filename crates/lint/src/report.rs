@@ -1,0 +1,299 @@
+//! Lint findings and the [`LintReport`]: ranked human-readable rendering
+//! plus a JSON form written with `pop-obs`'s hand-rolled JSON helpers and
+//! self-validated by parsing it back.
+
+use pop_obs::json::{self, Value};
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id: `wall_clock`, `map_order`, `unsafe_doc`, `unsafe_inventory`,
+    /// `panic_path`, `lock_order`, `obs_name`, `unused_allow`.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub file: String,
+    pub line: u32,
+    /// Enclosing function, or `-` at module scope.
+    pub context: String,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(
+        rule: &str,
+        file: &str,
+        line: u32,
+        context: Option<&str>,
+        message: impl Into<String>,
+    ) -> Self {
+        Finding {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            line,
+            context: context.unwrap_or("-").to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+/// Severity rank used to order findings: correctness-poisoning rules
+/// first, hygiene last.
+pub fn rank(rule: &str) -> u8 {
+    match rule {
+        "wall_clock" | "map_order" => 1,
+        "unsafe_doc" | "unsafe_inventory" => 2,
+        "panic_path" => 3,
+        "lock_order" => 4,
+        "obs_name" => 5,
+        _ => 6, // unused_allow and anything future
+    }
+}
+
+/// An `// lint: allow(rule)` escape hatch, inventoried in the report so
+/// suppressions stay visible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub file: String,
+    pub line: u32,
+}
+
+/// Everything one lint pass produced.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    pub findings: Vec<Finding>,
+    /// Every escape hatch in the scanned source, used or not.
+    pub allows: Vec<AllowEntry>,
+    /// Regenerated `UNSAFE_INVENTORY.md` entry lines.
+    pub unsafe_sites: Vec<String>,
+    /// Regenerated `OBS_NAMES.md` entry lines.
+    pub obs_names: Vec<String>,
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Sorts findings by (severity rank, file, line, rule).
+    pub fn finalize(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (rank(&a.rule), &a.file, a.line, &a.rule).cmp(&(
+                rank(&b.rule),
+                &b.file,
+                b.line,
+                &b.rule,
+            ))
+        });
+        self.allows
+            .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    }
+
+    /// The greppable one-line summary CI keys off.
+    pub fn summary(&self) -> String {
+        if self.findings.is_empty() {
+            format!(
+                "pop-lint: 0 findings — {} files scanned, {} unsafe sites, {} obs names, {} allows",
+                self.files_scanned,
+                self.unsafe_sites.len(),
+                self.obs_names.len(),
+                self.allows.len()
+            )
+        } else {
+            let mut by_rule: Vec<(String, usize)> = Vec::new();
+            for f in &self.findings {
+                match by_rule.iter_mut().find(|(r, _)| *r == f.rule) {
+                    Some((_, n)) => *n += 1,
+                    None => by_rule.push((f.rule.clone(), 1)),
+                }
+            }
+            let breakdown: Vec<String> = by_rule.iter().map(|(r, n)| format!("{n} {r}")).collect();
+            format!(
+                "pop-lint: {} findings ({})",
+                self.findings.len(),
+                breakdown.join(", ")
+            )
+        }
+    }
+
+    /// Human-readable rendering: ranked findings, then the allow
+    /// inventory, then the summary line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "[{}] {}:{} ({}): {}\n",
+                f.rule, f.file, f.line, f.context, f.message
+            ));
+        }
+        if !self.allows.is_empty() {
+            out.push_str(&format!("suppressions ({}):\n", self.allows.len()));
+            for a in &self.allows {
+                out.push_str(&format!("  allow({}) {}:{}\n", a.rule, a.file, a.line));
+            }
+        }
+        out.push_str(&self.summary());
+        out.push('\n');
+        out
+    }
+
+    /// Serializes the report with the `pop-obs` JSON writer.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!(
+            "\"files_scanned\":{},",
+            json::num(self.files_scanned as f64)
+        ));
+        s.push_str("\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"rule\":{},\"file\":{},\"line\":{},\"context\":{},\"message\":{}}}",
+                json::str_lit(&f.rule),
+                json::str_lit(&f.file),
+                json::num(f.line as f64),
+                json::str_lit(&f.context),
+                json::str_lit(&f.message)
+            ));
+        }
+        s.push_str("],\"allows\":[");
+        for (i, a) in self.allows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"rule\":{},\"file\":{},\"line\":{}}}",
+                json::str_lit(&a.rule),
+                json::str_lit(&a.file),
+                json::num(a.line as f64)
+            ));
+        }
+        s.push_str("],\"unsafe_sites\":[");
+        for (i, u) in self.unsafe_sites.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&json::str_lit(u));
+        }
+        s.push_str("],\"obs_names\":[");
+        for (i, n) in self.obs_names.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&json::str_lit(n));
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Serializes and re-parses through the `pop-obs` JSON reader,
+    /// checking the round trip carries every finding. Returns the JSON
+    /// text on success.
+    pub fn to_validated_json(&self) -> Result<String, String> {
+        let text = self.to_json();
+        let value = json::parse(&text).map_err(|e| format!("self-validation parse: {e}"))?;
+        let findings = value
+            .get("findings")
+            .and_then(Value::as_array)
+            .ok_or("self-validation: findings array missing")?;
+        if findings.len() != self.findings.len() {
+            return Err(format!(
+                "self-validation: {} findings serialized, {} parsed back",
+                self.findings.len(),
+                findings.len()
+            ));
+        }
+        for (f, v) in self.findings.iter().zip(findings) {
+            let rule = v.get("rule").and_then(Value::as_str);
+            let line = v.get("line").and_then(Value::as_u64);
+            if rule != Some(f.rule.as_str()) || line != Some(f.line as u64) {
+                return Err(format!(
+                    "self-validation: finding {}:{} did not round-trip",
+                    f.file, f.line
+                ));
+            }
+        }
+        Ok(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LintReport {
+        let mut r = LintReport {
+            findings: vec![
+                Finding::new("panic_path", "crates/b/src/x.rs", 9, Some("pop"), "unwrap"),
+                Finding::new("wall_clock", "crates/a/src/y.rs", 4, None, "Instant::now"),
+            ],
+            allows: vec![AllowEntry {
+                rule: "wall_clock".into(),
+                file: "crates/a/src/y.rs".into(),
+                line: 2,
+            }],
+            unsafe_sites: vec!["crates/nn/src/quant.rs dots_sse2 — SSE2 lanes".into()],
+            obs_names: vec!["counter pipeline.jobs".into()],
+            files_scanned: 2,
+        };
+        r.finalize();
+        r
+    }
+
+    #[test]
+    fn findings_rank_determinism_above_panics() {
+        let r = sample();
+        assert_eq!(r.findings[0].rule, "wall_clock");
+        assert_eq!(r.findings[1].rule, "panic_path");
+    }
+
+    #[test]
+    fn summary_counts_by_rule_and_is_greppable() {
+        let r = sample();
+        assert_eq!(
+            r.summary(),
+            "pop-lint: 2 findings (1 wall_clock, 1 panic_path)"
+        );
+        let clean = LintReport {
+            files_scanned: 7,
+            ..Default::default()
+        };
+        assert!(clean.summary().starts_with("pop-lint: 0 findings"));
+    }
+
+    #[test]
+    fn json_round_trips_through_pop_obs_parser() {
+        let r = sample();
+        let text = r.to_validated_json().expect("round trip");
+        let v = json::parse(&text).unwrap();
+        assert_eq!(
+            v.get("files_scanned").and_then(Value::as_u64),
+            Some(2),
+            "files_scanned survives"
+        );
+        let allows = v.get("allows").and_then(Value::as_array).unwrap();
+        assert_eq!(allows.len(), 1);
+        assert_eq!(
+            allows[0].get("rule").and_then(Value::as_str),
+            Some("wall_clock")
+        );
+    }
+
+    #[test]
+    fn json_escapes_hostile_strings() {
+        let mut r = LintReport::default();
+        r.findings.push(Finding::new(
+            "obs_name",
+            "crates/a/src/y.rs",
+            1,
+            None,
+            "name \"quoted\\path\"\nnewline",
+        ));
+        let text = r.to_validated_json().expect("round trip");
+        let v = json::parse(&text).unwrap();
+        let f = &v.get("findings").and_then(Value::as_array).unwrap()[0];
+        assert_eq!(
+            f.get("message").and_then(Value::as_str),
+            Some("name \"quoted\\path\"\nnewline")
+        );
+    }
+}

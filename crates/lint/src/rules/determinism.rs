@@ -1,0 +1,121 @@
+//! Determinism lints for fingerprint/checksum/cache-key code.
+//!
+//! Cache fingerprints (`core::dataset::fingerprint`, the eval baseline
+//! checksums, pipeline reassembly) must be pure functions of their
+//! inputs: a wall-clock read folded into an FNV accumulator, or a
+//! `HashMap` iterated while hashing, silently forks the cache key across
+//! runs. Files in the determinism scope therefore may not mention
+//! `Instant`/`SystemTime` (`wall_clock`) or `HashMap`/`HashSet`
+//! (`map_order`) outside test code, except where an explicit
+//! `// lint: allow(wall_clock)` records intentional provenance/timing.
+
+use crate::context::{AllowLedger, FileCx};
+use crate::report::Finding;
+use crate::LintConfig;
+
+const WALL_CLOCK_TYPES: [&str; 2] = ["Instant", "SystemTime"];
+const ORDER_SENSITIVE_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+
+pub fn check(cx: &FileCx, cfg: &LintConfig, ledger: &mut AllowLedger, out: &mut Vec<Finding>) {
+    if !cfg.in_determinism_scope(&cx.file.rel_path) {
+        return;
+    }
+    for &i in &cx.code {
+        if cx.is_test(i) || cx.is_use(i) {
+            continue;
+        }
+        let tok = &cx.toks[i];
+        if tok.kind != crate::lexer::Kind::Ident {
+            continue;
+        }
+        let name = cx.text(tok);
+        let rule = if WALL_CLOCK_TYPES.contains(&name) {
+            "wall_clock"
+        } else if ORDER_SENSITIVE_TYPES.contains(&name) {
+            "map_order"
+        } else {
+            continue;
+        };
+        if ledger.suppresses(rule, tok.line) {
+            continue;
+        }
+        let what = if rule == "wall_clock" {
+            "wall-clock source"
+        } else {
+            "iteration-order-sensitive collection"
+        };
+        out.push(Finding::new(
+            rule,
+            &cx.file.rel_path,
+            tok.line,
+            cx.enclosing_fn(i),
+            format!("{what} `{name}` in fingerprint-scoped file; fingerprints must be pure functions of their inputs"),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::SourceFile;
+    use crate::LintConfig;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let file = SourceFile::new(path, src);
+        let cx = FileCx::new(&file);
+        let mut ledger = AllowLedger::new(&cx.allows);
+        let mut out = Vec::new();
+        check(&cx, &LintConfig::workspace(), &mut ledger, &mut out);
+        out
+    }
+
+    const SCOPED: &str = "crates/core/src/dataset.rs";
+
+    #[test]
+    fn wall_clock_in_fingerprint_file_fires() {
+        let out = run(
+            SCOPED,
+            "fn fingerprint() -> u64 { let t = std::time::Instant::now(); 0 }",
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "wall_clock");
+        assert_eq!(out[0].context, "fingerprint");
+    }
+
+    #[test]
+    fn hashmap_in_fingerprint_file_fires() {
+        let out = run(
+            SCOPED,
+            "fn fold() { let m: std::collections::HashMap<u32, u32> = Default::default(); }",
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "map_order");
+    }
+
+    #[test]
+    fn near_miss_out_of_scope_file_is_silent() {
+        let out = run(
+            "crates/place/src/anneal.rs",
+            "fn f() { let t = std::time::Instant::now(); }",
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn near_miss_test_code_and_imports_are_silent() {
+        let out = run(
+            SCOPED,
+            "use std::time::Instant;\n#[cfg(test)]\nmod tests {\n  fn t() { let x = Instant::now(); }\n}\n",
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_suppresses_and_comment_mentions_do_not_fire() {
+        let out = run(
+            SCOPED,
+            "// Instant is fine in prose.\nfn claim() {\n  // lint: allow(wall_clock) — provenance stamp\n  let t = std::time::SystemTime::now();\n}\n",
+        );
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,9 @@
+//! The five rule engines. Each walks one [`crate::context::FileCx`] and
+//! pushes [`crate::report::Finding`]s; cross-file checks (inventory
+//! diffs) happen in [`crate::lint_files`] once every file is scanned.
+
+pub mod determinism;
+pub mod locks;
+pub mod names;
+pub mod panic_path;
+pub mod unsafe_audit;

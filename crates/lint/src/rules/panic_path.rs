@@ -1,0 +1,192 @@
+//! Panic-path lints for serve request handling and exec queue hot paths.
+//!
+//! A worker thread that panics takes its queue (and every in-flight
+//! request parked on it) down with it, so the serve request path and the
+//! exec queue/pool internals may not use panicking idioms:
+//! `.unwrap()` / `.expect()` (including the `_err` variants), the panic
+//! macro family, or `container[index]` sugar. Poisoned-mutex recovery is
+//! `lock().unwrap_or_else(|e| e.into_inner())`; fallible lookups use
+//! `.get()`. Startup-only panics (thread spawn, replica construction)
+//! carry `// lint: allow(panic_path)` and are inventoried.
+
+use crate::context::{AllowLedger, FileCx};
+use crate::lexer::Kind;
+use crate::report::Finding;
+use crate::LintConfig;
+
+const PANIC_METHODS: [&str; 4] = ["unwrap", "expect", "unwrap_err", "expect_err"];
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that legitimately precede `[` without forming an index
+/// expression (`return [a, b]`, `match x { .. } [..]` can't occur, etc.).
+const NON_INDEX_KEYWORDS: [&str; 30] = [
+    "let", "mut", "ref", "return", "in", "if", "else", "match", "loop", "while", "for", "move",
+    "static", "yield", "async", "await", "dyn", "impl", "where", "unsafe", "break", "continue",
+    "as", "use", "pub", "crate", "enum", "struct", "trait", "type",
+];
+
+pub fn check(cx: &FileCx, cfg: &LintConfig, ledger: &mut AllowLedger, out: &mut Vec<Finding>) {
+    if !cfg.in_panic_scope(&cx.file.rel_path) {
+        return;
+    }
+    let rule = "panic_path";
+    for (pos, &i) in cx.code.iter().enumerate() {
+        if cx.is_test(i) {
+            continue;
+        }
+        let tok = &cx.toks[i];
+        let text = cx.text(tok);
+        let prev = pos.checked_sub(1).map(|p| cx.text(&cx.toks[cx.code[p]]));
+        let next = cx.code.get(pos + 1).map(|&n| cx.text(&cx.toks[n]));
+
+        // `.unwrap()` / `.expect(` method calls.
+        if tok.kind == Kind::Ident
+            && PANIC_METHODS.contains(&text)
+            && prev == Some(".")
+            && next == Some("(")
+        {
+            if !ledger.suppresses(rule, tok.line) {
+                out.push(Finding::new(
+                    rule,
+                    &cx.file.rel_path,
+                    tok.line,
+                    cx.enclosing_fn(i),
+                    format!(
+                        "`.{text}()` on a hot path; recover (`unwrap_or_else`) or route the error"
+                    ),
+                ));
+            }
+            continue;
+        }
+
+        // `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+        if tok.kind == Kind::Ident && PANIC_MACROS.contains(&text) && next == Some("!") {
+            if !ledger.suppresses(rule, tok.line) {
+                out.push(Finding::new(
+                    rule,
+                    &cx.file.rel_path,
+                    tok.line,
+                    cx.enclosing_fn(i),
+                    format!("`{text}!` on a hot path; return an error instead"),
+                ));
+            }
+            continue;
+        }
+
+        // `container[index]` sugar: `[` after an expression tail.
+        if tok.kind == Kind::Punct && text == "[" {
+            let indexes_expr = match prev {
+                Some(")") | Some("]") => true,
+                Some(p) => {
+                    let prev_tok = &cx.toks[cx.code[pos - 1]];
+                    prev_tok.kind == Kind::Ident
+                        && !NON_INDEX_KEYWORDS.contains(&p)
+                        // `name![…]` macro invocations and `#[…]` attributes
+                        // never index; neither does a turbofish-free path tail
+                        // followed by `[` in type position, which the
+                        // keyword list above already covers in practice.
+                        && next != Some("]")
+                }
+                None => false,
+            };
+            // `#[attr]` and `name![…]` are handled by prev: `#` / `!` are
+            // Punct, not Ident, so indexes_expr is already false there.
+            if indexes_expr && !ledger.suppresses(rule, tok.line) {
+                out.push(Finding::new(
+                    rule,
+                    &cx.file.rel_path,
+                    tok.line,
+                    cx.enclosing_fn(i),
+                    "indexing sugar can panic on a hot path; use `.get()`",
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::SourceFile;
+    use crate::LintConfig;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let file = SourceFile::new(path, src);
+        let cx = FileCx::new(&file);
+        let mut ledger = AllowLedger::new(&cx.allows);
+        let mut out = Vec::new();
+        check(&cx, &LintConfig::workspace(), &mut ledger, &mut out);
+        out
+    }
+
+    const SCOPED: &str = "crates/serve/src/engine.rs";
+
+    #[test]
+    fn unwrap_and_expect_fire() {
+        let out = run(
+            SCOPED,
+            "fn handle(&self) { self.inner.lock().unwrap(); self.q.pop().expect(\"boom\"); }",
+        );
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|f| f.rule == "panic_path"));
+        assert_eq!(out[0].context, "handle");
+    }
+
+    #[test]
+    fn panic_macros_and_indexing_fire() {
+        let out = run(
+            SCOPED,
+            "fn pop(&self, i: usize) { if i > 9 { panic!(\"bad\"); } let x = self.slots[i]; }",
+        );
+        assert_eq!(out.len(), 2);
+        assert!(out[0].message.contains("panic!"));
+        assert!(out[1].message.contains("indexing"));
+    }
+
+    #[test]
+    fn near_miss_recovery_idioms_do_not_fire() {
+        let out = run(
+            SCOPED,
+            r#"fn handle(&self) {
+                let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+                let v = self.slots.get(3);
+                let arr = [0u8; 4];
+                let v2 = vec![1, 2];
+                drop((g, v, arr, v2));
+            }"#,
+        );
+        assert!(out.is_empty(), "unexpected findings: {out:?}");
+    }
+
+    #[test]
+    fn near_miss_out_of_scope_and_test_code_are_silent() {
+        assert!(run(
+            "crates/place/src/anneal.rs",
+            "fn f(v: &[u32]) { v.first().unwrap(); }"
+        )
+        .is_empty());
+        assert!(run(
+            SCOPED,
+            "#[test]\nfn t() { let v: Vec<u32> = vec![]; v.first().unwrap(); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_suppresses_startup_panics() {
+        let out = run(
+            SCOPED,
+            "fn start() {\n  // lint: allow(panic_path) — startup, documented # Panics\n  spawn().expect(\"spawn failed\");\n}",
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn attributes_and_slice_types_do_not_fire_as_indexing() {
+        let out = run(
+            SCOPED,
+            "#[derive(Debug)]\nstruct S;\nfn f(x: &[u8], m: [f32; 2]) -> Vec<[u8; 2]> { let _ = (x, m); vec![] }",
+        );
+        assert!(out.is_empty(), "unexpected findings: {out:?}");
+    }
+}

@@ -1,0 +1,82 @@
+//! The lint's own acceptance gates: the workspace must lint clean, and a
+//! deliberately injected nondeterminism leak in `core::dataset::fingerprint`
+//! must fail the lint (proving the CI gate is live, not vacuous).
+
+use pop_lint::context::SourceFile;
+use pop_lint::{lint_files, read_inventories, run_workspace, LintConfig};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn workspace_self_run_is_clean() {
+    let report = run_workspace(&workspace_root()).expect("scan succeeds");
+    assert!(
+        report.findings.is_empty(),
+        "workspace must lint clean:\n{}",
+        report.render()
+    );
+    assert!(report.files_scanned > 100, "the walker saw the workspace");
+    assert!(
+        !report.unsafe_sites.is_empty() && !report.obs_names.is_empty(),
+        "inventories are populated"
+    );
+    // The summary line is the exact string CI greps for.
+    assert!(report.summary().starts_with("pop-lint: 0 findings"));
+}
+
+#[test]
+fn injected_wall_clock_in_fingerprint_fails_the_lint() {
+    let root = workspace_root();
+    let rel = "crates/core/src/dataset.rs";
+    let original = std::fs::read_to_string(root.join(rel)).expect("dataset.rs readable");
+
+    // Inject an `Instant::now()` into the body of `fn fingerprint` — the
+    // exact leak the determinism rule exists to catch.
+    let needle = "pub fn fingerprint(";
+    let at = original.find(needle).expect("fingerprint fn present");
+    let brace = original[at..].find('{').expect("fingerprint has a body") + at + 1;
+    let mut poisoned = original.clone();
+    poisoned.insert_str(brace, "\n    let _leak = std::time::Instant::now();\n");
+
+    let report = lint_files(
+        &[SourceFile::new(rel, poisoned)],
+        &LintConfig::workspace(),
+        &read_inventories(&root),
+    );
+    let wall_clock: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "wall_clock" && f.context == "fingerprint")
+        .collect();
+    assert!(
+        !wall_clock.is_empty(),
+        "an Instant::now() inside fingerprint() must fire wall_clock; got:\n{}",
+        report.render()
+    );
+    // And the unpoisoned file must not fire it — the test isn't tautological.
+    let clean = lint_files(
+        &[SourceFile::new(rel, original)],
+        &LintConfig::workspace(),
+        &read_inventories(&root),
+    );
+    assert!(
+        !clean
+            .findings
+            .iter()
+            .any(|f| f.rule == "wall_clock" && f.context == "fingerprint"),
+        "baseline fingerprint() must be clean"
+    );
+}
+
+#[test]
+fn report_json_round_trips_on_the_real_workspace() {
+    let report = run_workspace(&workspace_root()).expect("scan succeeds");
+    let json = report.to_validated_json().expect("self-validating JSON");
+    assert!(json.contains("\"files_scanned\""));
+}

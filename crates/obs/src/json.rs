@@ -229,8 +229,10 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 scalar (input is a &str, so slicing on
-                // the next boundary is safe).
+                // SAFETY: `bytes` came from a `&str` and `*pos` only ever
+                // advances past complete escapes, quotes, or whole UTF-8
+                // scalars (`ch.len_utf8()` below), so `rest` starts on a
+                // character boundary and is valid UTF-8.
                 let rest = &bytes[*pos..];
                 let s = unsafe { std::str::from_utf8_unchecked(rest) };
                 let ch = s.chars().next().expect("non-empty");

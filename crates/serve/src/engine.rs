@@ -75,12 +75,15 @@ enum Replica {
 }
 
 impl Replica {
-    fn forecast_batch(&mut self, xs: &[&Tensor]) -> Vec<Tensor> {
+    fn forecast_batch(&mut self, xs: &[&Tensor]) -> Result<Vec<Tensor>, ServeError> {
         match self {
-            Replica::F32(model) => model.forecast_batch(xs),
+            Replica::F32(model) => Ok(model.forecast_batch(xs)),
+            // Infallible for spec-checked inputs, but the trait is
+            // fallible: route any error to the requests in this batch
+            // instead of panicking the worker.
             Replica::Quantized(q) => q
                 .forecast_batch(xs)
-                .expect("quantized forecast is infallible"),
+                .map_err(|e| ServeError::Model(e.to_string())),
         }
     }
 
@@ -198,6 +201,8 @@ impl ForecastEngine {
         let queue = Arc::new(RequestQueue::new(config.queue_capacity));
         let stats = Arc::new(ServeStats::default());
         let workers = WorkerPool::spawn("pop-serve", config.workers, |_| {
+            // lint: allow(panic_path) — construction-time: `validate()`
+            // guarantees exactly `workers` replicas were built
             let replica = replicas.pop().expect("one replica per worker");
             let queue = Arc::clone(&queue);
             let stats = Arc::clone(&stats);
@@ -279,11 +284,18 @@ fn worker_loop(
         let forward_us = started.elapsed().as_micros() as u64;
         stats.record_batch(batch.len(), forward_us);
         match outputs {
-            Ok(outputs) => {
+            Ok(Ok(outputs)) => {
                 for (req, out) in batch.into_iter().zip(outputs) {
                     let latency_us = req.enqueued.elapsed().as_micros() as u64;
                     stats.record_request_done(true, latency_us, quantized);
                     let _ = req.respond.send(Ok(out));
+                }
+            }
+            Ok(Err(err)) => {
+                for req in batch {
+                    let latency_us = req.enqueued.elapsed().as_micros() as u64;
+                    stats.record_request_done(false, latency_us, quantized);
+                    let _ = req.respond.send(Err(err.clone()));
                 }
             }
             Err(panic) => {

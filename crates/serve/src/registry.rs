@@ -55,7 +55,10 @@ impl ModelRegistry {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
-        self.inner.lock().expect("registry mutex poisoned")
+        // A request-thread panic must not take the whole registry (and
+        // with it every future request) down: the inner map is valid at
+        // any panic point, so recover from poisoning.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Returns the model stored at `path`, loading (and caching) it on the
@@ -120,10 +123,10 @@ impl ModelRegistry {
             // the handed-out model without re-caching.
             None => return Ok(model.lock().quantized()),
         };
-        if entry.quant.is_none() {
-            entry.quant = Some(entry.model.lock().quantized());
-        }
-        Ok(entry.quant.clone().expect("just built"))
+        let quant = entry
+            .quant
+            .get_or_insert_with(|| entry.model.lock().quantized());
+        Ok(quant.clone())
     }
 
     /// Caches an already-built model under `path` (pre-warming, or serving
@@ -145,12 +148,14 @@ impl ModelRegistry {
 
     fn evict_lru(inner: &mut RegistryInner, capacity: usize) {
         while inner.map.len() > capacity {
-            let lru = inner
+            let Some(lru) = inner
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(p, _)| p.clone())
-                .expect("non-empty map");
+            else {
+                break; // len() > capacity ≥ 1 implies non-empty; stay safe anyway
+            };
             inner.map.remove(&lru);
         }
     }
