@@ -225,8 +225,8 @@ impl DesignContext {
     ///
     /// Propagates placement failures.
     pub fn place_stage(&self, popts: &PlaceOptions) -> Result<(Placement, u64), CoreError> {
-        // lint: allow(wall_clock) — stage timing is recorded provenance,
-        // never folded into the fingerprint
+        // Stage timing is recorded provenance, never folded into the
+        // fingerprint.
         let t0 = Instant::now();
         let placement = place(&self.arch, &self.netlist, popts)?;
         Ok((placement, t0.elapsed().as_micros() as u64))
@@ -240,8 +240,8 @@ impl DesignContext {
     ///
     /// Propagates routing failures.
     pub fn route_stage(&self, placement: &Placement) -> Result<(RouteResult, u64), CoreError> {
-        // lint: allow(wall_clock) — stage timing is recorded provenance,
-        // never folded into the fingerprint
+        // Stage timing is recorded provenance, never folded into the
+        // fingerprint.
         let t1 = Instant::now();
         let routing = route_on_graph(
             &self.arch,
@@ -953,7 +953,7 @@ impl CorpusStore {
             // LRU touch (best-effort): a hit must protect its entry from
             // the size-budget sweep.
             if let Ok(file) = std::fs::File::open(&path) {
-                // lint: allow(wall_clock) — mtime is LRU metadata, not key material
+                // mtime is LRU metadata, not key material.
                 let now = std::time::SystemTime::now();
                 let _ = file.set_times(std::fs::FileTimes::new().set_modified(now));
             }
@@ -996,8 +996,8 @@ impl CorpusStore {
         let Ok(entries) = std::fs::read_dir(&self.dir) else {
             return;
         };
-        // lint: allow(wall_clock) — sweep orders evictions by mtime; entry
-        // contents and keys stay time-free
+        // The sweep orders evictions by mtime; entry contents and keys
+        // stay time-free.
         let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = entries
             .flatten()
             .filter_map(|e| {
@@ -1052,9 +1052,7 @@ impl CorpusStore {
         let claim = self.claim_path(spec, config);
         // Telemetry: how long this process sat behind another's claim
         // (zero probes on the uncontended path).
-        // lint: allow(wall_clock)
         let mut wait_start: Option<Instant> = None;
-        // lint: allow(wall_clock) — claim-wait telemetry only
         let note_wait = |start: Option<Instant>| {
             if let Some(start) = start {
                 let registry = pop_obs::global();
@@ -1085,7 +1083,7 @@ impl CorpusStore {
                     // staleness from content (mtime granularity and clock
                     // skew make content sturdier), and the full stamp lets
                     // release verify the claim is still *ours*.
-                    // lint: allow(wall_clock) — claim stamp, not key material
+                    // The claim stamp is wall time, not key material.
                     let now = std::time::SystemTime::now()
                         .duration_since(std::time::UNIX_EPOCH)
                         .map(|d| d.as_secs())
@@ -1114,7 +1112,7 @@ impl CorpusStore {
                         }
                         continue;
                     }
-                    // lint: allow(wall_clock) — claim-wait telemetry only
+                    // Claim-wait telemetry only.
                     wait_start.get_or_insert_with(std::time::Instant::now);
                     std::thread::sleep(CLAIM_POLL_INTERVAL);
                 }
@@ -1137,8 +1135,8 @@ impl CorpusStore {
         let Some(stamped) = stamped else {
             return true; // garbled claim: break it
         };
-        // lint: allow(wall_clock) — stale-claim arbitration compares wall
-        // time against the stamp; no fingerprint involvement
+        // Stale-claim arbitration compares wall time against the stamp;
+        // no fingerprint involvement.
         let now = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())

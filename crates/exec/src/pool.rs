@@ -49,6 +49,8 @@ impl WorkerPool {
                         body();
                         lifetime.record_duration(started.elapsed());
                     })
+                    // lint: allow(panic_path) — startup-only: if the OS
+                    // cannot spawn threads the pool cannot exist at all.
                     .expect("failed to spawn worker thread")
             })
             .collect();

@@ -132,6 +132,8 @@ impl<T> BoundedQueue<T> {
         // A panic while holding the lock poisons it; the queue state is a
         // plain deque + flags (valid after any panic point), so recover
         // rather than cascading the panic into every producer/consumer.
+        // lint: allow(blocking) — the queue mutex IS the rendezvous; every
+        // critical section is a few deque ops, never a forward pass.
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
@@ -170,10 +172,13 @@ impl<T> BoundedQueue<T> {
     /// Returns [`PushError::Closed`] when the queue shuts down before (or
     /// while) waiting for space.
     pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        // lint: allow(blocking) — bounded-queue backpressure: producers
+        // park here by design until a consumer frees a slot.
         let mut st = self.lock();
         let mut waited = false;
         while !st.closed && st.deque.len() >= self.capacity {
             waited = true;
+            // lint: allow(blocking) — the backpressure wait itself.
             st = self.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
         }
         if waited {
@@ -229,6 +234,8 @@ impl<T> BoundedQueue<T> {
         F: Fn(&T) -> K,
     {
         let max_batch = max_batch.max(1);
+        // lint: allow(blocking) — the consumer rendezvous: workers park
+        // here between batches; this is the loop's sanctioned wait point.
         let mut st = self.lock();
         let mut wait_start: Option<Instant> = None;
         loop {
@@ -276,6 +283,8 @@ impl<T> BoundedQueue<T> {
                         }
                         let (next, timeout) = self
                             .not_empty
+                            // lint: allow(blocking) — batch-window wait,
+                            // bounded by the caller's deadline.
                             .wait_timeout(st, left)
                             .unwrap_or_else(|e| e.into_inner());
                         st = next;
@@ -310,6 +319,8 @@ impl<T> BoundedQueue<T> {
             if self.metrics.is_some() {
                 wait_start.get_or_insert_with(Instant::now);
             }
+            // lint: allow(blocking) — idle consumers park until work (or
+            // shutdown) arrives; waking them is the producers' job.
             st = self.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
         }
     }
@@ -329,6 +340,8 @@ impl<T> BoundedQueue<T> {
 
     /// Current queue depth.
     pub fn len(&self) -> usize {
+        // lint: allow(blocking) — depth probe; same few-op critical
+        // section as every other queue-mutex acquisition.
         self.lock().deque.len()
     }
 

@@ -168,9 +168,16 @@ pub fn lex(src: &str) -> Vec<Tok> {
                 });
             }
             _ => {
-                // One punctuation byte; multi-byte UTF-8 (only ever inside
-                // comments/strings in real Rust) is consumed bytewise too.
+                // One punctuation byte. A non-ASCII scalar (only ever
+                // inside comments/strings in real Rust, but the lexer must
+                // stay total) is consumed whole — a span that splits a
+                // UTF-8 sequence would make `Tok::text` panic.
                 i += 1;
+                if b >= 0x80 {
+                    while i < bytes.len() && bytes[i] & 0xC0 == 0x80 {
+                        i += 1;
+                    }
+                }
                 toks.push(Tok {
                     kind: Kind::Punct,
                     start,
@@ -270,7 +277,9 @@ fn lex_string(bytes: &[u8], start: usize, line: &mut u32) -> usize {
             _ => i += 1,
         }
     }
-    i
+    // An escape as the very last byte steps past the end; clamp so the
+    // unterminated-literal token stays a valid slice.
+    i.min(bytes.len())
 }
 
 /// Lexes a `'…'` char/byte literal starting at the quote.
@@ -284,7 +293,8 @@ fn lex_char(bytes: &[u8], start: usize) -> usize {
             _ => i += 1,
         }
     }
-    i
+    // Same trailing-escape overrun as `lex_string`.
+    i.min(bytes.len())
 }
 
 #[cfg(test)]

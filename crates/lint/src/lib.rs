@@ -10,9 +10,12 @@
 //! fixture tests.
 
 pub mod context;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod symtab;
 
 use context::{AllowLedger, FileCx, SourceFile};
 use report::{AllowEntry, Finding, LintReport};
@@ -33,11 +36,15 @@ pub struct LockAlias {
 /// lock order, and the receiver→lock alias table.
 #[derive(Debug, Clone)]
 pub struct LintConfig {
-    /// Fingerprint/checksum/cache-key files (suffix match): no wall-clock,
-    /// no iteration-order-sensitive collections.
-    pub determinism_files: Vec<String>,
-    /// Request-handling / queue hot-path files (suffix match): no
-    /// panicking idioms.
+    /// Determinism roots by fn name: anything these fns reach (plus any fn
+    /// folding a `Fnv1a`) may not read wall clocks or iterate
+    /// order-sensitive collections.
+    pub determinism_roots: Vec<String>,
+    /// Hot-loop roots `(file suffix, fn name)`: anything these fns reach
+    /// may not block (locks, condvar waits, channel recv, file I/O).
+    pub hot_loop_roots: Vec<(String, String)>,
+    /// Request-handling / queue hot-path files (suffix match): fns defined
+    /// here are panic-rule roots — nothing they reach may panic.
     pub panic_files: Vec<String>,
     /// Path prefixes whose `.lock()` sites feed the lock-order check.
     pub lock_prefixes: Vec<String>,
@@ -59,11 +66,8 @@ impl LintConfig {
             canonical: canonical.to_string(),
         };
         LintConfig {
-            determinism_files: vec![
-                "crates/core/src/dataset.rs".into(),
-                "crates/core/src/baseline.rs".into(),
-                "crates/pipeline/src/run.rs".into(),
-            ],
+            determinism_roots: vec!["fingerprint".into(), "baseline_fingerprint".into()],
+            hot_loop_roots: vec![("crates/serve/src/engine.rs".into(), "worker_loop".into())],
             panic_files: vec![
                 "crates/serve/src/engine.rs".into(),
                 "crates/serve/src/queue.rs".into(),
@@ -72,7 +76,14 @@ impl LintConfig {
                 "crates/exec/src/queue.rs".into(),
                 "crates/exec/src/parked.rs".into(),
             ],
-            lock_prefixes: vec!["crates/exec/src/".into(), "crates/serve/src/".into()],
+            lock_prefixes: vec![
+                "crates/exec/src/".into(),
+                "crates/serve/src/".into(),
+                // The model mutex lives in core; its acquisition sites must
+                // feed the cross-fn order check so serve/exec callers are
+                // charged with `core.forecaster.model`.
+                "crates/core/src/forecaster.rs".into(),
+            ],
             names_exclude_prefixes: vec!["crates/obs/".into(), "crates/lint/".into()],
             // Outer→inner: the registry may reach into a model and the
             // model may use exec primitives, never the reverse.
@@ -116,12 +127,13 @@ impl LintConfig {
                     &["model"],
                     "core.forecaster.model",
                 ),
+                alias(
+                    "crates/core/src/forecaster.rs",
+                    &["inner", "self"],
+                    "core.forecaster.model",
+                ),
             ],
         }
-    }
-
-    pub fn in_determinism_scope(&self, rel_path: &str) -> bool {
-        self.determinism_files.iter().any(|f| rel_path.ends_with(f))
     }
 
     pub fn in_panic_scope(&self, rel_path: &str) -> bool {
@@ -179,29 +191,57 @@ impl Inventories {
 /// Lints a set of in-memory files. The library entry point fixture tests
 /// and [`run_workspace`] both go through.
 pub fn lint_files(files: &[SourceFile], cfg: &LintConfig, inv: &Inventories) -> LintReport {
+    lint_files_graph(files, cfg, inv).0
+}
+
+/// [`lint_files`] plus the call graph it was computed on (for
+/// `--graph-out` dumps and the lint bench).
+pub fn lint_files_graph(
+    files: &[SourceFile],
+    cfg: &LintConfig,
+    inv: &Inventories,
+) -> (LintReport, graph::CallGraph) {
     let mut report = LintReport::default();
     let mut unsafe_sites: Vec<rules::unsafe_audit::UnsafeSite> = Vec::new();
     let mut obs_names: Vec<rules::names::ObsName> = Vec::new();
-    let mut ledgers: Vec<(String, AllowLedger)> = Vec::new();
-    let mut file_allows: Vec<(String, Vec<context::Allow>)> = Vec::new();
 
-    for file in files {
-        let cx = FileCx::new(file);
-        let mut ledger = AllowLedger::new(&cx.allows);
-        rules::determinism::check(&cx, cfg, &mut ledger, &mut report.findings);
-        rules::panic_path::check(&cx, cfg, &mut ledger, &mut report.findings);
-        rules::locks::check(&cx, cfg, &mut ledger, &mut report.findings);
-        rules::unsafe_audit::check(&cx, &mut report.findings, &mut unsafe_sites);
-        rules::names::extract(&cx, cfg, &mut obs_names);
+    let cxs: Vec<FileCx> = files.iter().map(FileCx::new).collect();
+    let mut ledgers: Vec<(String, AllowLedger)> = cxs
+        .iter()
+        .map(|cx| (cx.file.rel_path.clone(), AllowLedger::new(&cx.allows)))
+        .collect();
+
+    // Per-file syntactic passes.
+    for (cx, (_, ledger)) in cxs.iter().zip(ledgers.iter_mut()) {
+        rules::locks::check(cx, cfg, ledger, &mut report.findings);
+        rules::unsafe_audit::check(cx, &mut report.findings, &mut unsafe_sites);
+        rules::names::extract(cx, cfg, &mut obs_names);
         for a in &cx.allows {
             report.allows.push(AllowEntry {
                 rule: a.rule.clone(),
-                file: file.rel_path.clone(),
+                file: cx.file.rel_path.clone(),
                 line: a.line,
             });
         }
-        file_allows.push((file.rel_path.clone(), cx.allows.clone()));
-        ledgers.push((file.rel_path.clone(), ledger));
+    }
+
+    // Interprocedural passes: parse items, build the symbol table and the
+    // call graph, then run the reachability rules on it.
+    let graph = {
+        let _span = pop_obs::span!("lint_graph_build");
+        let parsed: Vec<(String, parser::FileItems)> = cxs
+            .iter()
+            .map(|cx| (cx.file.rel_path.clone(), parser::parse(cx)))
+            .collect();
+        let tab = symtab::SymTab::build(&parsed);
+        graph::CallGraph::build(&cxs, &parsed, tab, cfg)
+    };
+    {
+        let _span = pop_obs::span!("lint_graph_rules");
+        rules::determinism::check(&graph, cfg, &mut ledgers, &mut report.findings);
+        rules::panic_path::check(&graph, cfg, &mut ledgers, &mut report.findings);
+        rules::blocking::check(&graph, cfg, &mut ledgers, &mut report.findings);
+        rules::locks::check_cross(&graph, cfg, &mut ledgers, &mut report.findings);
     }
 
     rules::unsafe_audit::diff_inventory(&unsafe_sites, &inv.unsafe_sites, &mut report.findings);
@@ -217,8 +257,8 @@ pub fn lint_files(files: &[SourceFile], cfg: &LintConfig, inv: &Inventories) -> 
 
     // An allow that suppressed nothing is itself a finding: stale escape
     // hatches re-open holes silently.
-    for ((file, allows), (_, ledger)) in file_allows.iter().zip(&ledgers) {
-        for (a, &used) in allows.iter().zip(&ledger.used) {
+    for (cx, (file, ledger)) in cxs.iter().zip(&ledgers) {
+        for (a, &used) in cx.allows.iter().zip(&ledger.used) {
             if !used {
                 report.findings.push(Finding::new(
                     "unused_allow",
@@ -239,7 +279,7 @@ pub fn lint_files(files: &[SourceFile], cfg: &LintConfig, inv: &Inventories) -> 
     report.obs_names = rules::names::regenerate(&obs_names);
     report.files_scanned = files.len();
     report.finalize();
-    report
+    (report, graph)
 }
 
 /// Collects the workspace's lintable sources: `crates/*/{src,tests,benches}`
@@ -304,8 +344,13 @@ pub fn read_inventories(root: &Path) -> Inventories {
 
 /// Full workspace run with the workspace config and committed inventories.
 pub fn run_workspace(root: &Path) -> io::Result<LintReport> {
+    Ok(run_workspace_graph(root)?.0)
+}
+
+/// [`run_workspace`] plus the call graph (for `--graph-out`).
+pub fn run_workspace_graph(root: &Path) -> io::Result<(LintReport, graph::CallGraph)> {
     let files = workspace_files(root)?;
-    Ok(lint_files(
+    Ok(lint_files_graph(
         &files,
         &LintConfig::workspace(),
         &read_inventories(root),
@@ -369,7 +414,7 @@ mod tests {
     fn used_allow_is_inventoried_but_not_a_finding() {
         let files = vec![SourceFile::new(
             "crates/core/src/dataset.rs",
-            "fn claim() {\n  // lint: allow(wall_clock) — provenance\n  let t = std::time::SystemTime::now();\n}\n",
+            "pub fn fingerprint() -> u64 {\n  // lint: allow(wall_clock) — provenance\n  let t = std::time::SystemTime::now();\n  0\n}\n",
         )];
         let report = lint_files(&files, &LintConfig::workspace(), &Inventories::default());
         assert!(report.findings.is_empty(), "{:?}", report.findings);

@@ -4,6 +4,8 @@
 //! ```text
 //! cargo run -p pop-lint                        # lint, exit 1 on findings
 //! cargo run -p pop-lint -- --json report.json  # also write the LintReport
+//! cargo run -p pop-lint -- --graph-out g.dot   # dump the call graph
+//!                                              # (.json for the JSON form)
 //! cargo run -p pop-lint -- --write-inventories # regenerate the committed
 //!                                              # UNSAFE_INVENTORY.md and
 //!                                              # OBS_NAMES.md, then re-lint
@@ -16,15 +18,21 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json_path: Option<PathBuf> = None;
+    let mut graph_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
     let mut write_inventories = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
             "--json" => json_path = args.next().map(PathBuf::from),
+            "--graph-out" => graph_path = args.next().map(PathBuf::from),
+            "--trace-out" => trace_path = args.next().map(PathBuf::from),
             "--write-inventories" => write_inventories = true,
             "--help" | "-h" => {
-                eprintln!("usage: pop-lint [--root DIR] [--json FILE] [--write-inventories]");
+                eprintln!(
+                    "usage: pop-lint [--root DIR] [--json FILE] [--graph-out FILE.{{dot,json}}] [--trace-out FILE] [--write-inventories]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -41,7 +49,11 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut report = match pop_lint::run_workspace(&root) {
+    if trace_path.is_some() {
+        pop_obs::enable_tracing();
+    }
+    let started = std::time::Instant::now();
+    let (mut report, mut graph) = match pop_lint::run_workspace_graph(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("pop-lint: scan failed: {e}");
@@ -55,7 +67,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         eprintln!("pop-lint: wrote UNSAFE_INVENTORY.md and OBS_NAMES.md; re-linting");
-        report = match pop_lint::run_workspace(&root) {
+        (report, graph) = match pop_lint::run_workspace_graph(&root) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("pop-lint: rescan failed: {e}");
@@ -79,7 +91,49 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(path) = graph_path {
+        let dump = if path.extension().is_some_and(|e| e == "dot") {
+            graph.to_dot()
+        } else {
+            graph.to_json()
+        };
+        if let Err(e) = std::fs::write(&path, dump) {
+            eprintln!("pop-lint: writing {} failed: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if let Some(path) = trace_path {
+        // Self-timing through the same span machinery the workspace
+        // uses: `lint_graph_build` / `lint_graph_rules` land in the
+        // report CI archives next to the findings.
+        let run = pop_obs::RunReport::capture("pop_lint", started, pop_obs::global());
+        if let Err(e) = run.write_json(&path) {
+            eprintln!("pop-lint: writing {} failed: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        let ns = |name: &str| {
+            pop_obs::find_span(&run.spans, name)
+                .map(|n| n.total_ns)
+                .unwrap_or(0)
+        };
+        eprintln!(
+            "trace: graph build {:.1}ms, graph rules {:.1}ms ({})",
+            ns("lint_graph_build") as f64 / 1e6,
+            ns("lint_graph_rules") as f64 / 1e6,
+            path.display()
+        );
+    }
+
     print!("{}", report.render());
+    let s = graph.stats;
+    println!(
+        "call graph: {} fns, {} call sites, {} edges, {:.1}% resolved",
+        s.fns,
+        s.call_sites,
+        s.edges,
+        100.0 * s.resolution_rate()
+    );
     if report.findings.is_empty() {
         ExitCode::SUCCESS
     } else {

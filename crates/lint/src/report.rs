@@ -16,6 +16,9 @@ pub struct Finding {
     /// Enclosing function, or `-` at module scope.
     pub context: String,
     pub message: String,
+    /// Call chain root → … → site for transitive findings (empty for
+    /// findings at a rule root / syntactic findings).
+    pub chain: Vec<String>,
 }
 
 impl Finding {
@@ -32,7 +35,14 @@ impl Finding {
             line,
             context: context.unwrap_or("-").to_string(),
             message: message.into(),
+            chain: Vec::new(),
         }
+    }
+
+    /// Attaches the call chain that makes a transitive finding reachable.
+    pub fn with_chain(mut self, chain: Vec<String>) -> Self {
+        self.chain = chain;
+        self
     }
 }
 
@@ -43,7 +53,7 @@ pub fn rank(rule: &str) -> u8 {
         "wall_clock" | "map_order" => 1,
         "unsafe_doc" | "unsafe_inventory" => 2,
         "panic_path" => 3,
-        "lock_order" => 4,
+        "lock_order" | "blocking" => 4,
         "obs_name" => 5,
         _ => 6, // unused_allow and anything future
     }
@@ -122,6 +132,9 @@ impl LintReport {
                 "[{}] {}:{} ({}): {}\n",
                 f.rule, f.file, f.line, f.context, f.message
             ));
+            if f.chain.len() > 1 {
+                out.push_str(&format!("  via {}\n", f.chain.join(" → ")));
+            }
         }
         if !self.allows.is_empty() {
             out.push_str(&format!("suppressions ({}):\n", self.allows.len()));
@@ -146,13 +159,15 @@ impl LintReport {
             if i > 0 {
                 s.push(',');
             }
+            let chain: Vec<String> = f.chain.iter().map(|c| json::str_lit(c)).collect();
             s.push_str(&format!(
-                "{{\"rule\":{},\"file\":{},\"line\":{},\"context\":{},\"message\":{}}}",
+                "{{\"rule\":{},\"file\":{},\"line\":{},\"context\":{},\"message\":{},\"chain\":[{}]}}",
                 json::str_lit(&f.rule),
                 json::str_lit(&f.file),
                 json::num(f.line as f64),
                 json::str_lit(&f.context),
-                json::str_lit(&f.message)
+                json::str_lit(&f.message),
+                chain.join(",")
             ));
         }
         s.push_str("],\"allows\":[");
@@ -205,7 +220,11 @@ impl LintReport {
         for (f, v) in self.findings.iter().zip(findings) {
             let rule = v.get("rule").and_then(Value::as_str);
             let line = v.get("line").and_then(Value::as_u64);
-            if rule != Some(f.rule.as_str()) || line != Some(f.line as u64) {
+            let chain = v.get("chain").and_then(Value::as_array).map(|a| a.len());
+            if rule != Some(f.rule.as_str())
+                || line != Some(f.line as u64)
+                || chain != Some(f.chain.len())
+            {
                 return Err(format!(
                     "self-validation: finding {}:{} did not round-trip",
                     f.file, f.line

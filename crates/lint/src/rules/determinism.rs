@@ -1,121 +1,170 @@
-//! Determinism lints for fingerprint/checksum/cache-key code.
+//! Determinism taint: reachability from fingerprint/checksum roots.
 //!
 //! Cache fingerprints (`core::dataset::fingerprint`, the eval baseline
-//! checksums, pipeline reassembly) must be pure functions of their
-//! inputs: a wall-clock read folded into an FNV accumulator, or a
-//! `HashMap` iterated while hashing, silently forks the cache key across
-//! runs. Files in the determinism scope therefore may not mention
-//! `Instant`/`SystemTime` (`wall_clock`) or `HashMap`/`HashSet`
-//! (`map_order`) outside test code, except where an explicit
+//! checksums) must be pure functions of their inputs: a wall-clock read
+//! folded into an FNV accumulator, or a `HashMap` iterated while hashing,
+//! silently forks the cache key across runs. The roots are every fn named
+//! in [`crate::LintConfig::determinism_roots`] plus any fn that folds a
+//! `Fnv1a` accumulator; anything they reach (through the workspace call
+//! graph, shields included — a caught panic does not un-read a clock) may
+//! not mention `Instant`/`SystemTime` (`wall_clock`) or
+//! `HashMap`/`HashSet` (`map_order`), except where an explicit
 //! `// lint: allow(wall_clock)` records intentional provenance/timing.
 
-use crate::context::{AllowLedger, FileCx};
+use crate::context::AllowLedger;
+use crate::graph::CallGraph;
 use crate::report::Finding;
+use crate::symtab::FnId;
 use crate::LintConfig;
 
-const WALL_CLOCK_TYPES: [&str; 2] = ["Instant", "SystemTime"];
-const ORDER_SENSITIVE_TYPES: [&str; 2] = ["HashMap", "HashSet"];
-
-pub fn check(cx: &FileCx, cfg: &LintConfig, ledger: &mut AllowLedger, out: &mut Vec<Finding>) {
-    if !cfg.in_determinism_scope(&cx.file.rel_path) {
-        return;
-    }
-    for &i in &cx.code {
-        if cx.is_test(i) || cx.is_use(i) {
+pub fn check(
+    g: &CallGraph,
+    cfg: &LintConfig,
+    ledgers: &mut [(String, AllowLedger)],
+    out: &mut Vec<Finding>,
+) {
+    let roots: Vec<FnId> = g
+        .tab
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(id, def)| {
+            cfg.determinism_roots.contains(&def.item.name) || g.nodes[*id].facts.uses_fnv
+        })
+        .map(|(id, _)| id)
+        .collect();
+    let parents = g.reachable(&roots, false);
+    for &id in parents.keys() {
+        let def = &g.tab.fns[id];
+        let node = &g.nodes[id];
+        if node.facts.wall_clock.is_empty() && node.facts.map_order.is_empty() {
             continue;
         }
-        let tok = &cx.toks[i];
-        if tok.kind != crate::lexer::Kind::Ident {
-            continue;
+        let chain = g.chain(&parents, id);
+        let root = chain.first().cloned().unwrap_or_default();
+        let display = def.display();
+        let ledger = &mut ledgers[def.file_idx].1;
+        for (sites, rule, what) in [
+            (&node.facts.wall_clock, "wall_clock", "wall-clock source"),
+            (
+                &node.facts.map_order,
+                "map_order",
+                "iteration-order-sensitive collection",
+            ),
+        ] {
+            for s in sites {
+                if ledger.suppresses(rule, s.line) {
+                    continue;
+                }
+                let msg = if chain.len() > 1 {
+                    format!(
+                        "{what} {} reachable from determinism root `{root}`; fingerprints must be pure functions of their inputs",
+                        s.what
+                    )
+                } else {
+                    format!(
+                        "{what} {} in determinism root `{root}`; fingerprints must be pure functions of their inputs",
+                        s.what
+                    )
+                };
+                out.push(
+                    Finding::new(rule, &def.file, s.line, Some(&display), msg)
+                        .with_chain(chain.clone()),
+                );
+            }
         }
-        let name = cx.text(tok);
-        let rule = if WALL_CLOCK_TYPES.contains(&name) {
-            "wall_clock"
-        } else if ORDER_SENSITIVE_TYPES.contains(&name) {
-            "map_order"
-        } else {
-            continue;
-        };
-        if ledger.suppresses(rule, tok.line) {
-            continue;
-        }
-        let what = if rule == "wall_clock" {
-            "wall-clock source"
-        } else {
-            "iteration-order-sensitive collection"
-        };
-        out.push(Finding::new(
-            rule,
-            &cx.file.rel_path,
-            tok.line,
-            cx.enclosing_fn(i),
-            format!("{what} `{name}` in fingerprint-scoped file; fingerprints must be pure functions of their inputs"),
-        ));
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::context::SourceFile;
+    use crate::context::{FileCx, SourceFile};
+    use crate::graph::CallGraph;
+    use crate::parser::{self, FileItems};
+    use crate::symtab::SymTab;
     use crate::LintConfig;
 
-    fn run(path: &str, src: &str) -> Vec<Finding> {
-        let file = SourceFile::new(path, src);
-        let cx = FileCx::new(&file);
-        let mut ledger = AllowLedger::new(&cx.allows);
+    fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+        let sources: Vec<SourceFile> = files.iter().map(|(p, s)| SourceFile::new(*p, *s)).collect();
+        let cxs: Vec<FileCx> = sources.iter().map(FileCx::new).collect();
+        let mut ledgers: Vec<(String, AllowLedger)> = cxs
+            .iter()
+            .map(|cx| (cx.file.rel_path.clone(), AllowLedger::new(&cx.allows)))
+            .collect();
+        let parsed: Vec<(String, FileItems)> = cxs
+            .iter()
+            .map(|cx| (cx.file.rel_path.clone(), parser::parse(cx)))
+            .collect();
+        let tab = SymTab::build(&parsed);
+        let g = CallGraph::build(&cxs, &parsed, tab, &LintConfig::workspace());
         let mut out = Vec::new();
-        check(&cx, &LintConfig::workspace(), &mut ledger, &mut out);
+        check(&g, &LintConfig::workspace(), &mut ledgers, &mut out);
         out
     }
 
     const SCOPED: &str = "crates/core/src/dataset.rs";
 
     #[test]
-    fn wall_clock_in_fingerprint_file_fires() {
-        let out = run(
+    fn wall_clock_in_fingerprint_root_fires() {
+        let out = run(&[(
             SCOPED,
-            "fn fingerprint() -> u64 { let t = std::time::Instant::now(); 0 }",
-        );
+            "pub fn fingerprint() -> u64 { let t = std::time::Instant::now(); 0 }",
+        )]);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].rule, "wall_clock");
         assert_eq!(out[0].context, "fingerprint");
+        assert_eq!(out[0].chain, vec!["fingerprint"]);
     }
 
     #[test]
-    fn hashmap_in_fingerprint_file_fires() {
-        let out = run(
-            SCOPED,
-            "fn fold() { let m: std::collections::HashMap<u32, u32> = Default::default(); }",
-        );
-        assert_eq!(out.len(), 1);
+    fn hashmap_reachable_two_hops_from_fnv_fold_fires_with_chain() {
+        let out = run(&[
+            (
+                SCOPED,
+                "pub fn digest() -> u64 { let h = Fnv1a::new(); helper(); 0 }\n\
+                 fn helper() { deep(); }",
+            ),
+            (
+                "crates/core/src/baseline.rs",
+                "pub fn deep() { let m: std::collections::HashMap<u32, u32> = Default::default(); }",
+            ),
+        ]);
+        assert_eq!(out.len(), 1, "{out:?}");
         assert_eq!(out[0].rule, "map_order");
+        assert_eq!(out[0].file, "crates/core/src/baseline.rs");
+        assert_eq!(out[0].chain, vec!["digest", "helper", "deep"]);
+        assert!(out[0].message.contains("reachable from determinism root"));
     }
 
     #[test]
-    fn near_miss_out_of_scope_file_is_silent() {
-        let out = run(
-            "crates/place/src/anneal.rs",
-            "fn f() { let t = std::time::Instant::now(); }",
-        );
-        assert!(out.is_empty());
+    fn near_miss_unreachable_helper_is_silent() {
+        // An `Instant` in a fn nothing fingerprint-rooted calls is fine —
+        // even in a file that used to be blanket-scoped.
+        let out = run(&[(
+            SCOPED,
+            "pub fn fingerprint() -> u64 { 0 }\n\
+             pub fn stamp() { let t = std::time::Instant::now(); use1(t); }\n\
+             fn use1(t: usize) {}",
+        )]);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]
     fn near_miss_test_code_and_imports_are_silent() {
-        let out = run(
+        let out = run(&[(
             SCOPED,
-            "use std::time::Instant;\n#[cfg(test)]\nmod tests {\n  fn t() { let x = Instant::now(); }\n}\n",
-        );
-        assert!(out.is_empty());
+            "use std::time::Instant;\npub fn fingerprint() -> u64 { 0 }\n#[cfg(test)]\nmod tests {\n  fn t() { let x = Instant::now(); }\n}\n",
+        )]);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]
-    fn allow_annotation_suppresses_and_comment_mentions_do_not_fire() {
-        let out = run(
+    fn allow_annotation_suppresses_at_the_fact_site() {
+        let out = run(&[(
             SCOPED,
-            "// Instant is fine in prose.\nfn claim() {\n  // lint: allow(wall_clock) — provenance stamp\n  let t = std::time::SystemTime::now();\n}\n",
-        );
-        assert!(out.is_empty());
+            "pub fn fingerprint() -> u64 {\n  // lint: allow(wall_clock) — provenance stamp\n  let t = std::time::SystemTime::now();\n  0\n}\n",
+        )]);
+        assert!(out.is_empty(), "{out:?}");
     }
 }

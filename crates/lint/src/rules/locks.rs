@@ -103,7 +103,110 @@ pub fn check(cx: &FileCx, cfg: &LintConfig, ledger: &mut AllowLedger, out: &mut 
     }
 }
 
-fn order_verdict(cfg: &LintConfig, holding: &str, acquiring: &str) -> Option<String> {
+/// Cross-function lock-order check on the call graph: a call made while
+/// holding a lock is charged with every lock its (transitive) callees
+/// acquire, and the held→acquired pair is checked against the declared
+/// order — catching an inversion split across two fns, which the
+/// intra-fn scan above cannot see.
+///
+/// Only `Precise` call edges participate: an over-approximated
+/// name-match edge would manufacture deadlock reports between unrelated
+/// types. Guards acquired *at* the checked call site itself (a
+/// guard-returning helper like `SharedForecaster::lock`) are skipped —
+/// the acquisition and the call are the same event, not a nesting.
+pub fn check_cross(
+    g: &crate::graph::CallGraph,
+    cfg: &LintConfig,
+    ledgers: &mut [(String, AllowLedger)],
+    out: &mut Vec<Finding>,
+) {
+    use std::collections::BTreeMap;
+    let n = g.tab.fns.len();
+    // Transitive acquisitions per fn: canonical → (direct acquirer, line).
+    let mut trans: Vec<BTreeMap<String, (usize, u32)>> = (0..n)
+        .map(|id| {
+            g.nodes[id]
+                .facts
+                .lock_acquires
+                .iter()
+                .map(|(name, line)| (name.clone(), (id, *line)))
+                .collect()
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for f in 0..n {
+            let mut add: Vec<(String, (usize, u32))> = Vec::new();
+            for call in &g.nodes[f].calls {
+                if call.verdict != crate::graph::Verdict::Precise {
+                    continue;
+                }
+                for &t in &call.targets {
+                    for (name, site) in &trans[t] {
+                        if !trans[f].contains_key(name) {
+                            add.push((name.clone(), *site));
+                        }
+                    }
+                }
+            }
+            for (name, site) in add {
+                if trans[f].insert(name, site).is_none() {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut seen: std::collections::BTreeSet<(String, u32, String, String)> =
+        std::collections::BTreeSet::new();
+    for f in 0..n {
+        let def = &g.tab.fns[f];
+        for call in &g.nodes[f].calls {
+            if call.verdict != crate::graph::Verdict::Precise || call.held.is_empty() {
+                continue;
+            }
+            for &t in &call.targets {
+                for (acq, &(owner, oline)) in &trans[t] {
+                    for (held, hline) in &call.held {
+                        if *hline == call.line {
+                            continue; // acquired at this very call
+                        }
+                        let Some(msg) = order_verdict(cfg, held, acq) else {
+                            continue;
+                        };
+                        if !seen.insert((def.file.clone(), call.line, held.clone(), acq.clone()))
+                            || ledgers[def.file_idx].1.suppresses("lock_order", call.line)
+                        {
+                            continue;
+                        }
+                        let owner_def = &g.tab.fns[owner];
+                        let parents = g.reachable(&[t], false);
+                        let mut chain = vec![def.display()];
+                        chain.extend(g.chain(&parents, owner));
+                        out.push(
+                            Finding::new(
+                                "lock_order",
+                                &def.file,
+                                call.line,
+                                Some(&def.display()),
+                                format!(
+                                    "{msg} (holding `{held}` since line {hline}; `{acq}` acquired in `{}` at {}:{oline})",
+                                    owner_def.display(),
+                                    owner_def.file
+                                ),
+                            )
+                            .with_chain(chain),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub(crate) fn order_verdict(cfg: &LintConfig, holding: &str, acquiring: &str) -> Option<String> {
     if holding == acquiring {
         return Some(format!("re-entrant acquisition of `{acquiring}`"));
     }
@@ -122,7 +225,7 @@ fn order_verdict(cfg: &LintConfig, holding: &str, acquiring: &str) -> Option<Str
 /// The dotted receiver chain ending at the `.` before `lock`, e.g.
 /// `self.inner` for `self.inner.lock()`. Call results (`registry().lock()`)
 /// reduce to the called name.
-fn receiver_chain(cx: &FileCx, dot_pos: usize) -> String {
+pub(crate) fn receiver_chain(cx: &FileCx, dot_pos: usize) -> String {
     let mut parts: Vec<String> = Vec::new();
     let mut p = dot_pos; // points at the `.` in `code`
     while let Some(prev) = p.checked_sub(1) {
@@ -172,7 +275,7 @@ fn receiver_chain(cx: &FileCx, dot_pos: usize) -> String {
 
 /// Looks back from `lock` at `code[pos]` for a `let [mut] name = receiver…`
 /// statement head; returns the bound name.
-fn let_binding(cx: &FileCx, pos: usize) -> Option<String> {
+pub(crate) fn let_binding(cx: &FileCx, pos: usize) -> Option<String> {
     // Walk back to the statement boundary.
     let mut p = pos;
     let mut eq: Option<usize> = None;
@@ -294,6 +397,74 @@ mod tests {
             "fn f(&self) { let a = x.lock(); let b = y.lock(); use2(a, b); }",
         );
         assert!(out.is_empty());
+    }
+
+    fn run_cross(files: &[(&str, &str)]) -> Vec<Finding> {
+        let sources: Vec<SourceFile> = files.iter().map(|(p, s)| SourceFile::new(*p, *s)).collect();
+        let cxs: Vec<FileCx> = sources.iter().map(FileCx::new).collect();
+        let mut ledgers: Vec<(String, AllowLedger)> = cxs
+            .iter()
+            .map(|cx| (cx.file.rel_path.clone(), AllowLedger::new(&cx.allows)))
+            .collect();
+        let parsed: Vec<(String, crate::parser::FileItems)> = cxs
+            .iter()
+            .map(|cx| (cx.file.rel_path.clone(), crate::parser::parse(cx)))
+            .collect();
+        let tab = crate::symtab::SymTab::build(&parsed);
+        let g = crate::graph::CallGraph::build(&cxs, &parsed, tab, &LintConfig::workspace());
+        let mut out = Vec::new();
+        check_cross(&g, &LintConfig::workspace(), &mut ledgers, &mut out);
+        out
+    }
+
+    #[test]
+    fn cross_fn_inversion_split_across_two_fns_fires_with_chain() {
+        // `outer` holds the model lock and calls `inner_path`, which
+        // acquires the registry lock — an inversion no single fn shows.
+        let out = run_cross(&[(
+            REGISTRY,
+            "impl Registry {\n  fn outer(&self) {\n    let m = model.lock();\n    self.inner_path();\n    drop(m);\n  }\n  fn inner_path(&self) { let g = self.inner.lock(); touch(g); }\n}\nfn touch(g: usize) {}",
+        )]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "lock_order");
+        assert!(out[0].message.contains("inverts the declared lock order"));
+        assert!(out[0].message.contains("Registry::inner_path"));
+        assert_eq!(
+            out[0].chain,
+            vec!["Registry::outer", "Registry::inner_path"]
+        );
+    }
+
+    #[test]
+    fn near_miss_declared_order_through_a_callee_is_clean() {
+        // Outer→inner through a call edge follows the declared order.
+        let out = run_cross(&[(
+            REGISTRY,
+            "impl Registry {\n  fn outer(&self) {\n    let g = self.inner.lock();\n    self.with_model();\n    drop(g);\n  }\n  fn with_model(&self) { let m = model.lock(); touch(m); }\n}\nfn touch(g: usize) {}",
+        )]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn near_miss_guard_helper_call_is_not_reentrant() {
+        // `self.lock()` IS the acquisition; charging the helper's internal
+        // `.lock()` against the caller would be a self-inflicted
+        // re-entrancy report.
+        let out = run_cross(&[(
+            REGISTRY,
+            "impl Registry {\n  fn lock(&self) -> MutexGuard<'_, Inner> { self.inner.lock() }\n  fn get(&self) { let g = self.lock(); touch2(g); }\n}\nfn touch2(g: usize) {}",
+        )]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn reentrant_acquisition_through_a_helper_fires() {
+        let out = run_cross(&[(
+            REGISTRY,
+            "impl Registry {\n  fn get(&self) {\n    let g = self.inner.lock();\n    self.also_locks();\n    drop(g);\n  }\n  fn also_locks(&self) { let h = self.inner.lock(); touch(h); }\n}\nfn touch(g: usize) {}",
+        )]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("re-entrant"));
     }
 
     #[test]

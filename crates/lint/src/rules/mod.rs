@@ -1,7 +1,10 @@
-//! The five rule engines. Each walks one [`crate::context::FileCx`] and
-//! pushes [`crate::report::Finding`]s; cross-file checks (inventory
-//! diffs) happen in [`crate::lint_files`] once every file is scanned.
+//! The rule engines. `unsafe_audit`, `names` and the intra-fn half of
+//! `locks` walk one [`crate::context::FileCx`]; `determinism`,
+//! `panic_path`, `blocking` and the cross-fn half of `locks` are
+//! reachability analyses over the [`crate::graph::CallGraph`] built in
+//! [`crate::lint_files`] once every file is scanned.
 
+pub mod blocking;
 pub mod determinism;
 pub mod locks;
 pub mod names;

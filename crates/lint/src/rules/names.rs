@@ -325,6 +325,29 @@ mod tests {
     }
 
     #[test]
+    fn stale_glob_template_is_flagged() {
+        // Deleting the last `exec.pool.<name>` emission site must strand
+        // the template entry — unrelated live names (even of the same
+        // kind) may not keep the glob alive.
+        let names = vec![ObsName {
+            kind: "histogram".into(),
+            name: "serve.batch_us".into(),
+            file: "crates/serve/src/engine.rs".into(),
+            line: 7,
+        }];
+        let committed = vec![
+            "histogram exec.pool.*.park_us".to_string(),
+            "histogram serve.batch_us".to_string(),
+        ];
+        let mut out = Vec::new();
+        diff_inventory(&names, &committed, &mut |_, _| false, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("stale inventory entry"));
+        assert!(out[0].message.contains("exec.pool.*.park_us"));
+        assert_eq!(out[0].line, 1, "points at the template's inventory line");
+    }
+
+    #[test]
     fn regenerate_folds_concretes_into_templates() {
         let mk = |kind: &str, name: &str| ObsName {
             kind: kind.into(),

@@ -75,6 +75,106 @@ fn injected_wall_clock_in_fingerprint_fails_the_lint() {
 }
 
 #[test]
+fn injected_two_hop_system_time_helper_fails_the_lint() {
+    // The acceptance shape for the transitive determinism rule: the leak
+    // is NOT in `fingerprint` itself but in a helper it calls — the old
+    // file-scoped rule would still have caught this (same file), the real
+    // point is the chain in the finding.
+    let root = workspace_root();
+    let rel = "crates/core/src/dataset.rs";
+    let original = std::fs::read_to_string(root.join(rel)).expect("dataset.rs readable");
+
+    let needle = "pub fn fingerprint(";
+    let at = original.find(needle).expect("fingerprint fn present");
+    let brace = original[at..].find('{').expect("fingerprint has a body") + at + 1;
+    let mut poisoned = original.clone();
+    poisoned.insert_str(brace, "\n    let _salt = stamp_helper();\n");
+    poisoned.push_str(
+        "\nfn stamp_helper() -> u64 {\n    let _t = std::time::SystemTime::now();\n    0\n}\n",
+    );
+
+    let report = lint_files(
+        &[SourceFile::new(rel, poisoned)],
+        &LintConfig::workspace(),
+        &read_inventories(&root),
+    );
+    let hit = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "wall_clock" && f.context == "stamp_helper")
+        .unwrap_or_else(|| {
+            panic!(
+                "SystemTime::now() in a helper of fingerprint() must fire; got:\n{}",
+                report.render()
+            )
+        });
+    assert_eq!(
+        hit.chain,
+        vec!["fingerprint", "stamp_helper"],
+        "the finding names the call chain"
+    );
+}
+
+#[test]
+fn injected_two_hop_unwrap_under_a_serve_handler_fails_the_lint() {
+    // The acceptance shape for the transitive panic rule: the `.unwrap()`
+    // lives in core — invisible to the old file-scoped rule — but a serve
+    // handler newly calls into it.
+    let root = workspace_root();
+    let engine_rel = "crates/serve/src/engine.rs";
+    let features_rel = "crates/core/src/features.rs";
+    let engine = std::fs::read_to_string(root.join(engine_rel)).expect("engine.rs readable");
+    let features = std::fs::read_to_string(root.join(features_rel)).expect("features.rs readable");
+
+    let needle = "pub fn submit(";
+    let at = engine.find(needle).expect("submit handler present");
+    let brace = engine[at..].find('{').expect("submit has a body") + at + 1;
+    let mut engine_poisoned = engine.clone();
+    engine_poisoned.insert_str(brace, "\n        freshly_risky();\n");
+    let mut features_poisoned = features.clone();
+    features_poisoned.push_str(
+        "\npub fn freshly_risky() {\n    let v: Option<u32> = None;\n    v.unwrap();\n}\n",
+    );
+
+    let report = lint_files(
+        &[
+            SourceFile::new(engine_rel, engine_poisoned),
+            SourceFile::new(features_rel, features_poisoned),
+        ],
+        &LintConfig::workspace(),
+        &read_inventories(&root),
+    );
+    let hit = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "panic_path" && f.file == features_rel && f.context == "freshly_risky")
+        .unwrap_or_else(|| {
+            panic!(
+                "an unwrap() newly called from a serve handler must fire; got:\n{}",
+                report.render()
+            )
+        });
+    assert!(
+        hit.chain.len() >= 2 && hit.chain.last().map(String::as_str) == Some("freshly_risky"),
+        "the finding names the call chain ending at the helper: {:?}",
+        hit.chain
+    );
+    // The unpoisoned pair stays free of that finding — not tautological.
+    let clean = lint_files(
+        &[
+            SourceFile::new(engine_rel, engine),
+            SourceFile::new(features_rel, features),
+        ],
+        &LintConfig::workspace(),
+        &read_inventories(&root),
+    );
+    assert!(
+        !clean.findings.iter().any(|f| f.context == "freshly_risky"),
+        "baseline must not contain the injected helper"
+    );
+}
+
+#[test]
 fn report_json_round_trips_on_the_real_workspace() {
     let report = run_workspace(&workspace_root()).expect("scan succeeds");
     let json = report.to_validated_json().expect("self-validating JSON");

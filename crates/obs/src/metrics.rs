@@ -149,12 +149,9 @@ fn bucket_upper(index: usize) -> u64 {
 impl Histogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        // `AtomicU64` is not `Copy`; build the boxed array through a Vec.
-        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
-        let buckets: Box<[AtomicU64; BUCKETS]> = buckets
-            .into_boxed_slice()
-            .try_into()
-            .expect("bucket count is BUCKETS");
+        // `AtomicU64` is not `Copy`; build the array element-by-element.
+        let buckets: Box<[AtomicU64; BUCKETS]> =
+            Box::new(std::array::from_fn(|_| AtomicU64::new(0)));
         Histogram {
             buckets,
             count: AtomicU64::new(0),
@@ -283,7 +280,7 @@ impl Registry {
     /// The counter named `name`, created on first use. Hold the handle;
     /// recording through it never takes the registration lock again.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.counters.lock().expect("counter registry");
+        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
         Arc::clone(
             map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(Counter::default())),
@@ -292,7 +289,7 @@ impl Registry {
 
     /// The gauge named `name`, created on first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut map = self.gauges.lock().expect("gauge registry");
+        let mut map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
         Arc::clone(
             map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(Gauge::default())),
@@ -301,7 +298,7 @@ impl Registry {
 
     /// The histogram named `name`, created on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().expect("histogram registry");
+        let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
         Arc::clone(
             map.entry(name.to_string())
                 .or_insert_with(|| Arc::new(Histogram::new())),
@@ -315,21 +312,21 @@ impl Registry {
             counters: self
                 .counters
                 .lock()
-                .expect("counter registry")
+                .unwrap_or_else(|e| e.into_inner())
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
             gauges: self
                 .gauges
                 .lock()
-                .expect("gauge registry")
+                .unwrap_or_else(|e| e.into_inner())
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
             histograms: self
                 .histograms
                 .lock()
-                .expect("histogram registry")
+                .unwrap_or_else(|e| e.into_inner())
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),
@@ -339,13 +336,28 @@ impl Registry {
     /// Zeroes every registered metric in place. Outstanding handles stay
     /// valid (values reset, identity preserved) — bench/test hygiene.
     pub fn reset(&self) {
-        for c in self.counters.lock().expect("counter registry").values() {
+        for c in self
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
             c.reset();
         }
-        for g in self.gauges.lock().expect("gauge registry").values() {
+        for g in self
+            .gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
             g.reset();
         }
-        for h in self.histograms.lock().expect("histogram registry").values() {
+        for h in self
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
             h.reset();
         }
     }

@@ -270,6 +270,8 @@ fn worker_loop(
     let quantized = model.quantized();
     while let Some(batch) = queue.pop_batch(cfg.max_batch, cfg.max_wait) {
         if !cfg.forward_delay.is_zero() {
+            // lint: allow(blocking) — synthetic forward-delay pacing for
+            // latency experiments; zero (a no-op) in production configs.
             std::thread::sleep(cfg.forward_delay);
         }
         let inputs: Vec<&Tensor> = batch.iter().map(|r| &r.input).collect();
@@ -337,6 +339,9 @@ impl PendingForecast {
     /// Returns [`ServeError::ShuttingDown`] when the engine terminated
     /// before answering, or the error the worker reported.
     pub fn wait(self) -> Result<Tensor, ServeError> {
+        // lint: allow(blocking) — blocking is this API's contract (client
+        // side of the request-response seam); workers reach it only
+        // through the `Forecaster` trait over-approximation.
         self.rx.recv().map_err(|_| ServeError::ShuttingDown)?
     }
 
@@ -346,6 +351,7 @@ impl PendingForecast {
     ///
     /// Propagates [`PendingForecast::wait`] failures.
     pub fn wait_image(self) -> Result<Image, ServeError> {
+        // lint: allow(blocking) — see `PendingForecast::wait`.
         Ok(tensor_to_image(&self.wait()?))
     }
 }
@@ -432,6 +438,7 @@ impl ForecastClient {
     ///
     /// Propagates submission and transport failures.
     pub fn forecast_tensor(&self, x: &Tensor) -> Result<Tensor, ServeError> {
+        // lint: allow(blocking) — see `PendingForecast::wait`.
         self.submit(x)?.wait()
     }
 }
