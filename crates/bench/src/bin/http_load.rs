@@ -1,0 +1,82 @@
+//! Closed-loop HTTP load generator against a running forecast server
+//! (`http_serve`, or anything speaking the pop-http API).
+//!
+//! Discovers the served models from `GET /v1/models`, then drives a
+//! closed loop of keep-alive clients with optional bursts and hot/cold
+//! or quantized mixes, reporting QPS and exact p50/p99 latency:
+//!
+//! ```text
+//! cargo run --release --bin http_load -- --addr 127.0.0.1:8080 \
+//!     --clients 8 --requests 64 --burst 8 --pause-ms 20 \
+//!     --cold-every 4 --quant-every 3 --json load.json
+//! ```
+
+use pop_bench::http_load::{self, LoadPlan};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(addr) = args
+        .iter()
+        .position(|a| a == "--addr")
+        .and_then(|i| args.get(i + 1))
+    else {
+        eprintln!("usage: http_load --addr HOST:PORT [--clients N] [--requests N] [--burst N] [--pause-ms N] [--cold-every N] [--quant-every N] [--name LABEL] [--json PATH]");
+        std::process::exit(2);
+    };
+    let addr: SocketAddr = addr.parse().expect("--addr takes HOST:PORT");
+
+    let plan = LoadPlan {
+        name: args
+            .iter()
+            .position(|a| a == "--name")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "adhoc".to_string()),
+        clients: flag(&args, "--clients", 4),
+        requests_per_client: flag(&args, "--requests", 32),
+        burst: flag(&args, "--burst", 0),
+        pause: Duration::from_millis(flag(&args, "--pause-ms", 0)),
+        cold_every: flag(&args, "--cold-every", 0),
+        quant_every: flag(&args, "--quant-every", 0),
+    };
+
+    let target = http_load::discover(addr).expect("server answers /v1/models");
+    println!(
+        "target {addr}: hot {:?} ({}x{}x{}, quantized {}), cold {:?}",
+        target.hot,
+        target.channels,
+        target.resolution,
+        target.resolution,
+        target.hot_quant,
+        target.cold
+    );
+
+    let report = http_load::run(addr, &target, &plan);
+    println!("{}", http_load::summary_line(&report));
+
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+    {
+        let json =
+            http_load::render_bench_json("adhoc", target.resolution, std::slice::from_ref(&report));
+        std::fs::write(path, json).expect("write report json");
+        println!("wrote {path}");
+    }
+
+    if report.errors > 0 {
+        eprintln!("{} requests failed outside 200/429", report.errors);
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,359 @@
+//! Closed-loop HTTP load generation against a [`pop_http::HttpServer`],
+//! shared by the `serve_http` bench and the `http_load` binary.
+//!
+//! The generator is *closed-loop*: each client thread owns one keep-alive
+//! connection and does not send request `i+1` until request `i` is
+//! answered, so measured latency includes server-side queueing and the
+//! offered load adapts to what the server sustains (the steady-state QPS
+//! is the throughput, not an arrival-rate guess). Bursty arrivals are
+//! modeled per client — `burst` back-to-back requests, then an
+//! inter-burst `pause` — and hot/cold model mixes by routing every k-th
+//! request to the cold model or the quantized sibling.
+
+use pop_http::{api, HttpClient};
+use pop_nn::Tensor;
+use pop_obs::json;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What the server offers, discovered from `GET /v1/models`.
+#[derive(Debug, Clone)]
+pub struct Target {
+    /// The default model — the hot path.
+    pub hot: String,
+    /// A second registered model, when present — the cold path.
+    pub cold: Option<String>,
+    /// Whether the hot model has quantized replicas.
+    pub hot_quant: bool,
+    /// Input channels of the hot model.
+    pub channels: usize,
+    /// Input resolution of the hot model.
+    pub resolution: usize,
+}
+
+/// Asks the server what it serves.
+///
+/// # Errors
+///
+/// Propagates transport failures; malformed documents are
+/// `InvalidData`.
+pub fn discover(addr: SocketAddr) -> std::io::Result<Target> {
+    let invalid =
+        |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+    let mut client = HttpClient::connect(addr)?;
+    let res = client.get("/v1/models")?;
+    if res.status != 200 {
+        return Err(invalid(&format!("/v1/models answered {}", res.status)));
+    }
+    let doc = json::parse(&res.text()).map_err(|e| invalid(&format!("bad models JSON: {e}")))?;
+    let hot = doc
+        .get("default")
+        .and_then(json::Value::as_str)
+        .ok_or_else(|| invalid("missing default model"))?
+        .to_string();
+    let models = doc
+        .get("models")
+        .and_then(json::Value::as_array)
+        .ok_or_else(|| invalid("missing models array"))?;
+    let mut cold = None;
+    let mut hot_quant = false;
+    let mut channels = 0;
+    let mut resolution = 0;
+    for m in models {
+        let name = m
+            .get("name")
+            .and_then(json::Value::as_str)
+            .unwrap_or_default();
+        if name == hot {
+            hot_quant = m.get("quantized").and_then(json::Value::as_bool) == Some(true);
+            channels = m.get("channels").and_then(json::Value::as_u64).unwrap_or(0) as usize;
+            resolution = m
+                .get("resolution")
+                .and_then(json::Value::as_u64)
+                .unwrap_or(0) as usize;
+        } else if cold.is_none() {
+            cold = Some(name.to_string());
+        }
+    }
+    if channels == 0 || resolution == 0 {
+        return Err(invalid("default model reports no geometry"));
+    }
+    Ok(Target {
+        hot,
+        cold,
+        hot_quant,
+        channels,
+        resolution,
+    })
+}
+
+/// One load scenario.
+#[derive(Debug, Clone)]
+pub struct LoadPlan {
+    /// Scenario label, the `"scenario"` key of the report.
+    pub name: String,
+    /// Concurrent closed-loop clients (one keep-alive connection each).
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Requests sent back-to-back before pausing; 0 disables bursting.
+    pub burst: usize,
+    /// Gap between bursts.
+    pub pause: Duration,
+    /// Every k-th request targets the cold model (0 = never).
+    pub cold_every: usize,
+    /// Every k-th request asks for the quantized hot sibling (0 = never).
+    pub quant_every: usize,
+}
+
+/// What one scenario measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    pub name: String,
+    pub clients: usize,
+    pub requests: usize,
+    /// 200s — completed forecasts.
+    pub ok: usize,
+    /// 429s — engine backpressure, the expected overload answer.
+    pub rejected: usize,
+    /// Anything else (transport failures, 5xx): must be zero.
+    pub errors: usize,
+    pub elapsed_s: f64,
+    /// Completed forecasts per second of wall-clock.
+    pub qps: f64,
+    pub p50_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+}
+
+/// Exact nearest-rank percentile over a sorted sample.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize)
+        .saturating_sub(1)
+        .min(sorted.len() - 1);
+    sorted[rank]
+}
+
+/// Runs one closed-loop scenario to completion.
+///
+/// # Panics
+///
+/// Panics when a client cannot connect — load generation against a dead
+/// server is a harness bug, not a measurement.
+pub fn run(addr: SocketAddr, target: &Target, plan: &LoadPlan) -> LoadReport {
+    // Pre-render a rotation of request bodies so serialization cost sits
+    // outside the measured loop: hot f32, quantized hot, cold f32.
+    let bodies: Arc<Vec<String>> = Arc::new(
+        (0..4u64)
+            .map(|seed| {
+                let x = Tensor::randn(
+                    [1, target.channels, target.resolution, target.resolution],
+                    0.0,
+                    0.5,
+                    seed,
+                );
+                api::render_forecast_request(Some(&target.hot), false, x.data())
+            })
+            .collect(),
+    );
+    let quant_bodies: Arc<Vec<String>> = Arc::new(match target.hot_quant {
+        true => (4..6u64)
+            .map(|seed| {
+                let x = Tensor::randn(
+                    [1, target.channels, target.resolution, target.resolution],
+                    0.0,
+                    0.5,
+                    seed,
+                );
+                api::render_forecast_request(Some(&target.hot), true, x.data())
+            })
+            .collect(),
+        false => Vec::new(),
+    });
+    let cold_bodies: Arc<Vec<String>> = Arc::new(match &target.cold {
+        Some(cold) => (6..8u64)
+            .map(|seed| {
+                let x = Tensor::randn(
+                    [1, target.channels, target.resolution, target.resolution],
+                    0.0,
+                    0.5,
+                    seed,
+                );
+                api::render_forecast_request(Some(cold), false, x.data())
+            })
+            .collect(),
+        None => Vec::new(),
+    });
+
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for client_id in 0..plan.clients {
+        let plan = plan.clone();
+        let bodies = Arc::clone(&bodies);
+        let quant_bodies = Arc::clone(&quant_bodies);
+        let cold_bodies = Arc::clone(&cold_bodies);
+        handles.push(std::thread::spawn(move || {
+            let mut client = HttpClient::connect_with_timeout(addr, Duration::from_secs(60))
+                .expect("load client connects");
+            let mut latencies: Vec<u64> = Vec::with_capacity(plan.requests_per_client);
+            let (mut ok, mut rejected, mut errors) = (0usize, 0usize, 0usize);
+            for i in 0..plan.requests_per_client {
+                let n = client_id + i; // de-phase clients in the mixes
+                let body =
+                    if plan.cold_every > 0 && !cold_bodies.is_empty() && n % plan.cold_every == 0 {
+                        &cold_bodies[n % cold_bodies.len()]
+                    } else if plan.quant_every > 0
+                        && !quant_bodies.is_empty()
+                        && n % plan.quant_every == 0
+                    {
+                        &quant_bodies[n % quant_bodies.len()]
+                    } else {
+                        &bodies[n % bodies.len()]
+                    };
+                let t0 = Instant::now();
+                match client.post_json("/v1/forecast", body) {
+                    Ok(res) if res.status == 200 => {
+                        ok += 1;
+                        latencies.push(t0.elapsed().as_micros() as u64);
+                    }
+                    Ok(res) if res.status == 429 => rejected += 1,
+                    Ok(_) | Err(_) => {
+                        errors += 1;
+                        // The server closes errored connections: reconnect
+                        // so one fault doesn't void the rest of the loop.
+                        if let Ok(fresh) =
+                            HttpClient::connect_with_timeout(addr, Duration::from_secs(60))
+                        {
+                            client = fresh;
+                        }
+                    }
+                }
+                if plan.burst > 0 && (i + 1) % plan.burst == 0 {
+                    std::thread::sleep(plan.pause);
+                }
+            }
+            (latencies, ok, rejected, errors)
+        }));
+    }
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let (mut ok, mut rejected, mut errors) = (0usize, 0usize, 0usize);
+    for handle in handles {
+        let (mut l, o, r, e) = handle.join().expect("load client thread");
+        latencies.append(&mut l);
+        ok += o;
+        rejected += r;
+        errors += e;
+    }
+    let elapsed_s = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    LoadReport {
+        name: plan.name.clone(),
+        clients: plan.clients,
+        requests: plan.clients * plan.requests_per_client,
+        ok,
+        rejected,
+        errors,
+        elapsed_s,
+        qps: ok as f64 / elapsed_s.max(1e-9),
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        max_us: latencies.last().copied().unwrap_or(0),
+    }
+}
+
+/// One human-readable summary line per scenario.
+pub fn summary_line(r: &LoadReport) -> String {
+    format!(
+        "{}: {} clients x {} reqs -> {:.1} qps, p50 {} us, p99 {} us (ok {}, 429 {}, errors {})",
+        r.name,
+        r.clients,
+        r.requests / r.clients.max(1),
+        r.qps,
+        r.p50_us,
+        r.p99_us,
+        r.ok,
+        r.rejected,
+        r.errors
+    )
+}
+
+/// The `BENCH_serve.json` document for a set of scenario reports.
+pub fn render_bench_json(mode: &str, resolution: usize, reports: &[LoadReport]) -> String {
+    let mut out = format!(
+        "{{\n  \"bench\": \"serve_http\",\n  \"mode\": \"{mode}\",\n  \"resolution\": {resolution},\n  \"scenarios\": [\n"
+    );
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"clients\": {}, \"requests\": {}, \"ok\": {}, \"rejected\": {}, \"errors\": {}, \"elapsed_s\": {:.3}, \"qps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+            r.name,
+            r.clients,
+            r.requests,
+            r.ok,
+            r.rejected,
+            r.errors,
+            r.elapsed_s,
+            r.qps,
+            r.p50_us,
+            r.p99_us,
+            r.max_us,
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_exact_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50);
+        assert_eq!(percentile(&sorted, 0.99), 99);
+        assert_eq!(percentile(&sorted, 1.0), 100);
+        assert_eq!(percentile(&[42], 0.99), 42);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn bench_json_is_parseable_and_keyed() {
+        let reports = [LoadReport {
+            name: "steady_hot".into(),
+            clients: 4,
+            requests: 64,
+            ok: 60,
+            rejected: 4,
+            errors: 0,
+            elapsed_s: 1.25,
+            qps: 48.0,
+            p50_us: 900,
+            p99_us: 4100,
+            max_us: 5000,
+        }];
+        let text = render_bench_json("full", 32, &reports);
+        let doc = pop_obs::json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("bench").and_then(pop_obs::json::Value::as_str),
+            Some("serve_http")
+        );
+        let scenarios = doc
+            .get("scenarios")
+            .and_then(pop_obs::json::Value::as_array)
+            .unwrap();
+        assert_eq!(
+            scenarios[0]
+                .get("qps")
+                .and_then(pop_obs::json::Value::as_f64),
+            Some(48.0)
+        );
+    }
+}

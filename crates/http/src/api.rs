@@ -1,0 +1,293 @@
+//! The typed JSON bodies of the forecast API.
+//!
+//! Floats cross the wire *exactly*: [`fmt_f32`] writes the shortest
+//! decimal that uniquely identifies the `f32` (Rust's `{}` formatting),
+//! and [`f32_from`] recovers it by parsing as `f64` and rounding once to
+//! `f32` — lossless for shortest-repr input because `f64` carries more
+//! than twice an `f32`'s precision, so the intermediate rounding cannot
+//! move the value across an `f32` boundary. The golden determinism test
+//! (`tests/http_golden.rs`) pins the resulting bitwise HTTP-vs-in-process
+//! equality.
+
+use pop_nn::Tensor;
+use pop_obs::json::{self, Value};
+
+/// A request-level API failure: the HTTP status plus a message for the
+/// `{"error": ...}` body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    pub status: u16,
+    pub message: String,
+}
+
+impl ApiError {
+    pub fn bad(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.message, self.status)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// The decoded body of `POST /v1/forecast`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForecastRequest {
+    /// Which registered model answers; `None` selects the service default.
+    pub model: Option<String>,
+    /// Route to the i8 quantized replicas instead of the f32 engine.
+    pub quantized: bool,
+    /// The flattened `[1, C, H, W]` feature-map tensor, row-major.
+    pub features: Vec<f32>,
+}
+
+/// Parses a `POST /v1/forecast` body.
+///
+/// # Errors
+///
+/// Returns a 400 [`ApiError`] for non-UTF-8, non-JSON, or structurally
+/// wrong documents (missing/ill-typed `features`, ill-typed options).
+pub fn parse_forecast_request(body: &[u8]) -> Result<ForecastRequest, ApiError> {
+    let text = std::str::from_utf8(body).map_err(|_| ApiError::bad("request body is not UTF-8"))?;
+    let doc = json::parse(text).map_err(|e| ApiError::bad(format!("invalid JSON: {e}")))?;
+    if !matches!(doc, Value::Object(_)) {
+        return Err(ApiError::bad("request body must be a JSON object"));
+    }
+    let model = match doc.get("model") {
+        None | Some(Value::Null) => None,
+        Some(Value::String(s)) => Some(s.clone()),
+        Some(_) => return Err(ApiError::bad("\"model\" must be a string")),
+    };
+    let quantized = match doc.get("quantized") {
+        None | Some(Value::Null) => false,
+        Some(Value::Bool(b)) => *b,
+        Some(_) => return Err(ApiError::bad("\"quantized\" must be a boolean")),
+    };
+    let features = doc
+        .get("features")
+        .and_then(Value::as_array)
+        .ok_or_else(|| ApiError::bad("\"features\" must be an array of numbers"))?;
+    let features = features
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .map(f32_from)
+                .ok_or_else(|| ApiError::bad("\"features\" must contain only numbers"))
+        })
+        .collect::<Result<Vec<f32>, ApiError>>()?;
+    Ok(ForecastRequest {
+        model,
+        quantized,
+        features,
+    })
+}
+
+/// Renders the `POST /v1/forecast` response body.
+pub fn render_forecast_response(model: &str, quantized: bool, tensor: &Tensor) -> String {
+    let shape = tensor.shape();
+    let mut out = String::with_capacity(tensor.data().len() * 12 + 128);
+    out.push_str("{\"model\": ");
+    out.push_str(&json::str_lit(model));
+    out.push_str(", \"quantized\": ");
+    out.push_str(if quantized { "true" } else { "false" });
+    out.push_str(&format!(
+        ", \"shape\": [{}, {}, {}, {}], \"data\": [",
+        shape[0], shape[1], shape[2], shape[3]
+    ));
+    for (i, v) in tensor.data().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&fmt_f32(*v));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parses a forecast response back into a tensor — the client half used
+/// by the golden tests and the load generator.
+///
+/// # Errors
+///
+/// Returns a 400-status [`ApiError`] for malformed documents or a
+/// `shape`/`data` length mismatch.
+pub fn parse_forecast_response(body: &[u8]) -> Result<Tensor, ApiError> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| ApiError::bad("response body is not UTF-8"))?;
+    let doc = json::parse(text).map_err(|e| ApiError::bad(format!("invalid JSON: {e}")))?;
+    let shape_vals = doc
+        .get("shape")
+        .and_then(Value::as_array)
+        .ok_or_else(|| ApiError::bad("missing \"shape\""))?;
+    let dims = shape_vals
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .map(|n| n as usize)
+                .ok_or_else(|| ApiError::bad("\"shape\" must be non-negative integers"))
+        })
+        .collect::<Result<Vec<usize>, ApiError>>()?;
+    let [n, c, h, w] = dims.as_slice() else {
+        return Err(ApiError::bad("\"shape\" must have 4 dimensions"));
+    };
+    let shape = [*n, *c, *h, *w];
+    let data = doc
+        .get("data")
+        .and_then(Value::as_array)
+        .ok_or_else(|| ApiError::bad("missing \"data\""))?
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .map(f32_from)
+                .ok_or_else(|| ApiError::bad("\"data\" must contain only numbers"))
+        })
+        .collect::<Result<Vec<f32>, ApiError>>()?;
+    let expected =
+        checked_volume(shape).ok_or_else(|| ApiError::bad("\"shape\" volume overflows"))?;
+    if data.len() != expected {
+        return Err(ApiError::bad(format!(
+            "\"data\" has {} values, shape wants {expected}",
+            data.len()
+        )));
+    }
+    Ok(Tensor::from_vec(shape, data))
+}
+
+/// Serializes a flattened feature vector as a forecast request body.
+pub fn render_forecast_request(model: Option<&str>, quantized: bool, features: &[f32]) -> String {
+    let mut out = String::with_capacity(features.len() * 12 + 96);
+    out.push('{');
+    if let Some(model) = model {
+        out.push_str("\"model\": ");
+        out.push_str(&json::str_lit(model));
+        out.push_str(", ");
+    }
+    if quantized {
+        out.push_str("\"quantized\": true, ");
+    }
+    out.push_str("\"features\": [");
+    for (i, v) in features.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&fmt_f32(*v));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Shortest-round-trip decimal for an `f32`; non-finite values (which the
+/// tanh-bounded forecaster never produces) become JSON `null`.
+pub fn fmt_f32(v: f32) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// The inverse of [`fmt_f32`] after a generic `f64` JSON parse: one final
+/// rounding step to `f32`.
+pub fn f32_from(v: f64) -> f32 {
+    v as f32
+}
+
+/// `n*c*h*w` without overflow, or `None`.
+pub fn checked_volume(shape: [usize; 4]) -> Option<usize> {
+    shape.iter().try_fold(1usize, |acc, &d| acc.checked_mul(d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forecast_request_round_trips() {
+        let features = vec![0.5f32, -1.25, 3.0e-8, f32::MIN_POSITIVE];
+        let body = render_forecast_request(Some("dense"), true, &features);
+        let req = parse_forecast_request(body.as_bytes()).unwrap();
+        assert_eq!(req.model.as_deref(), Some("dense"));
+        assert!(req.quantized);
+        assert_eq!(req.features, features);
+    }
+
+    #[test]
+    fn minimal_request_defaults_model_and_precision() {
+        let req = parse_forecast_request(b"{\"features\": [1, 2.5]}").unwrap();
+        assert_eq!(req.model, None);
+        assert!(!req.quantized);
+        assert_eq!(req.features, vec![1.0, 2.5]);
+    }
+
+    #[test]
+    fn every_f32_bit_pattern_family_round_trips_exactly() {
+        // A hostile sample: subnormals, ULP neighbours, huge/tiny values.
+        let samples = [
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            f32::MIN_POSITIVE,
+            f32::MIN_POSITIVE / 2.0, // subnormal
+            f32::MAX,
+            f32::MIN,
+            1.0 + f32::EPSILON,
+            0.1,
+            -0.3,
+            core::f32::consts::PI,
+            1.234_567_9e-30,
+            9.876_543e30,
+        ];
+        for v in samples {
+            let text = fmt_f32(v);
+            let parsed = pop_obs::json::parse(&text).unwrap();
+            let back = f32_from(parsed.as_f64().unwrap());
+            assert_eq!(
+                back.to_bits(),
+                v.to_bits(),
+                "{v:?} must survive {text} exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn forecast_response_round_trips_tensors() {
+        let t = Tensor::from_vec([1, 2, 2, 1], vec![0.25, -0.125, 1.0e-7, 0.99999994]);
+        let body = render_forecast_response("base", false, &t);
+        let back = parse_forecast_response(body.as_bytes()).unwrap();
+        assert_eq!(back, t);
+        assert!(body.contains("\"model\": \"base\""));
+        assert!(body.contains("\"quantized\": false"));
+    }
+
+    #[test]
+    fn malformed_bodies_are_400() {
+        for body in [
+            b"not json".as_slice(),
+            b"[1, 2]",
+            b"{\"features\": \"nope\"}",
+            b"{\"features\": [1, \"x\"]}",
+            b"{\"features\": [1], \"model\": 7}",
+            b"{\"features\": [1], \"quantized\": \"yes\"}",
+            b"{}",
+            b"\xff\xfe",
+        ] {
+            let err = parse_forecast_request(body).unwrap_err();
+            assert_eq!(err.status, 400, "{err}");
+        }
+    }
+
+    #[test]
+    fn response_parser_rejects_shape_mismatches() {
+        assert!(parse_forecast_response(b"{\"shape\": [1,1,2,2], \"data\": [1,2,3]}").is_err());
+        assert!(parse_forecast_response(b"{\"shape\": [1,1], \"data\": []}").is_err());
+        assert!(parse_forecast_response(b"{\"data\": [1]}").is_err());
+    }
+}

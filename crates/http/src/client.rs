@@ -1,0 +1,214 @@
+//! A minimal blocking HTTP/1.1 client — the test-harness and
+//! load-generator half of the protocol. Keep-alive by default: one
+//! [`HttpClient`] drives many requests over one connection, which is what
+//! the closed-loop bench needs to measure server-side queueing rather
+//! than connection setup.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of the (lower-cased) header `name`.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, lossily.
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A blocking keep-alive connection to one server.
+#[derive(Debug)]
+pub struct HttpClient {
+    stream: TcpStream,
+}
+
+impl HttpClient {
+    /// Connects with a 5 s I/O deadline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        Self::connect_with_timeout(addr, Duration::from_secs(5))
+    }
+
+    /// Connects with an explicit read/write deadline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures.
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        // Request/response traffic is latency-bound: never trade a
+        // round-trip for segment coalescing.
+        stream.set_nodelay(true)?;
+        Ok(HttpClient { stream })
+    }
+
+    /// Raw access, for fault-injection tests (half-writes, early close).
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures and malformed responses.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.send("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures and malformed responses.
+    pub fn post_json(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        self.send("POST", path, Some(body))
+    }
+
+    /// Writes one request and reads one response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures and malformed responses
+    /// (`ErrorKind::InvalidData`).
+    pub fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<ClientResponse> {
+        let body = body.unwrap_or_default();
+        let mut frame = format!(
+            "{method} {path} HTTP/1.1\r\nHost: pop\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        // One write per request: a torn head/body pair costs a Nagle +
+        // delayed-ACK round-trip (~40ms) per exchange.
+        frame.extend_from_slice(body.as_bytes());
+        self.stream.write_all(&frame)?;
+        self.stream.flush()?;
+        read_response(&mut self.stream)
+    }
+}
+
+fn bad(what: &str) -> std::io::Error {
+    std::io::Error::new(ErrorKind::InvalidData, what.to_string())
+}
+
+/// Reads exactly one response (status line, headers, `Content-Length`
+/// body) from `r`.
+///
+/// # Errors
+///
+/// `InvalidData` for malformed responses, `UnexpectedEof` for truncation,
+/// plus any transport error.
+pub fn read_response(r: &mut impl Read) -> std::io::Result<ClientResponse> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(end) = crate::parser::find_head_end(&buf) {
+            break end;
+        }
+        if buf.len() > 1024 * 1024 {
+            return Err(bad("response head too large"));
+        }
+        let n = r.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "connection closed before response head",
+            ));
+        }
+        buf.extend_from_slice(chunk.get(..n).unwrap_or_default());
+    };
+    let head = std::str::from_utf8(buf.get(..head_end.head_len).unwrap_or_default())
+        .map_err(|_| bad("non-UTF-8 response head"))?;
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let status_line = lines.next().unwrap_or_default();
+    let mut parts = status_line.splitn(3, ' ');
+    if parts.next() != Some("HTTP/1.1") {
+        return Err(bad("not an HTTP/1.1 response"));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("missing status code"))?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| bad("bad header"))?;
+        let name = name.to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value.parse().map_err(|_| bad("bad content-length"))?;
+        }
+        headers.push((name, value));
+    }
+    let mut body: Vec<u8> = buf.get(head_end.consumed..).unwrap_or_default().to_vec();
+    while body.len() < content_length {
+        let n = r.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        body.extend_from_slice(chunk.get(..n).unwrap_or_default());
+    }
+    body.truncate(content_length);
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_serialized_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 11\r\nConnection: keep-alive\r\n\r\n{\"ok\":true}";
+        let res = read_response(&mut raw.as_slice()).unwrap();
+        assert_eq!(res.status, 200);
+        assert_eq!(res.header("content-type"), Some("application/json"));
+        assert_eq!(res.text(), "{\"ok\":true}");
+    }
+
+    #[test]
+    fn truncated_responses_are_errors_not_hangs() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nabc";
+        let err = read_response(&mut raw.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::UnexpectedEof);
+        let raw = b"HTTP/2 200\r\n\r\n";
+        assert_eq!(
+            read_response(&mut raw.as_slice()).unwrap_err().kind(),
+            ErrorKind::InvalidData
+        );
+    }
+}

@@ -1,0 +1,441 @@
+//! The TCP front end: accept thread, connection queue, worker pool.
+//!
+//! An accept thread pushes inbound [`TcpStream`]s into a bounded
+//! [`pop_exec::BoundedQueue`] (overload answers a minimal `503` at accept
+//! time — admission control *before* a worker is committed); a
+//! [`pop_exec::WorkerPool`] of connection workers drains it, each running
+//! [`RequestParser`]-driven keep-alive loops with read/write deadlines.
+//! Shutdown is graceful by construction: the flag stops new connections,
+//! a self-connect wakes the blocking accept, the queue closes, and every
+//! worker finishes its in-flight request before exiting — bounded by the
+//! read deadline. Nothing on a connection path panics (pop-lint roots the
+//! panic rule at every function in this file).
+
+use crate::parser::{ParserLimits, RequestParser};
+use crate::response::Response;
+use crate::service::ForecastService;
+use pop_exec::{BoundedQueue, PushError, WorkerPool};
+use pop_serve::StatsSnapshot;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of an [`HttpServer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`HttpServer::local_addr`]).
+    pub addr: String,
+    /// Connection worker threads — concurrently served connections.
+    pub workers: usize,
+    /// Accepted connections waiting for a worker; beyond this, accepts
+    /// answer `503` immediately.
+    pub conn_backlog: usize,
+    /// Socket read deadline: bounds slow-trickle (slowloris) requests,
+    /// idle keep-alive lifetime, and the shutdown drain.
+    pub read_timeout: Duration,
+    /// Socket write deadline.
+    pub write_timeout: Duration,
+    /// Requests served over one connection before it is closed.
+    pub max_requests_per_conn: usize,
+    /// Request parsing limits.
+    pub limits: ParserLimits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            conn_backlog: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_requests_per_conn: 1000,
+            limits: ParserLimits::default(),
+        }
+    }
+}
+
+/// Transport-layer counters, mirrored into the global [`pop_obs`]
+/// registry under `http.*` and snapshotted per server for tests and the
+/// `/v1/stats` `"http"` section.
+#[derive(Debug, Default)]
+pub struct HttpStats {
+    connections: AtomicU64,
+    accept_rejected: AtomicU64,
+    requests: AtomicU64,
+    keepalive_reuses: AtomicU64,
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    parse_errors: AtomicU64,
+    timeouts: AtomicU64,
+    write_errors: AtomicU64,
+    active: AtomicU64,
+}
+
+impl HttpStats {
+    fn record_status(&self, status: u16) {
+        match status {
+            200..=299 => self.responses_2xx.fetch_add(1, Ordering::Relaxed),
+            400..=499 => self.responses_4xx.fetch_add(1, Ordering::Relaxed),
+            _ => self.responses_5xx.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Point-in-time copy of the counters.
+    pub fn snapshot(&self) -> HttpStatsSnapshot {
+        HttpStatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            accept_rejected: self.accept_rejected.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            keepalive_reuses: self.keepalive_reuses.load(Ordering::Relaxed),
+            responses_2xx: self.responses_2xx.load(Ordering::Relaxed),
+            responses_4xx: self.responses_4xx.load(Ordering::Relaxed),
+            responses_5xx: self.responses_5xx.load(Ordering::Relaxed),
+            parse_errors: self.parse_errors.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of [`HttpStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HttpStatsSnapshot {
+    pub connections: u64,
+    pub accept_rejected: u64,
+    pub requests: u64,
+    pub keepalive_reuses: u64,
+    pub responses_2xx: u64,
+    pub responses_4xx: u64,
+    pub responses_5xx: u64,
+    pub parse_errors: u64,
+    pub timeouts: u64,
+    pub write_errors: u64,
+}
+
+impl HttpStatsSnapshot {
+    /// The `"http"` section of `/v1/stats`.
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"connections\": {}, \"accept_rejected\": {}, \"requests\": {}, \"keepalive_reuses\": {}, \"responses_2xx\": {}, \"responses_4xx\": {}, \"responses_5xx\": {}, \"parse_errors\": {}, \"timeouts\": {}, \"write_errors\": {}}}",
+            self.connections,
+            self.accept_rejected,
+            self.requests,
+            self.keepalive_reuses,
+            self.responses_2xx,
+            self.responses_4xx,
+            self.responses_5xx,
+            self.parse_errors,
+            self.timeouts,
+            self.write_errors,
+        )
+    }
+}
+
+/// Mirrors of the per-server counters in the global obs registry — the
+/// canonical `http.*` names OBS_NAMES.md inventories.
+#[derive(Debug)]
+struct ObsMirror {
+    connections: Arc<pop_obs::Counter>,
+    requests: Arc<pop_obs::Counter>,
+    keepalive_reuses: Arc<pop_obs::Counter>,
+    queue_full: Arc<pop_obs::Counter>,
+    parse_errors: Arc<pop_obs::Counter>,
+    timeouts: Arc<pop_obs::Counter>,
+    write_errors: Arc<pop_obs::Counter>,
+    request_us: Arc<pop_obs::Histogram>,
+    active: Arc<pop_obs::Gauge>,
+}
+
+impl ObsMirror {
+    fn register() -> ObsMirror {
+        let registry = pop_obs::global();
+        ObsMirror {
+            connections: registry.counter("http.connections"),
+            requests: registry.counter("http.requests"),
+            keepalive_reuses: registry.counter("http.keepalive.reuses"),
+            queue_full: registry.counter("http.queue_full"),
+            parse_errors: registry.counter("http.parse_errors"),
+            timeouts: registry.counter("http.timeouts"),
+            write_errors: registry.counter("http.write_errors"),
+            request_us: registry.histogram("http.request_us"),
+            active: registry.gauge("http.connections.active"),
+        }
+    }
+}
+
+/// Everything [`HttpServer::shutdown`] learned while draining.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrainReport {
+    /// Final serve-layer counters (all engines, drained).
+    pub serve: StatsSnapshot,
+    /// Final transport-layer counters.
+    pub http: HttpStatsSnapshot,
+    /// Connection workers that panicked (the invariant: always zero).
+    pub worker_panics: usize,
+}
+
+/// The HTTP/1.1 server fronting a [`ForecastService`].
+#[derive(Debug)]
+pub struct HttpServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    conns: Arc<BoundedQueue<TcpStream>>,
+    workers: WorkerPool,
+    service: Option<Arc<ForecastService>>,
+    stats: Arc<HttpStats>,
+    worker_panics: usize,
+}
+
+impl HttpServer {
+    /// Binds, spawns the accept thread and the connection workers, and
+    /// starts serving `service`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/spawn failures.
+    pub fn start(service: ForecastService, config: ServerConfig) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(config.addr.as_str())?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<BoundedQueue<TcpStream>> = Arc::new(BoundedQueue::named(
+            config.conn_backlog.max(1),
+            "http_conns",
+        ));
+        let stats = Arc::new(HttpStats::default());
+        let obs = Arc::new(ObsMirror::register());
+        let service = Arc::new(service);
+
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            let stats = Arc::clone(&stats);
+            let obs = Arc::clone(&obs);
+            std::thread::Builder::new()
+                .name("http-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shutdown, &conns, &stats, &obs))?
+        };
+
+        let workers = WorkerPool::spawn("http", config.workers.max(1), |_| {
+            let conns = Arc::clone(&conns);
+            let service = Arc::clone(&service);
+            let stats = Arc::clone(&stats);
+            let obs = Arc::clone(&obs);
+            let shutdown = Arc::clone(&shutdown);
+            let config = config.clone();
+            move || {
+                while let Some(stream) = conns.pop() {
+                    let _span = pop_obs::span!("http_conn");
+                    stats.active.fetch_add(1, Ordering::Relaxed);
+                    obs.active.set(stats.active.load(Ordering::Relaxed) as f64);
+                    handle_connection(stream, &service, &config, &stats, &obs, &shutdown);
+                    stats.active.fetch_sub(1, Ordering::Relaxed);
+                    obs.active.set(stats.active.load(Ordering::Relaxed) as f64);
+                }
+            }
+        });
+
+        Ok(HttpServer {
+            local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            conns,
+            workers,
+            service: Some(service),
+            stats,
+            worker_panics: 0,
+        })
+    }
+
+    /// The bound address (the ephemeral port when configured with `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live transport counters.
+    pub fn http_stats(&self) -> HttpStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Live serve-layer counters.
+    pub fn serve_stats(&self) -> StatsSnapshot {
+        match &self.service {
+            Some(service) => service.stats(),
+            None => pop_serve::ServeStats::default().snapshot(),
+        }
+    }
+
+    /// Graceful drain: stop accepting, serve every in-flight request,
+    /// join every thread, shut the engines down, report what happened.
+    pub fn shutdown(mut self) -> DrainReport {
+        self.close_and_join();
+        let serve = match self.service.take().map(Arc::try_unwrap) {
+            // All worker clones are gone after the join, so this is the
+            // expected path: drain the engines and take final counters.
+            Some(Ok(service)) => service.shutdown(),
+            Some(Err(service)) => service.stats(),
+            None => pop_serve::ServeStats::default().snapshot(),
+        };
+        DrainReport {
+            serve,
+            http: self.stats.snapshot(),
+            worker_panics: self.worker_panics,
+        }
+    }
+
+    fn close_and_join(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway self-connection; the
+        // accept loop sees the flag and exits before queueing it.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.conns.close();
+        self.worker_panics += self.workers.join();
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shutdown: &AtomicBool,
+    conns: &BoundedQueue<TcpStream>,
+    stats: &HttpStats,
+    obs: &ObsMirror,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return; // the wake-up self-connection, or a late arrival
+        }
+        stats.connections.fetch_add(1, Ordering::Relaxed);
+        obs.connections.inc();
+        match conns.try_push(stream) {
+            Ok(()) => {}
+            Err(PushError::Full(mut stream)) => {
+                // Admission control at the door: answer 503 without
+                // committing a worker, so overload degrades predictably.
+                stats.accept_rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = Response::error(503, "connection backlog full")
+                    .header("Retry-After", "1")
+                    .write_to(&mut stream, false);
+            }
+            Err(PushError::Closed(_)) => return,
+        }
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    service: &ForecastService,
+    config: &ServerConfig,
+    stats: &HttpStats,
+    obs: &ObsMirror,
+    shutdown: &AtomicBool,
+) {
+    if stream.set_read_timeout(Some(config.read_timeout)).is_err()
+        || stream
+            .set_write_timeout(Some(config.write_timeout))
+            .is_err()
+    {
+        return;
+    }
+    // Answers must leave now, not after a Nagle coalescing window: a
+    // keep-alive request/response exchange never benefits from delay.
+    let _ = stream.set_nodelay(true);
+    let mut parser = RequestParser::new(config.limits.clone());
+    let mut served = 0usize;
+    loop {
+        // Drain every complete buffered request (pipelining) before the
+        // next socket read.
+        loop {
+            match parser.poll() {
+                Ok(Some(req)) => {
+                    let _span = pop_obs::span!("http_request");
+                    let started = Instant::now();
+                    stats.requests.fetch_add(1, Ordering::Relaxed);
+                    obs.requests.inc();
+                    if served > 0 {
+                        stats.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+                        obs.keepalive_reuses.inc();
+                    }
+                    // Only the stats route pays for rendering the
+                    // transport section.
+                    let http_json = if req.path == "/v1/stats" {
+                        Some(stats.snapshot().render_json())
+                    } else {
+                        None
+                    };
+                    let response = service.handle_with(&req, http_json.as_deref());
+                    if response.status() == 429 {
+                        obs.queue_full.inc();
+                    }
+                    served += 1;
+                    let keep_alive = req.keep_alive
+                        && served < config.max_requests_per_conn
+                        && !shutdown.load(Ordering::SeqCst);
+                    stats.record_status(response.status());
+                    obs.request_us.record_duration(started.elapsed());
+                    if response.write_to(&mut stream, keep_alive).is_err() {
+                        // Peer went away mid-response: drop the
+                        // connection, never the worker.
+                        stats.write_errors.fetch_add(1, Ordering::Relaxed);
+                        obs.write_errors.inc();
+                        return;
+                    }
+                    if !keep_alive {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(err) => {
+                    stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+                    obs.parse_errors.inc();
+                    stats.record_status(err.status());
+                    let _ =
+                        Response::error(err.status(), &err.reason()).write_to(&mut stream, false);
+                    return;
+                }
+            }
+        }
+        if shutdown.load(Ordering::SeqCst) && parser.buffered() == 0 {
+            return; // drained: no partial request in flight
+        }
+        match parser.read_from(&mut stream) {
+            Ok(0) => return, // peer closed
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                obs.timeouts.inc();
+                if parser.buffered() > 0 {
+                    // A slow-trickling (slowloris-style) request hit the
+                    // read deadline mid-head: answer and hang up.
+                    stats.record_status(408);
+                    let _ = Response::error(408, "request timed out").write_to(&mut stream, false);
+                }
+                return;
+            }
+            Err(_) => return, // reset / aborted
+        }
+    }
+}

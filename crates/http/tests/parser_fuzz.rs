@@ -1,0 +1,179 @@
+//! Property tests for the HTTP request parser: a total function over
+//! arbitrary byte soup (never panics, always answers a typed result),
+//! and — the property that catches real incremental-parser bugs — feed
+//! granularity is unobservable: any split of the same bytes across
+//! `feed` calls yields exactly the same requests and the same error.
+
+use pop_http::{ParseError, ParserLimits, Request, RequestParser};
+use proptest::prelude::*;
+
+/// Polls until the parser wants more input or fails; errors are terminal
+/// for a connection, so draining stops at the first one.
+fn drain(p: &mut RequestParser) -> (Vec<Request>, Option<ParseError>) {
+    let mut reqs = Vec::new();
+    loop {
+        match p.poll() {
+            Ok(Some(req)) => reqs.push(req),
+            Ok(None) => return (reqs, None),
+            Err(e) => return (reqs, Some(e)),
+        }
+    }
+}
+
+/// The reference outcome: everything fed at once.
+fn one_shot(bytes: &[u8]) -> (Vec<Request>, Option<ParseError>) {
+    let mut p = RequestParser::new(ParserLimits::default());
+    p.feed(bytes);
+    drain(&mut p)
+}
+
+/// The outcome when the same bytes arrive split at `cuts` (socket-read
+/// boundaries), polling after every fragment like the connection loop.
+fn chunked(bytes: &[u8], cuts: &[usize]) -> (Vec<Request>, Option<ParseError>) {
+    let mut cuts: Vec<usize> = cuts.iter().map(|&c| c % (bytes.len() + 1)).collect();
+    cuts.push(bytes.len());
+    cuts.sort_unstable();
+    let mut p = RequestParser::new(ParserLimits::default());
+    let mut reqs = Vec::new();
+    let mut prev = 0;
+    for cut in cuts {
+        p.feed(&bytes[prev..cut]);
+        prev = cut;
+        let (mut got, err) = drain(&mut p);
+        reqs.append(&mut got);
+        if let Some(err) = err {
+            return (reqs, Some(err));
+        }
+    }
+    (reqs, None)
+}
+
+/// One well-formed request with a generated body; `crlf`/`close` vary
+/// the line-ending and keep-alive dialects.
+fn render_request(i: usize, body_len: usize, crlf: bool, close: bool) -> Vec<u8> {
+    let nl = if crlf { "\r\n" } else { "\n" };
+    let mut head = format!(
+        "POST /v1/models/m{i}/forecast HTTP/1.1{nl}Host: pop{nl}Content-Length: {body_len}{nl}"
+    );
+    if close {
+        head.push_str(&format!("Connection: close{nl}"));
+    }
+    head.push_str(nl);
+    let mut bytes = head.into_bytes();
+    bytes.extend((0..body_len).map(|j| b'a' + ((i + j) % 26) as u8));
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup never panics: the parser answers requests, a
+    /// typed error, or a wait-for-more — and feeding the soup byte by
+    /// byte reaches the identical outcome.
+    #[test]
+    fn arbitrary_bytes_parse_identically_at_any_granularity(
+        bytes in collection::vec(0u8..=255, 96),
+        cuts in collection::vec(0usize..97, 5),
+    ) {
+        let reference = one_shot(&bytes);
+        prop_assert_eq!(chunked(&bytes, &cuts), reference.clone());
+        // Byte-by-byte is the adversarial extreme of the same property.
+        let every_byte: Vec<usize> = (0..bytes.len()).collect();
+        prop_assert_eq!(chunked(&bytes, &every_byte), reference);
+    }
+
+    /// Pipelined well-formed requests survive arbitrary socket-read
+    /// splits — heads and bodies torn anywhere, including mid-CRLF —
+    /// with every request recovered intact and in order.
+    #[test]
+    fn torn_request_streams_reassemble_exactly(
+        lens in collection::vec(0usize..40, 3),
+        dialects in collection::vec(0u8..4, 3),
+        cuts in collection::vec(0usize..512, 6),
+    ) {
+        let mut stream = Vec::new();
+        for (i, (&len, &dialect)) in lens.iter().zip(&dialects).enumerate() {
+            // The last request says Connection: close only at the end,
+            // so the whole stream stays parseable.
+            let close = dialect & 2 != 0 && i == lens.len() - 1;
+            stream.extend(render_request(i, len, dialect & 1 != 0, close));
+        }
+        let (reqs, err) = one_shot(&stream);
+        prop_assert_eq!(err, None);
+        prop_assert_eq!(reqs.len(), lens.len());
+        for (i, (req, &len)) in reqs.iter().zip(&lens).enumerate() {
+            prop_assert_eq!(&req.path, &format!("/v1/models/m{i}/forecast"));
+            prop_assert_eq!(req.body.len(), len);
+        }
+        prop_assert_eq!(chunked(&stream, &cuts), (reqs, None));
+    }
+
+    /// Hostile fragment soup — split headers, stray terminators, huge
+    /// and conflicting lengths, folded continuations, NULs — never
+    /// panics, and still parses the same at any feed granularity.
+    #[test]
+    fn hostile_fragment_soup_is_total(
+        picks in collection::vec(0usize..12, 8),
+        cuts in collection::vec(0usize..256, 4),
+    ) {
+        const FRAGMENTS: [&[u8]; 12] = [
+            b"GET / HTTP/1.1\r\n",
+            b"POST /v1/forecast HTTP/1.1\r\n",
+            b"Content-Length: 5\r\n",
+            b"Content-Length: 999999999999\r\n",
+            b"Content-Length: 2\r\nContent-Length: 3\r\n",
+            b"Transfer-Encoding: chunked\r\n",
+            b" folded-continuation\r\n",
+            b"\r\n",
+            b"\n\n",
+            b"HTTP/1.1 200 OK\r\n",
+            b"\x00\xff garbage \x7f",
+            b"X-Header-Without-End",
+        ];
+        let stream: Vec<u8> = picks
+            .iter()
+            .flat_map(|&i| FRAGMENTS[i].iter().copied())
+            .collect();
+        let reference = one_shot(&stream);
+        if let (_, Some(err)) = &reference {
+            // Whatever went wrong maps onto a concrete client status.
+            prop_assert!(matches!(err.status(), 400 | 413 | 431 | 501));
+        }
+        prop_assert_eq!(chunked(&stream, &cuts), reference);
+    }
+
+    /// A Content-Length above the limit is rejected the moment the head
+    /// completes — before any body byte is buffered — as 413.
+    #[test]
+    fn huge_content_length_is_rejected_before_the_body(
+        cl in 8_388_609u64..1_000_000_000_000,
+    ) {
+        let head = format!("POST /v1/forecast HTTP/1.1\r\nContent-Length: {cl}\r\n\r\n");
+        let (reqs, err) = one_shot(head.as_bytes());
+        prop_assert!(reqs.is_empty());
+        prop_assert_eq!(err.clone(), Some(ParseError::BodyTooLarge(cl)));
+        prop_assert_eq!(err.map(|e| e.status()), Some(413));
+    }
+
+    /// A truncated body is a wait, not an error: the parser reports how
+    /// much is pending (the 408 slowloris signal) and completes once the
+    /// missing bytes arrive.
+    #[test]
+    fn truncated_bodies_wait_then_complete(
+        body_len in 1usize..64,
+        cut in 0usize..64,
+    ) {
+        let cut = cut % body_len;
+        let full = render_request(0, body_len, true, false);
+        let (head, body) = full.split_at(full.len() - body_len);
+        let mut p = RequestParser::new(ParserLimits::default());
+        p.feed(head);
+        p.feed(&body[..cut]);
+        prop_assert_eq!(p.poll(), Ok(None));
+        prop_assert!(p.buffered() > 0, "pending bytes must be visible");
+        p.feed(&body[cut..]);
+        let req = p.poll().unwrap().unwrap();
+        prop_assert_eq!(req.body.len(), body_len);
+        prop_assert_eq!(p.buffered(), 0);
+    }
+}

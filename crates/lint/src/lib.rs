@@ -75,6 +75,10 @@ impl LintConfig {
                 "crates/serve/src/lib.rs".into(),
                 "crates/exec/src/queue.rs".into(),
                 "crates/exec/src/parked.rs".into(),
+                // The HTTP connection handlers: a panic here kills a
+                // connection worker, so the whole request path is rooted.
+                "crates/http/src/server.rs".into(),
+                "crates/http/src/service.rs".into(),
             ],
             lock_prefixes: vec![
                 "crates/exec/src/".into(),

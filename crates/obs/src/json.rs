@@ -53,6 +53,13 @@ impl Value {
         }
     }
 
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Numbers that round-trip as integers (counts, ids).
     pub fn as_u64(&self) -> Option<u64> {
         let n = self.as_f64()?;
@@ -235,7 +242,12 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
                 // character boundary and is valid UTF-8.
                 let rest = &bytes[*pos..];
                 let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                let ch = s.chars().next().expect("non-empty");
+                // `rest` is non-empty (the `Some(_)` arm), but route the
+                // impossible case to a parse error rather than panicking:
+                // this parser sits on network-request paths.
+                let Some(ch) = s.chars().next() else {
+                    return Err(ParseError::at(*pos, "unterminated string"));
+                };
                 out.push(ch);
                 *pos += ch.len_utf8();
             }

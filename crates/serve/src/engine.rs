@@ -29,6 +29,12 @@ pub struct EngineConfig {
     /// Artificial delay added to every forward pass — a load-shaping /
     /// testing knob simulating a slower model (leave zero in production).
     pub forward_delay: Duration,
+    /// When set, requests this engine answers also feed the per-model
+    /// series of that label in [`StatsSnapshot::per_model`] — the handle a
+    /// multi-engine front end (one [`ServeStats`] shared via
+    /// [`ForecastEngine::start_with_stats`]) uses to split traffic by
+    /// model. `None` (the default) records aggregate counters only.
+    pub model_label: Option<String>,
 }
 
 impl Default for EngineConfig {
@@ -42,6 +48,7 @@ impl Default for EngineConfig {
             queue_capacity: 256,
             workers: parallelism.min(4),
             forward_delay: Duration::ZERO,
+            model_label: None,
         }
     }
 }
@@ -137,6 +144,23 @@ impl ForecastEngine {
     /// Returns [`ServeError::BadConfig`] for a zero `max_batch`,
     /// `queue_capacity` or `workers`.
     pub fn start(model: Pix2Pix, config: EngineConfig) -> Result<Self, ServeError> {
+        Self::start_with_stats(model, config, Arc::new(ServeStats::default()))
+    }
+
+    /// [`ForecastEngine::start`], recording into a caller-supplied
+    /// [`ServeStats`]. A front end running several engines (one per served
+    /// model) shares one stats instance across all of them so a single
+    /// snapshot covers the whole fleet; set
+    /// [`EngineConfig::model_label`] to keep the per-model series apart.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ForecastEngine::start`] validation failures.
+    pub fn start_with_stats(
+        model: Pix2Pix,
+        config: EngineConfig,
+        stats: Arc<ServeStats>,
+    ) -> Result<Self, ServeError> {
         let spec = InputSpec {
             channels: model.config().input_channels(),
             resolution: model.config().resolution,
@@ -148,7 +172,7 @@ impl ForecastEngine {
             replicas.push(Replica::F32(Box::new(model.clone())));
         }
         replicas.push(Replica::F32(Box::new(model)));
-        Self::start_replicas(replicas, spec, config)
+        Self::start_replicas(replicas, spec, config, stats)
     }
 
     /// Starts an engine over a [`SharedForecaster`] (e.g. handed out by the
@@ -182,6 +206,26 @@ impl ForecastEngine {
         config_hint: &pop_core::ExperimentConfig,
         config: EngineConfig,
     ) -> Result<Self, ServeError> {
+        Self::start_quantized_with_stats(
+            model,
+            config_hint,
+            config,
+            Arc::new(ServeStats::default()),
+        )
+    }
+
+    /// [`ForecastEngine::start_quantized`] over a caller-supplied
+    /// [`ServeStats`] — see [`ForecastEngine::start_with_stats`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ForecastEngine::start`] validation failures.
+    pub fn start_quantized_with_stats(
+        model: QuantizedForecaster,
+        config_hint: &pop_core::ExperimentConfig,
+        config: EngineConfig,
+        stats: Arc<ServeStats>,
+    ) -> Result<Self, ServeError> {
         let spec = InputSpec {
             channels: config_hint.input_channels(),
             resolution: config_hint.resolution,
@@ -189,17 +233,17 @@ impl ForecastEngine {
         let replicas: Vec<Replica> = (0..config.workers)
             .map(|_| Replica::Quantized(model.clone()))
             .collect();
-        Self::start_replicas(replicas, spec, config)
+        Self::start_replicas(replicas, spec, config, stats)
     }
 
     fn start_replicas(
         mut replicas: Vec<Replica>,
         spec: InputSpec,
         config: EngineConfig,
+        stats: Arc<ServeStats>,
     ) -> Result<Self, ServeError> {
         config.validate()?;
         let queue = Arc::new(RequestQueue::new(config.queue_capacity));
-        let stats = Arc::new(ServeStats::default());
         let workers = WorkerPool::spawn("pop-serve", config.workers, |_| {
             // lint: allow(panic_path) — construction-time: `validate()`
             // guarantees exactly `workers` replicas were built
@@ -268,6 +312,18 @@ fn worker_loop(
     cfg: EngineConfig,
 ) {
     let quantized = model.quantized();
+    // Resolve the per-model series once (it takes a registration lock);
+    // the per-batch path below only touches atomics.
+    let series = cfg
+        .model_label
+        .as_deref()
+        .map(|label| stats.model_series(label));
+    let record = |ok: bool, latency_us: u64| {
+        stats.record_request_done(ok, latency_us, quantized);
+        if let Some(series) = &series {
+            series.record(ok, latency_us);
+        }
+    };
     while let Some(batch) = queue.pop_batch(cfg.max_batch, cfg.max_wait) {
         if !cfg.forward_delay.is_zero() {
             // lint: allow(blocking) — synthetic forward-delay pacing for
@@ -289,14 +345,14 @@ fn worker_loop(
             Ok(Ok(outputs)) => {
                 for (req, out) in batch.into_iter().zip(outputs) {
                     let latency_us = req.enqueued.elapsed().as_micros() as u64;
-                    stats.record_request_done(true, latency_us, quantized);
+                    record(true, latency_us);
                     let _ = req.respond.send(Ok(out));
                 }
             }
             Ok(Err(err)) => {
                 for req in batch {
                     let latency_us = req.enqueued.elapsed().as_micros() as u64;
-                    stats.record_request_done(false, latency_us, quantized);
+                    record(false, latency_us);
                     let _ = req.respond.send(Err(err.clone()));
                 }
             }
@@ -304,7 +360,7 @@ fn worker_loop(
                 let msg = panic_message(&panic);
                 for req in batch {
                     let latency_us = req.enqueued.elapsed().as_micros() as u64;
-                    stats.record_request_done(false, latency_us, quantized);
+                    record(false, latency_us);
                     let _ = req
                         .respond
                         .send(Err(ServeError::Model(format!("forward panicked: {msg}"))));

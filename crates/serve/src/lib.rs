@@ -65,7 +65,7 @@ mod stats;
 pub use engine::{EngineConfig, ForecastClient, ForecastEngine, PendingForecast};
 pub use error::ServeError;
 pub use registry::ModelRegistry;
-pub use stats::{ServeStats, StatsSnapshot};
+pub use stats::{ModelSeries, ModelStatsSnapshot, ServeStats, StatsSnapshot};
 
 #[cfg(test)]
 mod tests {
@@ -177,6 +177,7 @@ mod tests {
                 queue_capacity: 2,
                 workers: 1,
                 forward_delay: Duration::from_millis(500),
+                ..EngineConfig::default()
             },
         )
         .unwrap();
@@ -214,6 +215,7 @@ mod tests {
                 queue_capacity: 16,
                 workers: 1,
                 forward_delay: Duration::from_millis(300),
+                ..EngineConfig::default()
             },
         )
         .unwrap();

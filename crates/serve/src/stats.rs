@@ -7,7 +7,34 @@
 //! mean/max-only view the first serving milestone shipped with.
 
 use pop_obs::Histogram;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Per-model telemetry: request counters plus a latency histogram, one
+/// series per served model label (the HTTP front end labels each engine
+/// with its registry name, quantized engines with `<name>/quant` — the
+/// same split PR-7 gave the aggregate quantized percentiles).
+///
+/// Handles are `Arc`s handed to workers once at startup; the record path
+/// is the same lock-free increment the aggregate series uses.
+#[derive(Debug, Default)]
+pub struct ModelSeries {
+    completed: AtomicU64,
+    failed: AtomicU64,
+    latency_us: Histogram,
+}
+
+impl ModelSeries {
+    pub(crate) fn record(&self, ok: bool, latency_us: u64) {
+        if ok {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency_us.record(latency_us);
+    }
+}
 
 /// Aggregate counters shared by the queue, workers and clients. All fields
 /// are monotone; readers take a [`StatsSnapshot`].
@@ -42,9 +69,24 @@ pub struct ServeStats {
     pub(crate) quant_latency_us: Histogram,
     /// Requests answered by quantized replicas.
     pub(crate) quant_completed: AtomicU64,
+    /// Per-model series keyed by engine label (see [`ModelSeries`]).
+    /// Registration takes the mutex once per engine startup; workers hold
+    /// the returned `Arc` so the hot path never re-locks.
+    per_model: Mutex<BTreeMap<String, Arc<ModelSeries>>>,
 }
 
 impl ServeStats {
+    /// The per-model series for `label`, registering it on first use.
+    /// Engines with a [`model_label`](crate::EngineConfig::model_label)
+    /// resolve their series once at worker startup.
+    pub fn model_series(&self, label: &str) -> Arc<ModelSeries> {
+        // Poisoning cannot corrupt the map (insertion is atomic from the
+        // map's point of view), so recover instead of propagating.
+        // lint: allow(blocking) — one registration per engine startup,
+        // before the serve loop; never on the per-batch path.
+        let mut map = self.per_model.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(label.to_string()).or_default())
+    }
     pub(crate) fn record_batch(&self, batch_size: usize, forward_us: u64) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_requests
@@ -80,6 +122,26 @@ impl ServeStats {
         let done = completed + failed;
         let latency = self.latency_us.snapshot();
         let quant_latency = self.quant_latency_us.snapshot();
+        let per_model: Vec<ModelStatsSnapshot> = {
+            let map = self.per_model.lock().unwrap_or_else(|e| e.into_inner());
+            map.iter()
+                .map(|(name, s)| {
+                    let h = s.latency_us.snapshot();
+                    ModelStatsSnapshot {
+                        model: name.clone(),
+                        completed: s.completed.load(Ordering::Relaxed),
+                        failed: s.failed.load(Ordering::Relaxed),
+                        mean_latency_us: if h.count == 0 {
+                            0.0
+                        } else {
+                            h.sum as f64 / h.count as f64
+                        },
+                        p50_latency_us: h.percentile(0.50),
+                        p99_latency_us: h.percentile(0.99),
+                    }
+                })
+                .collect()
+        };
         StatsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
@@ -104,12 +166,30 @@ impl ServeStats {
             quant_completed: self.quant_completed.load(Ordering::Relaxed),
             p50_quant_latency_us: quant_latency.percentile(0.50),
             p99_quant_latency_us: quant_latency.percentile(0.99),
+            per_model,
         }
     }
 }
 
+/// Point-in-time view of one model's [`ModelSeries`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelStatsSnapshot {
+    /// The engine label (`<name>` for f32, `<name>/quant` for i8 replicas).
+    pub model: String,
+    /// Requests this model answered successfully.
+    pub completed: u64,
+    /// Requests this model answered with an error.
+    pub failed: u64,
+    /// Mean enqueue→response latency, microseconds.
+    pub mean_latency_us: f64,
+    /// Median latency, microseconds (histogram bucket upper bound).
+    pub p50_latency_us: u64,
+    /// 99th-percentile latency, microseconds (same convention).
+    pub p99_latency_us: u64,
+}
+
 /// Point-in-time view of [`ServeStats`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StatsSnapshot {
     /// Requests accepted into the queue.
     pub submitted: u64,
@@ -144,6 +224,10 @@ pub struct StatsSnapshot {
     pub p50_quant_latency_us: u64,
     /// 99th-percentile latency of the quantized-path series, microseconds.
     pub p99_quant_latency_us: u64,
+    /// Per-model request/latency breakdown, sorted by label. Empty unless
+    /// at least one engine was started with a `model_label` (the HTTP
+    /// front end labels every engine it owns).
+    pub per_model: Vec<ModelStatsSnapshot>,
 }
 
 #[cfg(test)]
@@ -232,6 +316,40 @@ mod tests {
             snap.p50_latency_us >= snap.p50_quant_latency_us,
             "combined series includes the slow f32 half"
         );
+    }
+
+    #[test]
+    fn per_model_series_split_by_label_in_sorted_order() {
+        let s = ServeStats::default();
+        let base = s.model_series("base");
+        let quant = s.model_series("base/quant");
+        // Re-registration returns the same series, not a fresh one.
+        assert!(Arc::ptr_eq(&base, &s.model_series("base")));
+        for _ in 0..4 {
+            base.record(true, 1000);
+        }
+        base.record(false, 3000);
+        quant.record(true, 200);
+        let snap = s.snapshot();
+        assert_eq!(snap.per_model.len(), 2);
+        let b = &snap.per_model[0];
+        assert_eq!(b.model, "base");
+        assert_eq!(b.completed, 4);
+        assert_eq!(b.failed, 1);
+        assert!((b.mean_latency_us - 1400.0).abs() < 1e-9);
+        assert!(b.p50_latency_us >= 1000);
+        let q = &snap.per_model[1];
+        assert_eq!(q.model, "base/quant");
+        assert_eq!(q.completed, 1);
+        assert_eq!(q.failed, 0);
+        assert!((200..=213).contains(&q.p50_latency_us));
+    }
+
+    #[test]
+    fn per_model_is_empty_without_labeled_engines() {
+        let s = ServeStats::default();
+        s.record_request_done(true, 500, false);
+        assert!(s.snapshot().per_model.is_empty());
     }
 
     #[test]

@@ -27,6 +27,10 @@
 //!   worker pool, LRU model registry, backpressured clients and serving
 //!   telemetry for running many concurrent forecast streams against
 //!   trained checkpoints;
+//! * [`http`] — the zero-dependency HTTP/1.1 front end over [`serve`]:
+//!   bounded request parsing, a JSON forecast API with bitwise-exact
+//!   float transport, per-model routing, admission control mapped to
+//!   HTTP semantics (`429`/`503` + `Retry-After`) and graceful drain;
 //! * [`eval`] — the scenario-conditioned evaluation harness: per-scenario
 //!   models trained through the streaming pipeline and scored against
 //!   every scenario's held-out split, producing the K×K cross-scenario
@@ -94,6 +98,7 @@ pub use pop_arch as arch;
 pub use pop_core as core;
 pub use pop_eval as eval;
 pub use pop_exec as exec;
+pub use pop_http as http;
 pub use pop_netlist as netlist;
 pub use pop_nn as nn;
 pub use pop_obs as obs;
